@@ -1,0 +1,49 @@
+//! Ablation study: isolate the contribution of Check-In's two ingredients
+//! (Algorithm 2's compression and partial-log merging) plus the remapping
+//! substrate itself. Not a paper figure — it backs the design-choice
+//! discussion in DESIGN.md §6.
+
+use checkin_bench::{banner, gc_pressured_config, run};
+use checkin_core::Strategy;
+
+fn main() {
+    banner(
+        "Ablation: Check-In ingredients under GC pressure",
+        "derived from the paper's design discussion (§III-D..F): remapping \
+         removes copies, alignment makes remapping applicable, merging and \
+         compression cut journal volume (and with it invalid pages and GC)",
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "variant", "thr (q/s)", "p99.9", "cp redund", "gc", "erases", "space"
+    );
+    let variants: Vec<(&str, Strategy, bool, bool)> = vec![
+        ("Baseline (host copy)", Strategy::Baseline, false, false),
+        ("ISC-C (remap only)", Strategy::IscC, false, false),
+        ("Check-In -merge -compress", Strategy::CheckIn, true, true),
+        ("Check-In -merge", Strategy::CheckIn, true, false),
+        ("Check-In -compress", Strategy::CheckIn, false, true),
+        ("Check-In (full)", Strategy::CheckIn, false, false),
+    ];
+    for (name, strategy, no_merge, no_compress) in variants {
+        let mut c = gc_pressured_config(strategy);
+        c.ablate_partial_merging = no_merge;
+        c.ablate_compression = no_compress;
+        let r = run(c);
+        println!(
+            "{:<26} {:>10.0} {:>10} {:>10} {:>8} {:>10} {:>9.2}x",
+            name,
+            r.throughput,
+            format!("{}", r.latency.p999),
+            r.redundant_write_bytes / 512,
+            r.flash.gc_invocations,
+            r.flash.erases,
+            r.journal_space_overhead,
+        );
+    }
+    println!(
+        "\nreading guide: '-merge' pads small logs to full units (remappable, \
+         more space);\n'-compress' stores large logs raw. The full scheme \
+         minimises journal volume,\ninvalid pages and erases."
+    );
+}

@@ -1,0 +1,44 @@
+//! Extension study (not a paper figure): how Check-In's advantage over
+//! the baseline scales with the NAND generation. Slower cells make every
+//! redundant program more expensive, so the paper's argument should
+//! *strengthen* from SLC to TLC.
+
+use checkin_bench::{banner, paper_config, reduction_pct, run};
+use checkin_core::Strategy;
+use checkin_flash::FlashTiming;
+
+fn main() {
+    banner(
+        "Extension: cell-type sensitivity (SLC / MLC / TLC)",
+        "implied by the paper's motivation — checkpoint copies cost tPROG, \
+         so slower cells widen Check-In's margin",
+    );
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "cells", "tPROG", "base p99.9", "ci p99.9", "p99.9 gain", "thr gain"
+    );
+    for (name, timing) in [
+        ("SLC", FlashTiming::slc()),
+        ("MLC", FlashTiming::mlc()),
+        ("TLC", FlashTiming::tlc()),
+    ] {
+        let mut base_cfg = paper_config(Strategy::Baseline);
+        base_cfg.flash_timing = timing;
+        let base = run(base_cfg);
+        let mut ci_cfg = paper_config(Strategy::CheckIn);
+        ci_cfg.flash_timing = timing;
+        let ci = run(ci_cfg);
+        println!(
+            "{:<6} {:>10} {:>12} {:>12} {:>13.1}% {:>+11.1}%",
+            name,
+            format!("{}", timing.t_program),
+            format!("{}", base.latency.p999),
+            format!("{}", ci.latency.p999),
+            reduction_pct(
+                base.latency.p999.as_micros_f64(),
+                ci.latency.p999.as_micros_f64()
+            ),
+            (ci.throughput / base.throughput - 1.0) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 9 — tail query latency before/after applying Check-In.
+
+use checkin_bench::{banner, paper_config, reduction_pct, run};
+use checkin_core::{RunReport, Strategy};
+use checkin_workload::AccessPattern;
+
+/// Renders a worst-latency-over-time strip: one character per 20 ms
+/// bucket, log-scaled — checkpoint windows show up as the tall columns of
+/// the paper's Fig. 9 plots.
+fn sparkline(report: &RunReport, buckets: usize) -> String {
+    const GLYPHS: [char; 7] = ['.', ':', '-', '=', '+', '*', '#'];
+    report
+        .timeline
+        .iter()
+        .take(buckets)
+        .map(|p| {
+            let us = p.worst.as_micros_f64().max(1.0);
+            // ~decades: <1ms '.', 1-3ms ':', .., >300ms '#'
+            let idx = ((us / 1000.0).log10() * 2.0).clamp(0.0, 6.0) as usize;
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Fig. 9: tail latency (99.9th / 99.99th percentile)",
+        "Check-In cuts p99.9 by 92.1% (uniform) / 92.4% (zipfian) vs baseline, \
+         and p99.99 by 51.3% / 50.8% vs ISC-C",
+    );
+    for pattern in [AccessPattern::Uniform, AccessPattern::Zipfian] {
+        println!("\n--- {} distribution ---", pattern.label());
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            "config", "p99", "p99.9", "p99.99", "max"
+        );
+        let mut reports: Vec<(Strategy, RunReport)> = Vec::new();
+        for strategy in Strategy::all() {
+            let mut c = paper_config(strategy);
+            c.workload.pattern = pattern;
+            c.total_queries = 60_000;
+            let r = run(c);
+            println!(
+                "{:<10} {:>12} {:>12} {:>12} {:>12}",
+                strategy.label(),
+                format!("{}", r.latency.p99),
+                format!("{}", r.latency.p999),
+                format!("{}", r.latency.p9999),
+                format!("{}", r.latency.max),
+            );
+            reports.push((strategy, r));
+        }
+        let get = |s: Strategy| {
+            reports
+                .iter()
+                .find(|(x, _)| *x == s)
+                .map(|(_, r)| r)
+                .unwrap()
+        };
+        let base = get(Strategy::Baseline);
+        let iscc = get(Strategy::IscC);
+        let ci = get(Strategy::CheckIn);
+        println!(
+            "Check-In p99.9 vs baseline: {:>6.1}% lower   (paper: ~92%)",
+            reduction_pct(
+                base.latency.p999.as_micros_f64(),
+                ci.latency.p999.as_micros_f64()
+            )
+        );
+        println!(
+            "Check-In p99.99 vs ISC-C:   {:>6.1}% lower   (paper: ~51%)",
+            reduction_pct(
+                iscc.latency.p9999.as_micros_f64(),
+                ci.latency.p9999.as_micros_f64()
+            )
+        );
+        println!("\nworst latency over time (20 ms buckets; . <1ms  : <3ms  - <10ms  = <30ms  + <100ms  * <300ms  # >300ms):");
+        println!("  baseline  {}", sparkline(base, 90));
+        println!("  check-in  {}", sparkline(ci, 90));
+    }
+}

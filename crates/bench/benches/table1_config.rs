@@ -1,0 +1,71 @@
+//! Table I — simulated machine configuration, as instantiated by the
+//! reproduction's defaults.
+
+use checkin_core::{Strategy, SystemConfig};
+
+fn main() {
+    let c = SystemConfig::for_strategy(Strategy::CheckIn);
+    let g = c.geometry;
+    let f = c.flash_timing;
+    let s = c.ssd_timing;
+    println!("Table I: simulated machine configuration (reproduction defaults)\n");
+    println!("DBMS configuration");
+    println!("  record size            {:>20}", "128 B - 4 KiB (weighted mix)");
+    println!(
+        "  checkpoint interval    {:>20}",
+        format!("{} (scaled from 60 s)", c.checkpoint_interval)
+    );
+    println!(
+        "  journal trigger        {:>20}",
+        format!("{} sectors", c.journal_trigger_sectors)
+    );
+    println!("  total query count      {:>20}", c.total_queries);
+    println!("\nHost system configuration");
+    println!("  client threads         {:>20}", c.threads);
+    println!("  host cores             {:>20}", c.host_cores);
+    println!(
+        "  per-query host work    {:>20}",
+        format!("{}", c.host_cpu_per_op)
+    );
+    println!(
+        "  interface              {:>20}",
+        format!("{:.1} GB/s + {} per cmd", s.link_bytes_per_sec as f64 / 1e9, s.cmd_overhead)
+    );
+    println!("  queue depth            {:>20}", s.queue_depth);
+    println!("\nStorage configuration");
+    println!(
+        "  flash topology         {:>20}",
+        format!(
+            "{} ch x {} die x {} plane",
+            g.channels, g.dies_per_channel, g.planes_per_die
+        )
+    );
+    println!(
+        "  block / page           {:>20}",
+        format!("{} pages x {} B", g.pages_per_block, g.page_bytes)
+    );
+    println!(
+        "  capacity               {:>20}",
+        format!("{} MiB", g.capacity_bytes() / (1 << 20))
+    );
+    println!(
+        "  flash timing (MLC)     {:>20}",
+        format!("tR {} / tPROG {} / tBER {}", f.t_read, f.t_program, f.t_erase)
+    );
+    println!(
+        "  channel bus            {:>20}",
+        format!("{} MB/s", f.bus_bytes_per_sec / 1_000_000)
+    );
+    println!("\nMapping unit per configuration");
+    for strategy in Strategy::all() {
+        println!(
+            "  {:<10}           {:>20}",
+            strategy.label(),
+            format!("{} B", strategy.default_unit_bytes())
+        );
+    }
+    println!(
+        "\nwrite buffer            {:>20}",
+        format!("{} units (power-protected)", c.write_buffer_units)
+    );
+}

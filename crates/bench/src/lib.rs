@@ -1,0 +1,109 @@
+//! Shared harness utilities for the figure/table reproduction benches.
+//!
+//! Each `benches/figXX_*.rs` target is a standalone binary (Criterion-free,
+//! `harness = false`) that sweeps the parameters of one paper figure and
+//! prints the same rows/series the paper reports, next to the paper's
+//! claims. Run them all with `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use checkin_core::{KvSystem, RunReport, Strategy, SystemConfig};
+use checkin_flash::FlashGeometry;
+
+/// Builds and runs a system, panicking on configuration errors (benches
+/// are developer-facing).
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid or the run fails.
+pub fn run(config: SystemConfig) -> RunReport {
+    KvSystem::new(config)
+        .unwrap_or_else(|e| panic!("bench config invalid: {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("bench run failed: {e}"))
+}
+
+/// Paper-scale defaults shared by the overall-performance figures:
+/// the full 1.5 GiB device, zipfian workload A, scaled query counts.
+pub fn paper_config(strategy: Strategy) -> SystemConfig {
+    let mut c = SystemConfig::for_strategy(strategy);
+    c.total_queries = 30_000;
+    c.threads = 32;
+    c.workload.record_count = 6_000;
+    c
+}
+
+/// A deliberately small device (~50 MiB) that keeps the FTL under
+/// garbage-collection pressure — the regime behind Fig. 8's redundant
+/// write and GC comparisons.
+pub fn gc_pressured_config(strategy: Strategy) -> SystemConfig {
+    let mut c = SystemConfig::for_strategy(strategy);
+    c.total_queries = 150_000;
+    c.threads = 32;
+    c.workload.record_count = 3_000;
+    c.workload.mix = checkin_workload::OpMix::A;
+    c.geometry = FlashGeometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 24,
+        pages_per_block: 128,
+        page_bytes: 4096,
+    };
+    c.journal_trigger_sectors = 8_192;
+    c.gc_threshold_blocks = 6;
+    c.gc_soft_threshold_blocks = 20;
+    c
+}
+
+/// Prints a figure banner with the paper's claim for quick comparison.
+pub fn banner(figure: &str, claim: &str) {
+    println!("\n==============================================================");
+    println!("{figure}");
+    println!("paper: {claim}");
+    println!("==============================================================");
+}
+
+/// Formats a ratio as `x.xx` with a guard for non-finite values.
+pub fn ratio(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}x")
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// Percent reduction of `new` relative to `old` (positive = improvement).
+pub fn reduction_pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (1.0 - new / old) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(100.0, 8.0) - 92.0).abs() < 1e-9);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(1.5), "1.50x");
+        assert_eq!(ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn configs_validate() {
+        for s in Strategy::all() {
+            paper_config(s).validate().unwrap();
+            gc_pressured_config(s).validate().unwrap();
+        }
+    }
+}

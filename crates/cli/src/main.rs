@@ -1,0 +1,109 @@
+//! `checkin` — command-line experiment runner for the Check-In
+//! reproduction. See `checkin help` for usage.
+
+use checkin_cli::{parse, Command, RunArgs, SweepAxis, USAGE};
+use checkin_core::{KvSystem, RunReport, Strategy};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    match parse(&refs) {
+        Ok(Command::Help) => print!("{USAGE}"),
+        Ok(Command::Run(args)) => run_one(&args),
+        Ok(Command::Compare(args)) => compare(&args),
+        Ok(Command::Sweep { axis, values, base }) => sweep(axis, &values, &base),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn execute(args: &RunArgs) -> RunReport {
+    let config = args.to_config();
+    let system = KvSystem::new(config).unwrap_or_else(|e| {
+        eprintln!("error: invalid configuration: {e}");
+        std::process::exit(2);
+    });
+    let mut system = system;
+    system.run().unwrap_or_else(|e| {
+        eprintln!("error: run failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn run_one(args: &RunArgs) {
+    let report = execute(args);
+    println!("{report}");
+    println!(
+        "  redundancy    cp units {} ({} KiB), remap {}, copy {}",
+        report.redundant_write_units,
+        report.redundant_write_bytes / 1024,
+        report.remapped_entries,
+        report.copied_entries
+    );
+}
+
+fn table_row(r: &RunReport) -> String {
+    format!(
+        "{:<10} {:>11.0} {:>11} {:>11} {:>9} {:>9} {:>8}",
+        r.strategy.label(),
+        r.throughput,
+        format!("{}", r.latency.mean),
+        format!("{}", r.latency.p999),
+        r.redundant_write_bytes / 1024,
+        r.flash.gc_invocations,
+        r.checkpoints,
+    )
+}
+
+fn compare(args: &RunArgs) {
+    if args.csv {
+        println!("{}", RunReport::csv_header());
+    } else {
+        println!(
+            "{:<10} {:>11} {:>11} {:>11} {:>9} {:>9} {:>8}",
+            "config", "queries/s", "mean", "p99.9", "cp KiB", "gc", "cps"
+        );
+    }
+    for strategy in Strategy::all() {
+        let mut a = args.clone();
+        a.strategy = strategy;
+        let r = execute(&a);
+        if args.csv {
+            println!("{}", r.to_csv_row());
+        } else {
+            println!("{}", table_row(&r));
+        }
+    }
+}
+
+fn sweep(axis: SweepAxis, values: &[u64], base: &RunArgs) {
+    if base.csv {
+        println!("value,{}", RunReport::csv_header());
+    } else {
+        println!(
+            "{:<12} {:>11} {:>11} {:>11} {:>9} {:>9} {:>8}",
+            "value", "queries/s", "mean", "p99.9", "cp KiB", "gc", "cps"
+        );
+    }
+    for &v in values {
+        let mut a = base.clone();
+        match axis {
+            SweepAxis::Threads => a.threads = v as u32,
+            SweepAxis::IntervalMs => a.interval_ms = v,
+            SweepAxis::UnitBytes => a.unit_bytes = Some(v as u32),
+        }
+        let r = execute(&a);
+        if base.csv {
+            println!("{v},{}", r.to_csv_row());
+        } else {
+            println!(
+                "{:<12} {}",
+                v,
+                table_row(&r).split_once(' ').map(|(_, rest)| rest).unwrap_or("")
+            );
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Checkpoint execution for the five evaluated strategies.
+//!
+//! The host side of checkpointing: take the retiring journal zone (JMT
+//! snapshot), move every live entry to its data-area home using the
+//! strategy's mechanism, persist engine metadata, and trim the retired
+//! zone. The strategies differ exactly as §IV-A describes:
+//!
+//! * **Baseline** — the engine reads each journal log over the host
+//!   interface and rewrites it to the data area (two data transfers per
+//!   entry, plus flash reads and programs);
+//! * **ISC-A** — one vendor CoW command per entry (no data transfer, but
+//!   per-command overhead and queue pressure);
+//! * **ISC-B** — one batched multi-CoW command for the whole checkpoint;
+//! * **ISC-C** — the batched command with FTL **remapping** over the
+//!   512 B sub-page unit: sector-padded conventional logs remap, but the
+//!   padding doubles journal volume and invalid-page generation;
+//! * **Check-In** — remapping plus sector-aligned journaling: full logs
+//!   remap, sub-sector values merge into shared units (checkpointed by
+//!   buffered copies), large values compress.
+
+use checkin_flash::OobKind;
+use checkin_sim::SimTime;
+use checkin_ssd::{
+    CowEntry, ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES,
+};
+
+use crate::config::Strategy;
+use crate::journal::RetiringZone;
+use crate::layout::Layout;
+
+/// Engine-metadata pseudo-key used for superblock writes.
+pub const SUPERBLOCK_KEY: u64 = u64::MAX - 1;
+
+/// Result of one checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointOutcome {
+    /// When the checkpoint (including metadata and journal trim) finished.
+    pub finish: SimTime,
+    /// Live entries checkpointed.
+    pub entries: u64,
+    /// Entries satisfied by remapping.
+    pub remapped: u64,
+    /// Entries satisfied by in-storage or host copy.
+    pub copied: u64,
+    /// Deletion tombstones applied (home extents trimmed).
+    pub deleted: u64,
+    /// Flash page programs attributed to this checkpoint (the paper's
+    /// "redundant writes").
+    pub flash_programs: u64,
+    /// Flash page reads attributed to this checkpoint.
+    pub flash_reads: u64,
+    /// Logical units (re)written because of this checkpoint — the paper's
+    /// "redundant writes" in mapping units. Unlike `flash_programs`, this
+    /// counts copies even when the device write buffer defers their page
+    /// programs beyond the checkpoint window. Remapped entries cost zero.
+    pub redundant_units: u64,
+    /// Payload bytes (re)written because of this checkpoint — the
+    /// unit-size-independent form of `redundant_units`.
+    pub redundant_bytes: u64,
+    /// Host-interface bytes moved for this checkpoint (baseline only).
+    pub host_bytes: u64,
+}
+
+/// Executes one checkpoint of `zone` with `strategy`, starting at `at`.
+///
+/// # Errors
+///
+/// Propagates device failures; the checkpoint is not atomic against
+/// device errors (they indicate simulator bugs or genuine out-of-space).
+pub fn run_checkpoint(
+    ssd: &mut Ssd,
+    strategy: Strategy,
+    layout: &Layout,
+    zone: &RetiringZone,
+    checkpoint_seq: u64,
+    at: SimTime,
+) -> Result<CheckpointOutcome, SsdError> {
+    let unit_writes_before = ssd.ftl().counters().get("ftl.host_unit_writes");
+    let bytes_before = ssd.ftl().counters().get("ftl.host_bytes");
+    let remap_before = ssd.counters().get("ssd.remap_entries");
+    let copy_before = ssd.counters().get("ssd.copy_entries");
+    let programs_before = ssd.ftl().flash().counters().get("flash.program");
+    let reads_before = ssd.ftl().flash().counters().get("flash.read");
+    let host_before =
+        ssd.counters().get("ssd.host_read_bytes") + ssd.counters().get("ssd.host_write_bytes");
+
+    // Deletion tombstones: the checkpoint applies them by trimming the
+    // key's home extent — identical for every strategy (a trim is a
+    // mapping operation, nothing to copy or remap).
+    let mut done = at;
+    let mut tombstoned = 0u64;
+    for (key, e) in &zone.entries {
+        if e.tombstone {
+            done = done.max(ssd.deallocate(
+                layout.home_lba(*key),
+                layout.slot_sectors() as u32,
+                at,
+            ));
+            tombstoned += 1;
+        }
+    }
+
+    done = done.max(match strategy.checkpoint_mode() {
+        None => host_checkpoint(ssd, layout, zone, at)?,
+        Some(mode) => {
+            let entries = build_entries(layout, zone);
+            if entries.is_empty() {
+                at
+            } else if strategy.per_entry_commands() {
+                let mut done = at;
+                for e in &entries {
+                    done = done.max(ssd.cow_single(e, mode, at)?);
+                }
+                done
+            } else {
+                ssd.checkpoint(&entries, mode, at)?
+            }
+        }
+    });
+
+    // Data movement is complete; everything after this line (metadata,
+    // trim) is bookkeeping, not redundant data writes.
+    let redundant_units =
+        ssd.ftl().counters().get("ftl.host_unit_writes") - unit_writes_before;
+    let redundant_bytes = ssd.ftl().counters().get("ftl.host_bytes") - bytes_before;
+
+    // Engine metadata: the superblock records the checkpoint sequence
+    // (parity identifies the newly active journal zone on recovery).
+    let meta = WriteRequest {
+        lba: layout.meta_base(),
+        sectors: layout.unit_sectors() as u32,
+        content: WriteContent::Record {
+            key: SUPERBLOCK_KEY,
+            version: checkpoint_seq,
+            bytes: layout.unit_sectors() as u32 * SECTOR_BYTES,
+        },
+    };
+    done = done.max(ssd.write(&meta, OobKind::Meta, done)?);
+
+    // Deallocate the retired journal logs ("used journal data are flushed
+    // because they are no longer needed").
+    if zone.used_sectors > 0 {
+        let us = layout.unit_sectors();
+        let trim_sectors = zone.used_sectors.div_ceil(us) * us;
+        done = done.max(ssd.deallocate(zone.base_lba, trim_sectors as u32, done));
+    }
+
+    Ok(CheckpointOutcome {
+        finish: done,
+        entries: zone.entries.len() as u64,
+        remapped: ssd.counters().get("ssd.remap_entries") - remap_before,
+        copied: ssd.counters().get("ssd.copy_entries") - copy_before,
+        deleted: tombstoned,
+        flash_programs: ssd.ftl().flash().counters().get("flash.program") - programs_before,
+        flash_reads: ssd.ftl().flash().counters().get("flash.read") - reads_before,
+        redundant_units,
+        redundant_bytes,
+        host_bytes: ssd.counters().get("ssd.host_read_bytes")
+            + ssd.counters().get("ssd.host_write_bytes")
+            - host_before,
+    })
+}
+
+/// Builds device CoW entries from the retiring zone's JMT snapshot.
+fn build_entries(layout: &Layout, zone: &RetiringZone) -> Vec<CowEntry> {
+    zone.entries
+        .iter()
+        .filter(|(_, e)| !e.tombstone)
+        .map(|(key, e)| CowEntry {
+            src_lba: e.journal_lba,
+            dst_lba: layout.home_lba(*key),
+            sectors: e.sectors,
+            // The home holds the record itself (or its compressed form),
+            // never the journal header padding.
+            dst_sectors: e.raw_bytes.min(e.stored_bytes).div_ceil(SECTOR_BYTES).max(1),
+            key: *key,
+            merged: e.merged,
+        })
+        .collect()
+}
+
+/// Baseline: host reads every journal log back and rewrites it home.
+/// Reads are issued as a batch (bounded by queue depth), then writes, then
+/// metadata — matching Figure 4(a)'s ordering.
+fn host_checkpoint(
+    ssd: &mut Ssd,
+    layout: &Layout,
+    zone: &RetiringZone,
+    at: SimTime,
+) -> Result<SimTime, SsdError> {
+    let mut reads_done = at;
+    let mut staged = Vec::with_capacity(zone.entries.len());
+    for (key, e) in &zone.entries {
+        if e.tombstone {
+            continue;
+        }
+        let (frags, t) = ssd.read(
+            &ReadRequest {
+                lba: e.journal_lba,
+                sectors: e.sectors,
+                key: Some(*key),
+            },
+            at,
+        )?;
+        reads_done = reads_done.max(t);
+        let bytes: u32 = frags.iter().map(|f| f.bytes).sum();
+        let version = frags.iter().map(|f| f.version).max().unwrap_or(e.version);
+        if bytes > 0 {
+            staged.push((*key, version, bytes));
+        }
+    }
+    let mut writes_done = reads_done;
+    for (key, version, bytes) in staged {
+        let sectors = bytes.div_ceil(SECTOR_BYTES).max(1);
+        let t = ssd.write(
+            &WriteRequest {
+                lba: layout.home_lba(key),
+                sectors,
+                content: WriteContent::Record {
+                    key,
+                    version,
+                    bytes,
+                },
+            },
+            OobKind::Data,
+            reads_done,
+        )?;
+        writes_done = writes_done.max(t);
+    }
+    Ok(writes_done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalManager;
+    use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
+    use checkin_ftl::{Ftl, FtlConfig};
+    use checkin_ssd::SsdTiming;
+
+    fn setup(strategy: Strategy) -> (Ssd, Layout, JournalManager) {
+        let unit = strategy.default_unit_bytes();
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        let ftl = Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: unit,
+                write_points: 2,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        let ssd = Ssd::new(ftl, SsdTiming::paper_default());
+        let layout = Layout::new(64, 4096, unit, 1 << 12);
+        let jm = JournalManager::new(
+            layout,
+            strategy.sector_aligned_journaling(),
+            0.7,
+        );
+        (ssd, layout, jm)
+    }
+
+    fn journal_some(ssd: &mut Ssd, jm: &mut JournalManager, n: u64) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for key in 0..n {
+            for req in jm.append(key, 2, 480).unwrap() {
+                t = ssd.write(&req, OobKind::Journal, t).unwrap();
+            }
+        }
+        t
+    }
+
+    fn verify_homes(ssd: &mut Ssd, layout: &Layout, n: u64, version: u64, t: SimTime) {
+        for key in 0..n {
+            let (frags, _) = ssd
+                .read(
+                    &ReadRequest {
+                        lba: layout.home_lba(key),
+                        sectors: layout.slot_sectors() as u32,
+                        key: Some(key),
+                    },
+                    t,
+                )
+                .unwrap();
+            assert!(!frags.is_empty(), "key {key} missing at home");
+            assert_eq!(
+                frags.iter().map(|f| f.version).max().unwrap(),
+                version,
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_lands_data_at_home() {
+        for strategy in Strategy::all() {
+            let (mut ssd, layout, mut jm) = setup(strategy);
+            let t = journal_some(&mut ssd, &mut jm, 16);
+            let zone = jm.begin_checkpoint();
+            let out = run_checkpoint(&mut ssd, strategy, &layout, &zone, 1, t).unwrap();
+            assert_eq!(out.entries, 16, "{strategy}");
+            verify_homes(&mut ssd, &layout, 16, 2, out.finish);
+            ssd.ftl().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn checkin_journals_less_than_iscc() {
+        // With conventional journaling each commit pads to a full sector,
+        // so a stream of sub-sector and compressible values costs ISC-C
+        // more journal sectors than Check-In's size classes + merging +
+        // compression. Fewer journal sectors -> fewer page programs.
+        let sizes = [100u32, 200, 300, 480, 900, 2000, 4000, 150];
+        let mut journal_sectors = Vec::new();
+        let mut stored_bytes = Vec::new();
+        for strategy in [Strategy::IscC, Strategy::CheckIn] {
+            let (mut ssd, layout, mut jm) = setup(strategy);
+            let mut t = SimTime::ZERO;
+            for (i, &bytes) in sizes.iter().cycle().take(64).enumerate() {
+                for req in jm.append(i as u64 % 32, 2, bytes).unwrap() {
+                    t = ssd.write(&req, OobKind::Journal, t).unwrap();
+                }
+            }
+            journal_sectors.push(jm.zone_used_sectors());
+            stored_bytes.push(jm.jmt().stored_bytes());
+            let zone = jm.begin_checkpoint();
+            let out = run_checkpoint(&mut ssd, strategy, &layout, &zone, 1, t).unwrap();
+            assert!(out.remapped > 0, "{strategy} should remap");
+            let _ = layout;
+        }
+        assert!(
+            journal_sectors[1] < journal_sectors[0],
+            "Check-In sectors {} !< ISC-C sectors {}",
+            journal_sectors[1],
+            journal_sectors[0]
+        );
+        assert!(stored_bytes[1] < stored_bytes[0]);
+    }
+
+    #[test]
+    fn checkin_merged_partials_copy_but_iscc_small_logs_remap() {
+        // Sub-sector values: ISC-C pads them to whole sectors (remappable);
+        // Check-In merges them (space-efficient, checkpoint copies).
+        let (mut ssd_c, layout_c, mut jm_c) = setup(Strategy::IscC);
+        let mut t = SimTime::ZERO;
+        for key in 0..10u64 {
+            for req in jm_c.append(key, 2, 150).unwrap() {
+                t = ssd_c.write(&req, OobKind::Journal, t).unwrap();
+            }
+        }
+        let used_iscc = jm_c.zone_used_sectors();
+        let zone = jm_c.begin_checkpoint();
+        let out_c = run_checkpoint(&mut ssd_c, Strategy::IscC, &layout_c, &zone, 1, t).unwrap();
+        assert_eq!(out_c.remapped, 10);
+
+        let (mut ssd_ci, layout_ci, mut jm_ci) = setup(Strategy::CheckIn);
+        let mut t = SimTime::ZERO;
+        for key in 0..10u64 {
+            for req in jm_ci.append(key, 2, 150).unwrap() {
+                t = ssd_ci.write(&req, OobKind::Journal, t).unwrap();
+            }
+        }
+        let used_ci = jm_ci.zone_used_sectors();
+        let zone = jm_ci.begin_checkpoint();
+        let out_ci =
+            run_checkpoint(&mut ssd_ci, Strategy::CheckIn, &layout_ci, &zone, 1, t).unwrap();
+        assert_eq!(out_ci.copied, 10, "merged partials take the copy path");
+        // 256-byte classes merge two per sector: half the journal space.
+        assert!(used_ci <= used_iscc / 2 + 1, "{used_ci} vs {used_iscc}");
+    }
+
+    #[test]
+    fn baseline_moves_bytes_over_host_interface() {
+        let (mut ssd, layout, mut jm) = setup(Strategy::Baseline);
+        let t = journal_some(&mut ssd, &mut jm, 8);
+        let zone = jm.begin_checkpoint();
+        let out = run_checkpoint(&mut ssd, Strategy::Baseline, &layout, &zone, 1, t).unwrap();
+        assert!(out.host_bytes > 8 * 480, "host transfer: {}", out.host_bytes);
+        assert_eq!(out.remapped, 0);
+    }
+
+    #[test]
+    fn in_storage_strategies_move_no_host_data() {
+        for strategy in [Strategy::IscA, Strategy::IscB, Strategy::IscC, Strategy::CheckIn] {
+            let (mut ssd, layout, mut jm) = setup(strategy);
+            let t = journal_some(&mut ssd, &mut jm, 8);
+            let zone = jm.begin_checkpoint();
+            let out = run_checkpoint(&mut ssd, strategy, &layout, &zone, 1, t).unwrap();
+            // Only the metadata write moves host bytes.
+            assert!(
+                out.host_bytes <= 8 * SECTOR_BYTES as u64,
+                "{strategy}: {}",
+                out.host_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn isca_issues_one_command_per_entry() {
+        let (mut ssd, layout, mut jm) = setup(Strategy::IscA);
+        let t = journal_some(&mut ssd, &mut jm, 12);
+        let zone = jm.begin_checkpoint();
+        run_checkpoint(&mut ssd, Strategy::IscA, &layout, &zone, 1, t).unwrap();
+        assert_eq!(ssd.counters().get("ssd.cmd_cow"), 12);
+        assert_eq!(ssd.counters().get("ssd.cmd_checkpoint"), 0);
+    }
+
+    #[test]
+    fn iscb_issues_one_batched_command() {
+        let (mut ssd, layout, mut jm) = setup(Strategy::IscB);
+        let t = journal_some(&mut ssd, &mut jm, 12);
+        let zone = jm.begin_checkpoint();
+        run_checkpoint(&mut ssd, Strategy::IscB, &layout, &zone, 1, t).unwrap();
+        assert_eq!(ssd.counters().get("ssd.cmd_cow"), 0);
+        assert_eq!(ssd.counters().get("ssd.cmd_checkpoint"), 1);
+    }
+
+    #[test]
+    fn empty_zone_checkpoint_is_cheap() {
+        for strategy in Strategy::all() {
+            let (mut ssd, layout, mut jm) = setup(strategy);
+            let zone = jm.begin_checkpoint();
+            let out =
+                run_checkpoint(&mut ssd, strategy, &layout, &zone, 1, SimTime::ZERO).unwrap();
+            assert_eq!(out.entries, 0);
+            assert_eq!(out.remapped + out.copied, 0);
+        }
+    }
+
+    #[test]
+    fn journal_trimmed_after_checkpoint() {
+        let (mut ssd, layout, mut jm) = setup(Strategy::CheckIn);
+        let t = journal_some(&mut ssd, &mut jm, 8);
+        let first_journal_lba = layout.journal_base(0);
+        let zone = jm.begin_checkpoint();
+        let out = run_checkpoint(&mut ssd, Strategy::CheckIn, &layout, &zone, 1, t).unwrap();
+        // Journal LBA no longer readable; home still is.
+        let (frags, _) = ssd
+            .read(
+                &ReadRequest { lba: first_journal_lba, sectors: 1, key: None },
+                out.finish,
+            )
+            .unwrap();
+        assert!(frags.is_empty(), "journal should be trimmed");
+        verify_homes(&mut ssd, &layout, 8, 2, out.finish);
+    }
+
+    #[test]
+    fn merged_partials_checkpoint_correctly() {
+        let (mut ssd, layout, mut jm) = setup(Strategy::CheckIn);
+        let mut t = SimTime::ZERO;
+        // Small values -> PARTIAL -> merged sectors.
+        for key in 0..10u64 {
+            for req in jm.append(key, 3, 100).unwrap() {
+                t = ssd.write(&req, OobKind::Journal, t).unwrap();
+            }
+        }
+        let zone = jm.begin_checkpoint();
+        let out = run_checkpoint(&mut ssd, Strategy::CheckIn, &layout, &zone, 1, t).unwrap();
+        // Merged entries cannot remap.
+        assert_eq!(out.remapped, 0);
+        assert_eq!(out.copied, 10);
+        verify_homes(&mut ssd, &layout, 10, 3, out.finish);
+    }
+}

@@ -1,0 +1,821 @@
+//! The storage engine: query interface, key-value mapping layer,
+//! journaling layer (Figure 5's Check-In engine, parameterised so the same
+//! engine also behaves as the conventional baseline).
+
+use std::collections::{HashMap, HashSet};
+
+use checkin_flash::OobKind;
+use checkin_sim::{CounterSet, SimTime};
+use checkin_ssd::{ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES};
+
+use crate::checkpoint::{run_checkpoint, CheckpointOutcome};
+use crate::config::Strategy;
+use crate::journal::{JournalFull, JournalManager, RetiringZone};
+use crate::layout::{Layout, JOURNAL_ZONES};
+
+/// Engine-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The active journal zone is full: checkpoint, then retry the update.
+    JournalFull,
+    /// Read of a key that was never loaded.
+    UnknownKey(u64),
+    /// Update with an empty or oversized value.
+    InvalidValue(u32),
+    /// Device failure.
+    Ssd(SsdError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::JournalFull => write!(f, "journal full; checkpoint required"),
+            EngineError::UnknownKey(k) => write!(f, "unknown key {k}"),
+            EngineError::InvalidValue(n) => write!(f, "invalid value size {n} bytes"),
+            EngineError::Ssd(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Ssd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for EngineError {
+    fn from(e: SsdError) -> Self {
+        EngineError::Ssd(e)
+    }
+}
+
+impl From<JournalFull> for EngineError {
+    fn from(_: JournalFull) -> Self {
+        EngineError::JournalFull
+    }
+}
+
+/// Result of a point read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Version observed (engine-verified against its key map).
+    pub version: u64,
+    /// Whether the read was served from the journal area (JMT hit).
+    pub from_journal: bool,
+    /// Completion instant.
+    pub finish: SimTime,
+}
+
+/// The key-value storage engine.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_core::{KvEngine, Strategy, Layout};
+/// use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
+/// use checkin_ftl::{Ftl, FtlConfig};
+/// use checkin_ssd::{Ssd, SsdTiming};
+/// use checkin_sim::SimTime;
+///
+/// let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+/// let ftl = Ftl::new(flash, FtlConfig { unit_bytes: 512, write_points: 2, ..FtlConfig::default() }).unwrap();
+/// let mut ssd = Ssd::new(ftl, SsdTiming::paper_default());
+///
+/// let mut engine = KvEngine::new(Strategy::CheckIn, Layout::new(100, 4096, 512, 1 << 12), 0.7);
+/// let t = engine.load(&mut ssd, &[(1, 400), (2, 900)], SimTime::ZERO)?;
+/// let t = engine.update(&mut ssd, 1, 400, t)?;
+/// let read = engine.get(&mut ssd, 1, t)?;
+/// assert_eq!(read.version, 2); // load wrote v1, update wrote v2
+/// assert!(read.from_journal);
+/// # Ok::<(), checkin_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct KvEngine {
+    strategy: Strategy,
+    layout: Layout,
+    journal: JournalManager,
+    /// Key-value mapping layer: committed version and current size.
+    versions: HashMap<u64, u64>,
+    sizes: HashMap<u64, u32>,
+    /// Keys whose latest committed operation is a deletion.
+    deleted: HashSet<u64>,
+    checkpoint_seq: u64,
+    counters: CounterSet,
+}
+
+impl KvEngine {
+    /// Creates an engine for `strategy` over `layout`.
+    pub fn new(strategy: Strategy, layout: Layout, compression_ratio: f64) -> Self {
+        let options = if strategy.sector_aligned_journaling() {
+            crate::journal::JournalOptions::check_in(compression_ratio)
+        } else {
+            crate::journal::JournalOptions::conventional()
+        };
+        Self::with_journal_options(strategy, layout, options)
+    }
+
+    /// Creates an engine with explicit journaling options (ablations:
+    /// disable compression or partial merging independently).
+    pub fn with_journal_options(
+        strategy: Strategy,
+        layout: Layout,
+        options: crate::journal::JournalOptions,
+    ) -> Self {
+        KvEngine {
+            strategy,
+            layout,
+            journal: JournalManager::with_options(layout, options),
+            versions: HashMap::new(),
+            sizes: HashMap::new(),
+            deleted: HashSet::new(),
+            checkpoint_seq: 0,
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// The engine's address layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The strategy in effect.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Engine counters (`engine.*`).
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// The journal manager (JMT inspection).
+    pub fn journal(&self) -> &JournalManager {
+        &self.journal
+    }
+
+    /// Committed version of `key`, if loaded.
+    pub fn version_of(&self, key: u64) -> Option<u64> {
+        self.versions.get(&key).copied()
+    }
+
+    /// Number of loaded keys.
+    pub fn loaded_keys(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Mapping units of journal space used since the last checkpoint
+    /// (checkpoint trigger input).
+    pub fn journal_used_units(&self) -> u64 {
+        self.journal.zone_used_units()
+    }
+
+    /// Bulk-loads `(key, value_bytes)` records directly into the data
+    /// area (version 1 each), then flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    pub fn load(
+        &mut self,
+        ssd: &mut Ssd,
+        records: &[(u64, u32)],
+        at: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        let mut t = at;
+        for &(key, bytes) in records {
+            let sectors = bytes.div_ceil(SECTOR_BYTES).max(1);
+            let req = WriteRequest {
+                lba: self.layout.home_lba(key),
+                sectors,
+                content: WriteContent::Record {
+                    key,
+                    version: 1,
+                    bytes,
+                },
+            };
+            t = ssd.write(&req, OobKind::Data, t)?;
+            self.versions.insert(key, 1);
+            self.sizes.insert(key, bytes);
+            self.counters.incr("engine.loads");
+        }
+        Ok(ssd.flush(t)?)
+    }
+
+    /// Point read: the JMT first (latest journal copy), then the data
+    /// area.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownKey`] when the key was never loaded.
+    pub fn get(&mut self, ssd: &mut Ssd, key: u64, at: SimTime) -> Result<ReadResult, EngineError> {
+        self.counters.incr("engine.reads");
+        if self.deleted.contains(&key) {
+            return Err(EngineError::UnknownKey(key));
+        }
+        let expected = *self
+            .versions
+            .get(&key)
+            .ok_or(EngineError::UnknownKey(key))?;
+        let (lba, sectors, from_journal) = match self.journal.jmt().lookup(key) {
+            Some(e) => (e.journal_lba, e.sectors, true),
+            None => (
+                self.layout.home_lba(key),
+                self.layout.slot_sectors() as u32,
+                false,
+            ),
+        };
+        let (frags, finish) = ssd.read(
+            &ReadRequest {
+                lba,
+                sectors,
+                key: Some(key),
+            },
+            at,
+        )?;
+        let version = frags.iter().map(|f| f.version).max().unwrap_or(0);
+        debug_assert_eq!(
+            version, expected,
+            "read of key {key} returned stale version (strategy={:?}, from_journal={from_journal}, lba={lba}, sectors={sectors}, frags={frags:?})", self.strategy
+        );
+        Ok(ReadResult {
+            version,
+            from_journal,
+            finish,
+        })
+    }
+
+    /// Update: journal the new version (write-ahead), then acknowledge.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::JournalFull`] when the active zone cannot hold the
+    /// log — checkpoint and retry. [`EngineError::UnknownKey`] for keys
+    /// never loaded.
+    pub fn update(
+        &mut self,
+        ssd: &mut Ssd,
+        key: u64,
+        value_bytes: u32,
+        at: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        if !self.versions.contains_key(&key) || self.deleted.contains(&key) {
+            return Err(EngineError::UnknownKey(key));
+        }
+        let max_bytes = (self.layout.slot_sectors() * SECTOR_BYTES as u64) as u32;
+        if value_bytes == 0 || value_bytes > max_bytes {
+            return Err(EngineError::InvalidValue(value_bytes));
+        }
+        let version = self.versions[&key] + 1;
+        let requests = self.journal.append(key, version, value_bytes)?;
+        let mut t = at;
+        for req in &requests {
+            t = ssd.write(req, OobKind::Journal, t)?;
+        }
+        self.versions.insert(key, version);
+        self.sizes.insert(key, value_bytes);
+        self.counters.incr("engine.updates");
+        self.counters
+            .add("engine.update_bytes", value_bytes as u64);
+        Ok(t)
+    }
+
+    /// Deletes `key`: journals a tombstone (write-ahead) and acknowledges.
+    /// The key's home extent is trimmed at the next checkpoint; until
+    /// then reads return [`EngineError::UnknownKey`] from the key map.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownKey`] for unknown or already-deleted keys;
+    /// [`EngineError::JournalFull`] when a checkpoint is required first.
+    pub fn delete(&mut self, ssd: &mut Ssd, key: u64, at: SimTime) -> Result<SimTime, EngineError> {
+        if !self.versions.contains_key(&key) || self.deleted.contains(&key) {
+            return Err(EngineError::UnknownKey(key));
+        }
+        let version = self.versions[&key] + 1;
+        let requests = self.journal.append_delete(key, version)?;
+        let mut t = at;
+        for req in &requests {
+            t = ssd.write(req, OobKind::Journal, t)?;
+        }
+        self.versions.insert(key, version);
+        self.sizes.remove(&key);
+        self.deleted.insert(key);
+        self.counters.incr("engine.deletes");
+        Ok(t)
+    }
+
+    /// Inserts (or resurrects) `key` with a fresh value. Versioning stays
+    /// monotonic across delete/insert cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidValue`] for empty/oversized values;
+    /// [`EngineError::JournalFull`] when a checkpoint is required first.
+    /// Keys must lie inside the loaded keyspace (`layout.record_count`).
+    pub fn insert(
+        &mut self,
+        ssd: &mut Ssd,
+        key: u64,
+        value_bytes: u32,
+        at: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        if key >= self.layout.record_count() {
+            return Err(EngineError::UnknownKey(key));
+        }
+        let max_bytes = (self.layout.slot_sectors() * SECTOR_BYTES as u64) as u32;
+        if value_bytes == 0 || value_bytes > max_bytes {
+            return Err(EngineError::InvalidValue(value_bytes));
+        }
+        let version = self.versions.get(&key).copied().unwrap_or(0) + 1;
+        let requests = self.journal.append(key, version, value_bytes)?;
+        let mut t = at;
+        for req in &requests {
+            t = ssd.write(req, OobKind::Journal, t)?;
+        }
+        self.versions.insert(key, version);
+        self.sizes.insert(key, value_bytes);
+        self.deleted.remove(&key);
+        self.counters.incr("engine.inserts");
+        Ok(t)
+    }
+
+    /// Runs one checkpoint: retires the active journal zone and moves its
+    /// live entries home using the configured strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    pub fn checkpoint(
+        &mut self,
+        ssd: &mut Ssd,
+        at: SimTime,
+    ) -> Result<CheckpointOutcome, EngineError> {
+        self.checkpoint_seq += 1;
+        let zone: RetiringZone = self.journal.begin_checkpoint();
+        self.counters.add("engine.superseded_logs", zone.superseded);
+        self.counters.add("engine.journal_raw_bytes", zone.raw_bytes);
+        self.counters
+            .add("engine.journal_stored_bytes", zone.stored_bytes);
+        let outcome = run_checkpoint(
+            ssd,
+            self.strategy,
+            &self.layout,
+            &zone,
+            self.checkpoint_seq,
+            at,
+        )?;
+        self.counters.incr("engine.checkpoints");
+        Ok(outcome)
+    }
+
+    /// Crash recovery: rebuilds engine state from the device alone —
+    /// data-area homes (last checkpoint) plus a scan of both journal zones
+    /// (logs since then), then re-checkpoints the journal tail so the data
+    /// area is current, and trims the journal (§III-G).
+    ///
+    /// Returns the recovered engine and the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    pub fn recover(
+        strategy: Strategy,
+        layout: Layout,
+        compression_ratio: f64,
+        ssd: &mut Ssd,
+        record_count: u64,
+        at: SimTime,
+    ) -> Result<(Self, SimTime), EngineError> {
+        let (engine, report) =
+            Self::recover_with_report(strategy, layout, compression_ratio, ssd, record_count, at)?;
+        Ok((engine, report.finish))
+    }
+
+    /// [`KvEngine::recover`] with full accounting of what the recovery did.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    pub fn recover_with_report(
+        strategy: Strategy,
+        layout: Layout,
+        compression_ratio: f64,
+        ssd: &mut Ssd,
+        record_count: u64,
+        at: SimTime,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        let reads_before = ssd.counters().get("ssd.cmd_read");
+        let mut engine = KvEngine::new(strategy, layout, compression_ratio);
+        let mut t = at;
+
+        // 1. Restore the last checkpoint: read every home slot.
+        for key in 0..record_count {
+            let (frags, finish) = ssd.read(
+                &ReadRequest {
+                    lba: layout.home_lba(key),
+                    sectors: layout.slot_sectors() as u32,
+                    key: Some(key),
+                },
+                t,
+            )?;
+            t = finish;
+            if let Some(v) = frags.iter().map(|f| f.version).max() {
+                let bytes: u32 = frags.iter().map(|f| f.bytes).sum();
+                engine.versions.insert(key, v);
+                engine.sizes.insert(key, bytes);
+            }
+        }
+
+        // 2. Replay journal logs written after the checkpoint: scan both
+        //    zones unit by unit until a run of unwritten units.
+        let us = layout.unit_sectors();
+        let mut newest: HashMap<u64, (u64, u32, bool)> = HashMap::new();
+        for zone in 0..JOURNAL_ZONES {
+            let base = layout.journal_base(zone);
+            let mut empty_run = 0u32;
+            let mut cursor = 0u64;
+            while cursor < layout.zone_sectors() && empty_run < 16 {
+                let (frags, finish) = ssd.read(
+                    &ReadRequest {
+                        lba: base + cursor,
+                        sectors: us as u32,
+                        key: None,
+                    },
+                    t,
+                )?;
+                t = finish;
+                if frags.is_empty() {
+                    empty_run += 1;
+                } else {
+                    empty_run = 0;
+                    for f in frags {
+                        if f.key == u64::MAX || f.key >= record_count {
+                            continue; // device/engine metadata
+                        }
+                        let e = newest.entry(f.key).or_insert((0, 0, false));
+                        if f.version > e.0 {
+                            // bytes == 0 marks a deletion tombstone.
+                            *e = (f.version, f.bytes, f.bytes == 0);
+                        } else if f.version == e.0 && !e.2 {
+                            e.1 += f.bytes; // another unit of the same log
+                        }
+                    }
+                }
+                cursor += us;
+            }
+        }
+
+        // 3. Re-checkpoint the journal tail: write newer versions home
+        //    (or apply deletion tombstones by trimming the home extent).
+        let mut replayed = 0u64;
+        for (key, (version, bytes, tombstone)) in newest {
+            let committed = engine.versions.get(&key).copied().unwrap_or(0);
+            if version > committed {
+                if tombstone {
+                    t = ssd.deallocate(
+                        layout.home_lba(key),
+                        layout.slot_sectors() as u32,
+                        t,
+                    );
+                    engine.versions.insert(key, version);
+                    engine.sizes.remove(&key);
+                    engine.deleted.insert(key);
+                } else {
+                    let bytes = bytes.max(1);
+                    let req = WriteRequest {
+                        lba: layout.home_lba(key),
+                        sectors: bytes.div_ceil(SECTOR_BYTES).max(1),
+                        content: WriteContent::Record {
+                            key,
+                            version,
+                            bytes,
+                        },
+                    };
+                    t = ssd.write(&req, OobKind::Data, t)?;
+                    engine.versions.insert(key, version);
+                    engine.sizes.insert(key, bytes);
+                    engine.deleted.remove(&key);
+                }
+                replayed += 1;
+            }
+        }
+
+        // 4. Trim both journal zones: everything is checkpointed now.
+        for zone in 0..JOURNAL_ZONES {
+            t = ssd.deallocate(
+                layout.journal_base(zone),
+                layout.zone_sectors() as u32,
+                t,
+            );
+        }
+        engine.counters.incr("engine.recoveries");
+        let report = RecoveryReport {
+            finish: t,
+            duration: t.duration_since(at),
+            keys_recovered: engine.versions.len() as u64,
+            journal_entries_replayed: replayed,
+            device_reads: ssd.counters().get("ssd.cmd_read") - reads_before,
+        };
+        Ok((engine, report))
+    }
+}
+
+/// Accounting of one crash recovery (§III-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// When recovery completed.
+    pub finish: SimTime,
+    /// Simulated time the recovery took.
+    pub duration: checkin_sim::SimDuration,
+    /// Keys restored (checkpoint + journal tail).
+    pub keys_recovered: u64,
+    /// Keys whose journal version was newer than the checkpointed one.
+    pub journal_entries_replayed: u64,
+    /// Device read commands issued by the scan.
+    pub device_reads: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
+    use checkin_ftl::{Ftl, FtlConfig};
+    use checkin_ssd::SsdTiming;
+
+    fn setup(strategy: Strategy) -> (Ssd, KvEngine) {
+        let unit = strategy.default_unit_bytes();
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        let ftl = Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: unit,
+                write_points: 2,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        let ssd = Ssd::new(ftl, SsdTiming::paper_default());
+        let layout = Layout::new(64, 4096, unit, 1 << 11);
+        (ssd, KvEngine::new(strategy, layout, 0.7))
+    }
+
+    #[test]
+    fn load_then_get_serves_from_home() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let t = engine
+            .load(&mut ssd, &[(0, 400), (1, 900)], SimTime::ZERO)
+            .unwrap();
+        let r = engine.get(&mut ssd, 0, t).unwrap();
+        assert_eq!(r.version, 1);
+        assert!(!r.from_journal);
+    }
+
+    #[test]
+    fn update_serves_from_journal_until_checkpoint() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let t = engine.load(&mut ssd, &[(0, 400)], SimTime::ZERO).unwrap();
+        let t = engine.update(&mut ssd, 0, 400, t).unwrap();
+        let r = engine.get(&mut ssd, 0, t).unwrap();
+        assert_eq!(r.version, 2);
+        assert!(r.from_journal);
+        let out = engine.checkpoint(&mut ssd, r.finish).unwrap();
+        let r = engine.get(&mut ssd, 0, out.finish).unwrap();
+        assert_eq!(r.version, 2);
+        assert!(!r.from_journal, "after checkpoint, home is current");
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let (mut ssd, mut engine) = setup(Strategy::Baseline);
+        assert_eq!(
+            engine.get(&mut ssd, 7, SimTime::ZERO),
+            Err(EngineError::UnknownKey(7))
+        );
+        assert_eq!(
+            engine.update(&mut ssd, 7, 100, SimTime::ZERO),
+            Err(EngineError::UnknownKey(7))
+        );
+    }
+
+    #[test]
+    fn journal_full_surfaces_and_checkpoint_recovers() {
+        let (mut ssd, mut engine) = setup(Strategy::Baseline);
+        let mut t = engine.load(&mut ssd, &[(0, 4096)], SimTime::ZERO).unwrap();
+        // Fill the zone with large updates until it refuses.
+        let mut filled = false;
+        for _ in 0..2000 {
+            match engine.update(&mut ssd, 0, 4096, t) {
+                Ok(finish) => t = finish,
+                Err(EngineError::JournalFull) => {
+                    filled = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(filled, "zone should fill");
+        let out = engine.checkpoint(&mut ssd, t).unwrap();
+        // Retry succeeds in the fresh zone.
+        engine.update(&mut ssd, 0, 4096, out.finish).unwrap();
+    }
+
+    #[test]
+    fn every_strategy_roundtrips_updates_through_checkpoint() {
+        for strategy in Strategy::all() {
+            let (mut ssd, mut engine) = setup(strategy);
+            let records: Vec<(u64, u32)> = (0..32).map(|k| (k, 300 + (k as u32 * 37) % 3000)).collect();
+            let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
+            for round in 0..3 {
+                for k in 0..32u64 {
+                    let size = 200 + ((k + round) as u32 * 53) % 2000;
+                    t = engine.update(&mut ssd, k, size, t).unwrap();
+                }
+                let out = engine.checkpoint(&mut ssd, t).unwrap();
+                t = out.finish;
+            }
+            for k in 0..32u64 {
+                let r = engine.get(&mut ssd, k, t).unwrap();
+                assert_eq!(r.version, 4, "{strategy} key {k}");
+                t = r.finish;
+            }
+            ssd.ftl().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn recovery_restores_checkpoint_plus_journal_tail() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let records: Vec<(u64, u32)> = (0..16).map(|k| (k, 400)).collect();
+        let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
+        // Two updates + checkpoint, then one more update left in journal.
+        for k in 0..16u64 {
+            t = engine.update(&mut ssd, k, 400, t).unwrap();
+        }
+        let out = engine.checkpoint(&mut ssd, t).unwrap();
+        t = out.finish;
+        for k in 0..8u64 {
+            t = engine.update(&mut ssd, k, 400, t).unwrap();
+        }
+        // Crash: host state dropped; device (capacitor-backed) survives.
+        drop(engine);
+        let layout = Layout::new(64, 4096, 512, 1 << 11);
+        let (recovered, t) =
+            KvEngine::recover(Strategy::CheckIn, layout, 0.7, &mut ssd, 16, t).unwrap();
+        for k in 0..16u64 {
+            let want = if k < 8 { 3 } else { 2 };
+            assert_eq!(recovered.version_of(k), Some(want), "key {k}");
+        }
+        // Recovered engine serves reads with the right versions.
+        let mut engine = recovered;
+        let r = engine.get(&mut ssd, 3, t).unwrap();
+        assert_eq!(r.version, 3);
+    }
+
+    #[test]
+    fn invalid_value_sizes_rejected() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let t = engine.load(&mut ssd, &[(0, 400)], SimTime::ZERO).unwrap();
+        assert_eq!(
+            engine.update(&mut ssd, 0, 0, t),
+            Err(EngineError::InvalidValue(0))
+        );
+        let too_big = (engine.layout().slot_sectors() * 512 + 1) as u32;
+        assert_eq!(
+            engine.update(&mut ssd, 0, too_big, t),
+            Err(EngineError::InvalidValue(too_big))
+        );
+        // Version unchanged after rejections.
+        assert_eq!(engine.version_of(0), Some(1));
+    }
+
+    #[test]
+    fn recovery_report_accounts_for_work() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let records: Vec<(u64, u32)> = (0..16).map(|k| (k, 400)).collect();
+        let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
+        for k in 0..16u64 {
+            t = engine.update(&mut ssd, k, 400, t).unwrap();
+        }
+        t = engine.checkpoint(&mut ssd, t).unwrap().finish;
+        for k in 0..5u64 {
+            t = engine.update(&mut ssd, k, 400, t).unwrap();
+        }
+        drop(engine);
+        let layout = Layout::new(64, 4096, 512, 1 << 11);
+        let (_, report) =
+            KvEngine::recover_with_report(Strategy::CheckIn, layout, 0.7, &mut ssd, 16, t)
+                .unwrap();
+        assert_eq!(report.keys_recovered, 16);
+        assert_eq!(report.journal_entries_replayed, 5);
+        assert!(report.device_reads >= 16, "scan reads homes + journal");
+        assert!(report.duration > checkin_sim::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn delete_hides_key_until_insert_resurrects_it() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let t = engine.load(&mut ssd, &[(3, 400)], SimTime::ZERO).unwrap();
+        let t = engine.update(&mut ssd, 3, 500, t).unwrap();
+        let t = engine.delete(&mut ssd, 3, t).unwrap();
+        assert_eq!(engine.get(&mut ssd, 3, t), Err(EngineError::UnknownKey(3)));
+        assert_eq!(
+            engine.update(&mut ssd, 3, 100, t),
+            Err(EngineError::UnknownKey(3)),
+            "updates need insert after a delete"
+        );
+        assert_eq!(engine.delete(&mut ssd, 3, t), Err(EngineError::UnknownKey(3)));
+        // Resurrection continues the version chain.
+        let t = engine.insert(&mut ssd, 3, 256, t).unwrap();
+        let r = engine.get(&mut ssd, 3, t).unwrap();
+        assert_eq!(r.version, 4, "load=1, update=2, delete=3, insert=4");
+    }
+
+    #[test]
+    fn checkpointed_delete_trims_the_home_extent() {
+        for strategy in [Strategy::Baseline, Strategy::IscB, Strategy::CheckIn] {
+            let (mut ssd, mut engine) = setup(strategy);
+            let t = engine
+                .load(&mut ssd, &[(0, 400), (1, 400)], SimTime::ZERO)
+                .unwrap();
+            let t = engine.delete(&mut ssd, 0, t).unwrap();
+            let out = engine.checkpoint(&mut ssd, t).unwrap();
+            assert_eq!(out.deleted, 1, "{strategy}");
+            // Device-level: home units of key 0 are unmapped.
+            let home = engine.layout().home_lba(0);
+            let (frags, t) = ssd
+                .read(
+                    &checkin_ssd::ReadRequest {
+                        lba: home,
+                        sectors: engine.layout().slot_sectors() as u32,
+                        key: None,
+                    },
+                    out.finish,
+                )
+                .unwrap();
+            assert!(frags.is_empty(), "{strategy}: home must be trimmed");
+            // The neighbour survives.
+            let r = engine.get(&mut ssd, 1, t).unwrap();
+            assert_eq!(r.version, 1);
+            ssd.ftl().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn recovery_replays_journal_tombstones() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let records: Vec<(u64, u32)> = (0..8).map(|k| (k, 400)).collect();
+        let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
+        t = engine.checkpoint(&mut ssd, t).unwrap().finish;
+        // Delete key 2 after the checkpoint; crash before the next one.
+        t = engine.delete(&mut ssd, 2, t).unwrap();
+        t = engine.update(&mut ssd, 5, 300, t).unwrap();
+        drop(engine);
+        let layout = Layout::new(64, 4096, 512, 1 << 11);
+        let (mut recovered, t) =
+            KvEngine::recover(Strategy::CheckIn, layout, 0.7, &mut ssd, 8, t).unwrap();
+        assert_eq!(
+            recovered.get(&mut ssd, 2, t),
+            Err(EngineError::UnknownKey(2)),
+            "tombstone must survive the crash"
+        );
+        let r = recovered.get(&mut ssd, 5, t).unwrap();
+        assert_eq!(r.version, 2);
+        // Resurrection after recovery continues versioning past the
+        // tombstone.
+        let t = recovered.insert(&mut ssd, 2, 128, r.finish).unwrap();
+        let r = recovered.get(&mut ssd, 2, t).unwrap();
+        assert_eq!(r.version, 3, "load=1, delete=2, insert=3");
+    }
+
+    #[test]
+    fn insert_validates_keyspace_and_size() {
+        let (mut ssd, mut engine) = setup(Strategy::CheckIn);
+        let t = engine.load(&mut ssd, &[(0, 400)], SimTime::ZERO).unwrap();
+        assert_eq!(
+            engine.insert(&mut ssd, 10_000, 100, t),
+            Err(EngineError::UnknownKey(10_000))
+        );
+        assert_eq!(
+            engine.insert(&mut ssd, 5, 0, t),
+            Err(EngineError::InvalidValue(0))
+        );
+        // Fresh key inside the keyspace is fine.
+        let t = engine.insert(&mut ssd, 5, 100, t).unwrap();
+        assert_eq!(engine.get(&mut ssd, 5, t).unwrap().version, 1);
+    }
+
+    #[test]
+    fn rmw_pattern_via_get_then_update() {
+        let (mut ssd, mut engine) = setup(Strategy::IscB);
+        let t = engine.load(&mut ssd, &[(5, 512)], SimTime::ZERO).unwrap();
+        let r = engine.get(&mut ssd, 5, t).unwrap();
+        let t = engine.update(&mut ssd, 5, 512, r.finish).unwrap();
+        assert_eq!(engine.version_of(5), Some(2));
+        assert!(t > r.finish);
+    }
+}

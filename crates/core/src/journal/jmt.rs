@@ -1,0 +1,183 @@
+//! The journal mapping table (JMT).
+//!
+//! Maps each key to the journal location of its **latest** version — the
+//! paper's JMT with `NEW`/`OLD` flags collapses to "latest wins" because
+//! only non-`OLD` entries are checkpointed (Algorithm 1 skips the rest);
+//! superseded versions are still accounted as duplicates for statistics.
+
+use std::collections::BTreeMap;
+
+/// One JMT entry: where the latest journal copy of a key lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JmtEntry {
+    /// Journal location (start sector).
+    pub journal_lba: u64,
+    /// Sectors spanned by the log.
+    pub sectors: u32,
+    /// Version recorded.
+    pub version: u64,
+    /// Raw (pre-alignment) value bytes.
+    pub raw_bytes: u32,
+    /// Stored (aligned/compressed) bytes.
+    pub stored_bytes: u32,
+    /// True when the log shares its sector with other records (`MERGED`).
+    pub merged: bool,
+    /// True when the log is a deletion tombstone.
+    pub tombstone: bool,
+}
+
+/// Journal mapping table for the active journal zone.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_core::{Jmt, JmtEntry};
+///
+/// let mut jmt = Jmt::new();
+/// jmt.record(7, JmtEntry { journal_lba: 100, sectors: 1, version: 1, raw_bytes: 400, stored_bytes: 512, merged: false, tombstone: false });
+/// jmt.record(7, JmtEntry { journal_lba: 101, sectors: 1, version: 2, raw_bytes: 400, stored_bytes: 512, merged: false, tombstone: false });
+/// assert_eq!(jmt.lookup(7).unwrap().version, 2);
+/// assert_eq!(jmt.superseded(), 1); // the v1 log went stale ("OLD")
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Jmt {
+    entries: BTreeMap<u64, JmtEntry>,
+    appended: u64,
+    superseded: u64,
+    raw_bytes: u64,
+    stored_bytes: u64,
+}
+
+impl Jmt {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a new journal log for `key`, superseding any previous one.
+    pub fn record(&mut self, key: u64, entry: JmtEntry) {
+        self.appended += 1;
+        self.raw_bytes += entry.raw_bytes as u64;
+        self.stored_bytes += entry.stored_bytes as u64;
+        if self.entries.insert(key, entry).is_some() {
+            self.superseded += 1;
+        }
+    }
+
+    /// Latest journal location of `key`.
+    pub fn lookup(&self, key: u64) -> Option<&JmtEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Distinct keys with live journal logs.
+    pub fn live_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total logs appended to this zone (live + superseded).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Logs that went stale because the key was updated again (the `OLD`
+    /// flag population).
+    pub fn superseded(&self) -> u64 {
+        self.superseded
+    }
+
+    /// Raw bytes journaled into this zone.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Stored (post-alignment) bytes journaled into this zone.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Journal space overhead factor: stored / raw (1.0 = no padding).
+    pub fn space_overhead(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.stored_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+
+    /// Iterates live entries in key order (deterministic checkpoints).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &JmtEntry)> + '_ {
+        self.entries.iter().map(|(&k, e)| (k, e))
+    }
+
+    /// Drains the table for a checkpoint, returning the live entries in
+    /// key order and resetting all statistics.
+    pub fn take_for_checkpoint(&mut self) -> Vec<(u64, JmtEntry)> {
+        let out = self.entries.iter().map(|(&k, &e)| (k, e)).collect();
+        *self = Jmt::new();
+        out
+    }
+
+    /// True when nothing has been journaled since the last checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lba: u64, version: u64) -> JmtEntry {
+        JmtEntry {
+            journal_lba: lba,
+            sectors: 1,
+            version,
+            raw_bytes: 400,
+            stored_bytes: 512,
+            merged: false,
+            tombstone: false,
+        }
+    }
+
+    #[test]
+    fn latest_version_wins() {
+        let mut j = Jmt::new();
+        j.record(1, entry(10, 1));
+        j.record(1, entry(20, 2));
+        assert_eq!(j.lookup(1).unwrap().journal_lba, 20);
+        assert_eq!(j.live_keys(), 1);
+        assert_eq!(j.appended(), 2);
+        assert_eq!(j.superseded(), 1);
+    }
+
+    #[test]
+    fn space_overhead_reflects_padding() {
+        let mut j = Jmt::new();
+        j.record(1, entry(0, 1)); // 400 raw -> 512 stored
+        assert!((j.space_overhead() - 1.28).abs() < 1e-9);
+        assert_eq!(Jmt::new().space_overhead(), 1.0);
+    }
+
+    #[test]
+    fn take_for_checkpoint_drains_in_key_order() {
+        let mut j = Jmt::new();
+        j.record(5, entry(1, 1));
+        j.record(2, entry(2, 1));
+        j.record(9, entry(3, 1));
+        let drained = j.take_for_checkpoint();
+        let keys: Vec<u64> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 5, 9]);
+        assert!(j.is_empty());
+        assert_eq!(j.appended(), 0);
+    }
+
+    #[test]
+    fn iter_matches_lookup() {
+        let mut j = Jmt::new();
+        j.record(3, entry(30, 7));
+        let collected: Vec<_> = j.iter().collect();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].0, 3);
+        assert_eq!(collected[0].1.version, 7);
+    }
+}

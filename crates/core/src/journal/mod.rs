@@ -1,0 +1,10 @@
+//! Journaling layer: Algorithm 2 alignment, the JMT, and the journal
+//! manager over the double-buffered journal area.
+
+mod aligner;
+mod jmt;
+mod manager;
+
+pub use aligner::{align_log, align_log_to, raw_log_bytes, AlignedLog, LogClass, CLASS_STEP, LOG_HEADER_BYTES};
+pub use jmt::{Jmt, JmtEntry};
+pub use manager::{JournalFull, JournalManager, JournalOptions, RetiringZone};

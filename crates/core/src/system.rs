@@ -1,0 +1,525 @@
+//! Full-system closed-loop simulation: client threads driving the engine
+//! and SSD, with periodic and size-triggered checkpointing.
+//!
+//! The event loop processes client completions in simulated-time order;
+//! device contention (dies, channels, link, firmware CPU) is carried by
+//! the resource timelines inside [`checkin_ssd::Ssd`]. A checkpoint issues
+//! its device operations as a burst at trigger time, so queries submitted
+//! while it drains queue behind it — the interference the paper measures
+//! in Figures 3(c) and 9.
+
+use checkin_sim::{EventQueue, LatencyRecorder, ResourcePool, SimDuration, SimRng, SimTime};
+use checkin_ssd::Ssd;
+use checkin_workload::{OpGenerator, Operation};
+
+use crate::config::SystemConfig;
+use crate::engine::{EngineError, KvEngine};
+use crate::layout::Layout;
+use crate::metrics::{FlashStats, LatencyStats, RunReport, TimelinePoint};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Client(u32),
+    CheckpointTick,
+}
+
+/// The assembled system: engine + device + clients.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_core::{KvSystem, SystemConfig, Strategy};
+///
+/// let mut config = SystemConfig::for_strategy(Strategy::CheckIn);
+/// config.total_queries = 2_000;
+/// config.workload.record_count = 500;
+/// config.threads = 8;
+/// let report = KvSystem::new(config)?.run()?;
+/// assert_eq!(report.ops, 2_000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct KvSystem {
+    config: SystemConfig,
+    ssd: Ssd,
+    engine: KvEngine,
+    generators: Vec<OpGenerator>,
+}
+
+impl KvSystem {
+    /// Builds the system: flash array, FTL, SSD, engine and per-thread
+    /// operation generators.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the configuration is inconsistent or
+    /// the layout does not fit the device.
+    pub fn new(config: SystemConfig) -> Result<Self, String> {
+        config.validate()?;
+        let zone_sectors = (config.journal_trigger_sectors * 2).max(1024);
+        // Home slots must fit the largest journal-log footprint so that a
+        // remapped log (value + commit header, sector padded) never
+        // overflows into a neighbour's slot.
+        let layout = Layout::new(
+            config.workload.record_count,
+            config.workload.sizes.max_bytes() + crate::journal::LOG_HEADER_BYTES,
+            config.effective_unit_bytes(),
+            zone_sectors,
+        );
+        let layout_bytes = layout.total_sectors() * checkin_ssd::SECTOR_BYTES as u64;
+        let capacity = config.geometry.capacity_bytes();
+        if layout_bytes * 10 > capacity * 9 {
+            return Err(format!(
+                "layout needs {layout_bytes} B but device holds {capacity} B \
+                 (>90% would leave no GC headroom); shrink record_count or grow geometry"
+            ));
+        }
+        let flash = checkin_flash::FlashArray::new(config.geometry, config.flash_timing);
+        let ftl = checkin_ftl::Ftl::new(flash, config.ftl_config())?;
+        let ssd = Ssd::new(ftl, config.ssd_timing);
+        let mut options = if config.strategy.sector_aligned_journaling() {
+            crate::journal::JournalOptions::check_in(config.compression_ratio)
+        } else {
+            crate::journal::JournalOptions::conventional()
+        };
+        if config.ablate_partial_merging {
+            options.merge_partials = false;
+        }
+        if config.ablate_compression {
+            options.compression_ratio = 1.0;
+        }
+        let engine = KvEngine::with_journal_options(config.strategy, layout, options);
+
+        let mut seed_rng = SimRng::seed_from(config.workload.seed);
+        let generators = (0..config.threads)
+            .map(|_| {
+                let mut spec = config.workload.clone();
+                spec.seed = seed_rng.next_u64();
+                spec.generator()
+            })
+            .collect();
+        Ok(KvSystem {
+            config,
+            ssd,
+            engine,
+            generators,
+        })
+    }
+
+    /// The device (stats, invariants).
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// The engine (versions, JMT).
+    pub fn engine(&self) -> &KvEngine {
+        &self.engine
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Simultaneous mutable access to engine and device, for tests and
+    /// examples that drive verification reads through the real stack
+    /// after a run.
+    pub fn verify_parts(&mut self) -> (&mut KvEngine, &mut Ssd) {
+        (&mut self.engine, &mut self.ssd)
+    }
+
+    /// Loads all records, runs the configured number of queries, and
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine/device failures.
+    pub fn run(&mut self) -> Result<RunReport, EngineError> {
+        // ---- Load phase (not measured) -------------------------------
+        let records: Vec<(u64, u32)> = (0..self.config.workload.record_count)
+            .map(|k| (k, self.generators[0].load_size(k)))
+            .collect();
+        let load_done = self.engine.load(&mut self.ssd, &records, SimTime::ZERO)?;
+
+        // Snapshots for run-phase attribution.
+        let flash0 = self.ssd.ftl().flash().counters().clone();
+        let ftl0 = self.ssd.ftl().counters().clone();
+        let ssd0 = self.ssd.counters().clone();
+        let engine0 = self.engine.counters().clone();
+
+        // ---- Run phase ------------------------------------------------
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut host = ResourcePool::new("host-core", self.config.host_cores as usize);
+        let start = load_done + SimDuration::from_micros(10);
+        // Fixed per-thread quotas: each thread executes the same operation
+        // stream regardless of how strategies interleave in time, so runs
+        // with the same seed reach identical logical state under every
+        // strategy (YCSB's thread model).
+        let base_quota = self.config.total_queries / self.config.threads as u64;
+        let extra = (self.config.total_queries % self.config.threads as u64) as u32;
+        let mut quota: Vec<u64> = (0..self.config.threads)
+            .map(|i| base_quota + u64::from(i < extra))
+            .collect();
+        for i in 0..self.config.threads {
+            if quota[i as usize] > 0 {
+                events.schedule(start, Event::Client(i));
+            }
+        }
+        events.schedule(start + self.config.checkpoint_interval, Event::CheckpointTick);
+
+        let mut completed = 0u64;
+        let mut last_finish = start;
+        let mut lat_all = LatencyRecorder::new();
+        let mut lat_read = LatencyRecorder::new();
+        let mut lat_write = LatencyRecorder::new();
+        let mut lat_read_cp = LatencyRecorder::new();
+        let mut lat_write_cp = LatencyRecorder::new();
+        let mut cp_durations = LatencyRecorder::new();
+        let mut cp_active_until = SimTime::ZERO;
+        let mut cp_count = 0u64;
+        let mut cp_entries = 0u64;
+        let mut cp_remapped = 0u64;
+        let mut cp_copied = 0u64;
+        let mut cp_programs = 0u64;
+        let mut cp_reads = 0u64;
+        let mut cp_redundant_units = 0u64;
+        let mut cp_redundant_bytes = 0u64;
+        // Worst-latency-over-time buckets (20 ms wide).
+        let bucket_width = SimDuration::from_millis(20);
+        let mut timeline: Vec<TimelinePoint> = Vec::new();
+
+        while completed < self.config.total_queries {
+            let Some((now, event)) = events.pop() else {
+                break;
+            };
+            match event {
+                Event::CheckpointTick => {
+                    if now >= cp_active_until && !self.engine.journal().jmt().is_empty() {
+                        let out = self.engine.checkpoint(&mut self.ssd, now)?;
+                        cp_active_until = out.finish;
+                        cp_count += 1;
+                        cp_entries += out.entries;
+                        cp_durations.record(out.finish.duration_since(now));
+                        cp_remapped += out.remapped;
+                        cp_copied += out.copied;
+                        cp_programs += out.flash_programs;
+                        cp_reads += out.flash_reads;
+                        cp_redundant_units += out.redundant_units;
+                        cp_redundant_bytes += out.redundant_bytes;
+                        let (_, gc_done) = self
+                            .ssd
+                            .background_gc(out.finish, self.config.background_gc_rounds)
+                            .map_err(EngineError::Ssd)?;
+                        last_finish = last_finish.max(gc_done);
+                    }
+                    events.schedule(
+                        now + self.config.checkpoint_interval,
+                        Event::CheckpointTick,
+                    );
+                }
+                Event::Client(thread) => {
+                    if quota[thread as usize] == 0 {
+                        continue;
+                    }
+                    if self.config.lock_queries_during_checkpoint && now < cp_active_until {
+                        events.schedule(cp_active_until, Event::Client(thread));
+                        continue;
+                    }
+                    let during_cp = now < cp_active_until;
+                    let op = self.generators[thread as usize].next_op();
+                    let cpu = host.schedule(now, self.config.host_cpu_per_op).1;
+                    let finish = self.execute_op(op, cpu.finish, &mut events)?;
+                    let latency = finish.duration_since(now);
+                    lat_all.record(latency);
+                    match op {
+                        Operation::Read { .. } => {
+                            lat_read.record(latency);
+                            if during_cp {
+                                lat_read_cp.record(latency);
+                            }
+                        }
+                        _ => {
+                            lat_write.record(latency);
+                            if during_cp {
+                                lat_write_cp.record(latency);
+                            }
+                        }
+                    }
+                    completed += 1;
+                    quota[thread as usize] -= 1;
+                    last_finish = last_finish.max(finish);
+
+                    let bucket =
+                        (finish.duration_since(start).as_nanos() / bucket_width.as_nanos().max(1))
+                            as usize;
+                    if timeline.len() <= bucket {
+                        timeline.resize(
+                            bucket + 1,
+                            TimelinePoint {
+                                at: SimDuration::ZERO,
+                                worst: SimDuration::ZERO,
+                                count: 0,
+                            },
+                        );
+                    }
+                    let point = &mut timeline[bucket];
+                    point.worst = point.worst.max(latency);
+                    point.count += 1;
+
+                    // Size-based checkpoint trigger.
+                    if op.is_write()
+                        && finish >= cp_active_until
+                        && self.engine.journal().zone_used_sectors()
+                            >= self.config.journal_trigger_sectors
+                    {
+                        let out = self.engine.checkpoint(&mut self.ssd, finish)?;
+                        cp_active_until = out.finish;
+                        cp_count += 1;
+                        cp_entries += out.entries;
+                        cp_durations.record(out.finish.duration_since(finish));
+                        cp_remapped += out.remapped;
+                        cp_copied += out.copied;
+                        cp_programs += out.flash_programs;
+                        cp_reads += out.flash_reads;
+                        cp_redundant_units += out.redundant_units;
+                        cp_redundant_bytes += out.redundant_bytes;
+                        let (_, gc_done) = self
+                            .ssd
+                            .background_gc(out.finish, self.config.background_gc_rounds)
+                            .map_err(EngineError::Ssd)?;
+                        last_finish = last_finish.max(gc_done);
+                    }
+                    if quota[thread as usize] > 0 {
+                        events.schedule(finish, Event::Client(thread));
+                    }
+                }
+            }
+        }
+
+        // ---- Report ---------------------------------------------------
+        let elapsed = last_finish.duration_since(start);
+        let flash1 = self.ssd.ftl().flash().counters().clone();
+        let ftl1 = self.ssd.ftl().counters().clone();
+        let ssd1 = self.ssd.counters().clone();
+        let engine1 = self.engine.counters().clone();
+        let fdelta = flash1.delta_since(&flash0);
+        let tdelta = ftl1.delta_since(&ftl0);
+        let sdelta = ssd1.delta_since(&ssd0);
+        let edelta = engine1.delta_since(&engine0);
+
+        let page_bytes = self.config.geometry.page_bytes as u64;
+        let write_query_bytes = edelta.get("engine.update_bytes").max(1);
+        let host_io_bytes =
+            sdelta.get("ssd.host_read_bytes") + sdelta.get("ssd.host_write_bytes");
+        let flash = FlashStats {
+            reads: fdelta.get("flash.read"),
+            programs: fdelta.get("flash.program"),
+            erases: fdelta.get("flash.erase"),
+            gc_invocations: tdelta.get("ftl.gc_invocations"),
+            gc_units_moved: tdelta.get("ftl.gc_units_moved"),
+            invalid_units: tdelta.get("ftl.invalid_units"),
+        };
+        let raw = edelta.get("engine.journal_raw_bytes");
+        let stored = edelta.get("engine.journal_stored_bytes");
+        // Include the still-open zone so short runs without a checkpoint
+        // still report overhead.
+        let (raw, stored) = (
+            raw + self.engine.journal().jmt().raw_bytes(),
+            stored + self.engine.journal().jmt().stored_bytes(),
+        );
+        let throughput = if elapsed.as_secs_f64() > 0.0 {
+            completed as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+
+        Ok(RunReport {
+            strategy: self.config.strategy,
+            threads: self.config.threads,
+            ops: completed,
+            elapsed,
+            throughput,
+            latency: LatencyStats::from_recorder(&lat_all),
+            latency_read: LatencyStats::from_recorder(&lat_read),
+            latency_write: LatencyStats::from_recorder(&lat_write),
+            latency_read_during_cp: LatencyStats::from_recorder(&lat_read_cp),
+            latency_write_during_cp: LatencyStats::from_recorder(&lat_write_cp),
+            checkpoints: cp_count,
+            checkpoint_entries: cp_entries,
+            checkpoint_mean: cp_durations.mean(),
+            checkpoint_max: cp_durations.max(),
+            remapped_entries: cp_remapped,
+            copied_entries: cp_copied,
+            checkpoint_flash_programs: cp_programs,
+            checkpoint_flash_reads: cp_reads,
+            redundant_write_units: cp_redundant_units,
+            redundant_write_bytes: cp_redundant_bytes,
+            flash,
+            write_query_bytes,
+            host_io_bytes,
+            io_amplification: host_io_bytes as f64 / write_query_bytes as f64,
+            flash_amplification: (flash.total_ops() * page_bytes) as f64
+                / write_query_bytes as f64,
+            waf: (flash.programs * page_bytes) as f64
+                / sdelta.get("ssd.host_write_bytes").max(1) as f64,
+            journal_space_overhead: if raw == 0 {
+                1.0
+            } else {
+                stored as f64 / raw as f64
+            },
+            superseded_logs: edelta.get("engine.superseded_logs")
+                + self.engine.journal().jmt().superseded(),
+            lifetime_score: if flash.erases == 0 {
+                f64::INFINITY
+            } else {
+                completed as f64 / flash.erases as f64
+            },
+            timeline: timeline
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut p)| {
+                    p.at = bucket_width * i as u64;
+                    p
+                })
+                .collect(),
+        })
+    }
+
+    fn execute_op(
+        &mut self,
+        op: Operation,
+        at: SimTime,
+        _events: &mut EventQueue<Event>,
+    ) -> Result<SimTime, EngineError> {
+        match op {
+            Operation::Read { key } => Ok(self.engine.get(&mut self.ssd, key, at)?.finish),
+            Operation::Update { key, bytes } => self.update_with_retry(key, bytes, at),
+            Operation::ReadModifyWrite { key, bytes } => {
+                let read = self.engine.get(&mut self.ssd, key, at)?;
+                self.update_with_retry(key, bytes, read.finish)
+            }
+        }
+    }
+
+    /// Update, forcing a checkpoint when the journal zone fills.
+    fn update_with_retry(
+        &mut self,
+        key: u64,
+        bytes: u32,
+        at: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        match self.engine.update(&mut self.ssd, key, bytes, at) {
+            Ok(t) => Ok(t),
+            Err(EngineError::JournalFull) => {
+                let out = self.engine.checkpoint(&mut self.ssd, at)?;
+                self.engine.update(&mut self.ssd, key, bytes, out.finish)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use checkin_flash::FlashGeometry;
+
+    fn quick_config(strategy: Strategy) -> SystemConfig {
+        let mut c = SystemConfig::for_strategy(strategy);
+        c.total_queries = 3_000;
+        c.threads = 8;
+        c.workload.record_count = 400;
+        c.journal_trigger_sectors = 1_024;
+        c.geometry = FlashGeometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            blocks_per_plane: 64,
+            pages_per_block: 64,
+            page_bytes: 4096,
+        };
+        c.gc_threshold_blocks = 4;
+        c.gc_soft_threshold_blocks = 16;
+        c
+    }
+
+    #[test]
+    fn runs_to_completion_for_every_strategy() {
+        for strategy in Strategy::all() {
+            let mut system = KvSystem::new(quick_config(strategy)).unwrap();
+            let report = system.run().unwrap();
+            assert_eq!(report.ops, 3_000, "{strategy}");
+            assert!(report.throughput > 0.0);
+            assert!(report.checkpoints > 0, "{strategy} should checkpoint");
+            system.ssd().ftl().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = KvSystem::new(quick_config(Strategy::CheckIn))
+            .unwrap()
+            .run()
+            .unwrap();
+        let r2 = KvSystem::new(quick_config(Strategy::CheckIn))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.latency.p999, r2.latency.p999);
+        assert_eq!(r1.checkpoints, r2.checkpoints);
+        assert_eq!(r1.flash.programs, r2.flash.programs);
+    }
+
+    #[test]
+    fn checkin_reduces_checkpoint_programs_vs_baseline() {
+        let base = KvSystem::new(quick_config(Strategy::Baseline))
+            .unwrap()
+            .run()
+            .unwrap();
+        let ci = KvSystem::new(quick_config(Strategy::CheckIn))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            ci.redundant_write_units < base.redundant_write_units,
+            "Check-In {} vs baseline {}",
+            ci.redundant_write_units,
+            base.redundant_write_units
+        );
+        assert!(ci.remapped_entries > 0);
+        assert_eq!(base.remapped_entries, 0);
+    }
+
+    #[test]
+    fn lock_mode_also_completes() {
+        let mut c = quick_config(Strategy::IscB);
+        c.lock_queries_during_checkpoint = true;
+        let report = KvSystem::new(c).unwrap().run().unwrap();
+        assert_eq!(report.ops, 3_000);
+        assert!(report.checkpoint_mean > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn oversized_layout_rejected() {
+        let mut c = quick_config(Strategy::Baseline);
+        c.workload.record_count = 10_000_000;
+        assert!(KvSystem::new(c).is_err());
+    }
+
+    #[test]
+    fn engine_state_consistent_after_run() {
+        let mut system = KvSystem::new(quick_config(Strategy::CheckIn)).unwrap();
+        system.run().unwrap();
+        // Every key readable at its engine-committed version (the engine
+        // debug-asserts version agreement inside get()).
+        let mut t = SimTime::MAX - SimDuration::from_secs(1_000_000);
+        let keys = system.engine().loaded_keys() as u64;
+        for key in 0..keys {
+            let r = system.engine.get(&mut system.ssd, key, t).unwrap();
+            t = r.finish;
+            assert!(r.version >= 1);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The NAND flash array: state, rule enforcement, and operation timing.
+
+use checkin_sim::{CounterSet, Resource, SimTime, Window};
+
+use crate::content::PageContent;
+use crate::error::FlashError;
+use crate::geometry::{BlockId, FlashGeometry, Ppn};
+use crate::timing::FlashTiming;
+
+/// Lifecycle of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Erased,
+    Programmed,
+}
+
+/// Per-block bookkeeping.
+#[derive(Debug, Clone)]
+struct BlockState {
+    /// Next page index that may be programmed (NAND requires in-order
+    /// programming within a block).
+    write_cursor: u32,
+    erase_count: u64,
+    pages: Vec<PageState>,
+}
+
+impl BlockState {
+    fn new(pages_per_block: u32) -> Self {
+        BlockState {
+            write_cursor: 0,
+            erase_count: 0,
+            pages: vec![PageState::Erased; pages_per_block as usize],
+        }
+    }
+}
+
+/// The simulated NAND array.
+///
+/// Owns physical page state (erased/programmed + content tags), enforces
+/// out-of-place and in-order programming rules, accounts P/E cycles, and
+/// models operation timing through per-die and per-channel FIFO resources.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, PageContent, Ppn};
+/// use checkin_sim::SimTime;
+///
+/// let mut flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+/// let content = PageContent::empty(8);
+/// let w = flash.program(Ppn(0), content, SimTime::ZERO)?;
+/// assert!(w.finish > w.start);
+/// assert!(flash.read(Ppn(0)).is_some());
+/// # Ok::<(), checkin_flash::FlashError>(())
+/// ```
+#[derive(Debug)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    timing: FlashTiming,
+    blocks: Vec<BlockState>,
+    store: Vec<Option<PageContent>>,
+    dies: Vec<Resource>,
+    channels: Vec<Resource>,
+    counters: CounterSet,
+    /// Maximum erase count across all blocks so far.
+    max_erase: u64,
+    total_erases: u64,
+    /// Optional P/E cycle budget; erases beyond it fail.
+    pe_cycle_limit: Option<u64>,
+}
+
+impl FlashArray {
+    /// Creates an array with every page erased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` fails validation.
+    pub fn new(geometry: FlashGeometry, timing: FlashTiming) -> Self {
+        geometry
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid flash geometry: {e}"));
+        let blocks = (0..geometry.total_blocks())
+            .map(|_| BlockState::new(geometry.pages_per_block))
+            .collect();
+        FlashArray {
+            geometry,
+            timing,
+            blocks,
+            store: vec![None; geometry.total_pages() as usize],
+            dies: (0..geometry.total_dies()).map(|_| Resource::new("die")).collect(),
+            channels: (0..geometry.channels as usize)
+                .map(|_| Resource::new("channel"))
+                .collect(),
+            counters: CounterSet::new(),
+            max_erase: 0,
+            total_erases: 0,
+            pe_cycle_limit: None,
+        }
+    }
+
+    /// Sets an explicit P/E budget per block; further erases return
+    /// [`FlashError::WornOut`].
+    pub fn set_pe_cycle_limit(&mut self, limit: u64) {
+        self.pe_cycle_limit = Some(limit);
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// The array's timing parameters.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    fn die_and_channel(&mut self, ppn: Ppn) -> (usize, usize) {
+        let block = self.geometry.block_of(ppn);
+        let die = self.geometry.die_of_block(block) as usize;
+        let channel = self.geometry.block_position(block).channel as usize;
+        (die, channel)
+    }
+
+    /// Reads one page: die array read (tR) then bus transfer. Returns the
+    /// occupied time window. Content is available via [`FlashArray::read`];
+    /// timing and content are split so that firmware can model cached reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] for addresses beyond the array.
+    pub fn schedule_read(&mut self, ppn: Ppn, at: SimTime) -> Result<Window, FlashError> {
+        self.check_range(ppn)?;
+        let (die, channel) = self.die_and_channel(ppn);
+        let array = self.dies[die].schedule(at, self.timing.t_read);
+        let xfer = self.channels[channel].schedule(
+            array.finish,
+            self.timing.transfer_time(self.geometry.page_bytes as u64),
+        );
+        self.counters.incr("flash.read");
+        Ok(Window {
+            start: array.start,
+            finish: xfer.finish,
+        })
+    }
+
+    /// Returns the content of a programmed page, or `None` when erased.
+    pub fn read(&self, ppn: Ppn) -> Option<&PageContent> {
+        self.store.get(ppn.0 as usize).and_then(|c| c.as_ref())
+    }
+
+    /// Compatibility wrapper: content lookup ignoring time (reads are
+    /// non-destructive; pass the completion time from
+    /// [`FlashArray::schedule_read`] when timing matters).
+    pub fn read_at(&self, ppn: Ppn, _at: SimTime) -> Option<&PageContent> {
+        self.read(ppn)
+    }
+
+    /// Programs one page: bus transfer then array program (tPROG).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::ProgramDirtyPage`] if the page is not erased;
+    /// * [`FlashError::ProgramOutOfOrder`] if an earlier page of the block
+    ///   is still erased;
+    /// * [`FlashError::OutOfRange`] for bad addresses.
+    pub fn program(
+        &mut self,
+        ppn: Ppn,
+        content: PageContent,
+        at: SimTime,
+    ) -> Result<Window, FlashError> {
+        self.check_range(ppn)?;
+        let block = self.geometry.block_of(ppn);
+        let page = self.geometry.page_in_block(ppn);
+        let state = &mut self.blocks[block.0 as usize];
+        match state.pages[page as usize] {
+            PageState::Programmed => return Err(FlashError::ProgramDirtyPage(ppn)),
+            PageState::Erased => {}
+        }
+        if page != state.write_cursor {
+            return Err(FlashError::ProgramOutOfOrder {
+                requested: ppn,
+                expected_page: state.write_cursor,
+            });
+        }
+        state.pages[page as usize] = PageState::Programmed;
+        state.write_cursor += 1;
+
+        let (die, channel) = self.die_and_channel(ppn);
+        let xfer = self.channels[channel].schedule(
+            at,
+            self.timing.transfer_time(self.geometry.page_bytes as u64),
+        );
+        let array = self.dies[die].schedule(xfer.finish, self.timing.t_program);
+        self.store[ppn.0 as usize] = Some(content);
+        self.counters.incr("flash.program");
+        Ok(Window {
+            start: xfer.start,
+            finish: array.finish,
+        })
+    }
+
+    /// Erases a block, resetting every page to the erased state.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::BlockOutOfRange`] for bad block ids;
+    /// * [`FlashError::WornOut`] when a P/E budget is set and exhausted.
+    pub fn erase(&mut self, block: BlockId, at: SimTime) -> Result<Window, FlashError> {
+        if block.0 >= self.geometry.total_blocks() {
+            return Err(FlashError::BlockOutOfRange(block));
+        }
+        let limit = self.pe_cycle_limit;
+        let state = &mut self.blocks[block.0 as usize];
+        if let Some(limit) = limit {
+            if state.erase_count >= limit {
+                return Err(FlashError::WornOut(block));
+            }
+        }
+        state.erase_count += 1;
+        state.write_cursor = 0;
+        for p in &mut state.pages {
+            *p = PageState::Erased;
+        }
+        let erase_count = state.erase_count;
+        let first = self.geometry.first_ppn(block);
+        for off in 0..self.geometry.pages_per_block as u64 {
+            self.store[(first.0 + off) as usize] = None;
+        }
+        let die = self.geometry.die_of_block(block) as usize;
+        let window = self.dies[die].schedule(at, self.timing.t_erase);
+        self.counters.incr("flash.erase");
+        self.total_erases += 1;
+        self.max_erase = self.max_erase.max(erase_count);
+        Ok(window)
+    }
+
+    /// True when `ppn` holds programmed data.
+    pub fn is_programmed(&self, ppn: Ppn) -> bool {
+        self.store
+            .get(ppn.0 as usize)
+            .map(|c| c.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Erase count of one block.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.blocks
+            .get(block.0 as usize)
+            .map(|b| b.erase_count)
+            .unwrap_or(0)
+    }
+
+    /// Sum of erase counts over all blocks.
+    pub fn total_erases(&self) -> u64 {
+        self.total_erases
+    }
+
+    /// Highest per-block erase count (wear ceiling).
+    pub fn max_erase_count(&self) -> u64 {
+        self.max_erase
+    }
+
+    /// Mean erase count across blocks.
+    pub fn mean_erase_count(&self) -> f64 {
+        self.total_erases as f64 / self.blocks.len() as f64
+    }
+
+    /// Operation counters (`flash.read`, `flash.program`, `flash.erase`).
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Earliest instant at which the die owning `block` is free — used by
+    /// the deallocator to find idle windows for background GC.
+    pub fn die_available_at(&self, block: BlockId) -> SimTime {
+        let die = self.geometry.die_of_block(block) as usize;
+        self.dies[die].available_at()
+    }
+
+    /// Total busy time across all dies (for utilization reports).
+    pub fn die_busy_time(&self) -> checkin_sim::SimDuration {
+        self.dies.iter().map(Resource::busy_time).sum()
+    }
+
+    fn check_range(&self, ppn: Ppn) -> Result<(), FlashError> {
+        if ppn.0 >= self.geometry.total_pages() {
+            Err(FlashError::OutOfRange(ppn))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::UnitPayload;
+
+    fn array() -> FlashArray {
+        FlashArray::new(FlashGeometry::small(), FlashTiming::mlc())
+    }
+
+    fn page_with(key: u64, version: u64) -> PageContent {
+        let mut c = PageContent::empty(8);
+        c.units[0] = Some(UnitPayload::single(key, version, 512));
+        c
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_content() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(7, 1), SimTime::ZERO).unwrap();
+        let c = f.read(Ppn(0)).unwrap();
+        assert_eq!(c.units[0].as_ref().unwrap().fragments[0].key, 7);
+        assert!(f.is_programmed(Ppn(0)));
+        assert!(!f.is_programmed(Ppn(1)));
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        let err = f.program(Ppn(0), page_with(1, 2), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, FlashError::ProgramDirtyPage(Ppn(0)));
+    }
+
+    #[test]
+    fn out_of_order_program_rejected() {
+        let mut f = array();
+        let err = f.program(Ppn(2), page_with(1, 1), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashError::ProgramOutOfOrder { .. }));
+    }
+
+    #[test]
+    fn erase_resets_block_for_reprogramming() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        assert!(f.read(Ppn(0)).is_none());
+        assert_eq!(f.erase_count(BlockId(0)), 1);
+        // After erase, page 0 can be programmed again.
+        f.program(Ppn(0), page_with(1, 2), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        f.schedule_read(Ppn(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        assert_eq!(f.counters().get("flash.program"), 1);
+        assert_eq!(f.counters().get("flash.read"), 1);
+        assert_eq!(f.counters().get("flash.erase"), 1);
+        assert_eq!(f.total_erases(), 1);
+    }
+
+    #[test]
+    fn program_timing_includes_bus_and_array() {
+        let mut f = array();
+        let w = f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        let expected = f.timing().transfer_time(4096) + f.timing().t_program;
+        assert_eq!(w.finish.duration_since(w.start), expected);
+    }
+
+    #[test]
+    fn same_die_ops_serialize() {
+        let mut f = array();
+        // Ppn(0) and Ppn(1) are in block 0: same die.
+        let w1 = f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        let w2 = f.program(Ppn(1), page_with(2, 1), SimTime::ZERO).unwrap();
+        assert!(w2.finish > w1.finish);
+    }
+
+    #[test]
+    fn different_channels_overlap() {
+        let mut f = array();
+        let g = *f.geometry();
+        // Block 0 is channel 0; block 1 is channel 1.
+        let p0 = g.first_ppn(BlockId(0));
+        let p1 = g.first_ppn(BlockId(1));
+        let w0 = f.program(p0, page_with(1, 1), SimTime::ZERO).unwrap();
+        let w1 = f.program(p1, page_with(2, 1), SimTime::ZERO).unwrap();
+        // Fully parallel: both start at zero.
+        assert_eq!(w0.start, w1.start);
+        assert_eq!(w0.finish, w1.finish);
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut f = array();
+        let total = f.geometry().total_pages();
+        assert!(matches!(
+            f.schedule_read(Ppn(total), SimTime::ZERO),
+            Err(FlashError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            f.erase(BlockId(f.geometry().total_blocks()), SimTime::ZERO),
+            Err(FlashError::BlockOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn pe_limit_enforced() {
+        let mut f = array();
+        f.set_pe_cycle_limit(2);
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        assert_eq!(
+            f.erase(BlockId(0), SimTime::ZERO).unwrap_err(),
+            FlashError::WornOut(BlockId(0))
+        );
+        assert_eq!(f.max_erase_count(), 2);
+    }
+
+    #[test]
+    fn wear_statistics() {
+        let mut f = array();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(1), SimTime::ZERO).unwrap();
+        assert_eq!(f.total_erases(), 3);
+        assert_eq!(f.max_erase_count(), 2);
+        assert!(f.mean_erase_count() > 0.0);
+    }
+}

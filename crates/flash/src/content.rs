@@ -1,0 +1,152 @@
+//! What a programmed page *contains*.
+//!
+//! The simulator does not shuffle real byte buffers around; a page stores
+//! compact **content tags** that are sufficient to verify correctness: which
+//! key, which version, and how many bytes of the record live in each
+//! FTL mapping unit. The out-of-band (OOB) area carries the recovery
+//! metadata the paper describes in §III-G (target address + version).
+
+/// One record fragment stored inside a mapping unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fragment {
+    /// Key-value store key this fragment belongs to.
+    pub key: u64,
+    /// Monotonic version of the record.
+    pub version: u64,
+    /// Bytes of the record occupied in this unit (post-alignment).
+    pub bytes: u32,
+}
+
+/// Content of one FTL mapping unit within a page.
+///
+/// A unit normally holds one fragment; sector-aligned journaling's
+/// `MERGED` sectors hold several small records in one unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnitPayload {
+    /// Fragments packed into this unit, in placement order.
+    pub fragments: Vec<Fragment>,
+}
+
+impl UnitPayload {
+    /// A unit holding a single record fragment.
+    pub fn single(key: u64, version: u64, bytes: u32) -> Self {
+        UnitPayload {
+            fragments: vec![Fragment {
+                key,
+                version,
+                bytes,
+            }],
+        }
+    }
+
+    /// A unit holding several merged small records.
+    pub fn merged(fragments: Vec<Fragment>) -> Self {
+        UnitPayload { fragments }
+    }
+
+    /// Total payload bytes in this unit.
+    pub fn bytes(&self) -> u32 {
+        self.fragments.iter().map(|f| f.bytes).sum()
+    }
+
+    /// True when the unit carries no fragments (padding).
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+/// Role of a page recorded in its OOB area, used during sudden-power-off
+/// recovery to rebuild mapping state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OobKind {
+    /// Page written on the journaling path.
+    Journal,
+    /// Page written to (or remapped into) the data area.
+    Data,
+    /// FTL metadata (mapping table snapshots, checkpoint markers).
+    Meta,
+    /// Page relocated by garbage collection.
+    GcCopy,
+}
+
+/// One OOB record: the logical owner of one mapping unit of the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OobEntry {
+    /// Logical page number (in mapping units) this unit was written for.
+    pub lpn: u64,
+    /// Write sequence number, used to order versions during recovery.
+    pub sequence: u64,
+    /// Provenance of the write.
+    pub kind: OobKind,
+}
+
+/// Everything programmed into one physical page.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PageContent {
+    /// Per-mapping-unit payloads; `None` marks a padded (unused) unit.
+    pub units: Vec<Option<UnitPayload>>,
+    /// OOB records, parallel to `units` where applicable.
+    pub oob: Vec<OobEntry>,
+}
+
+impl PageContent {
+    /// A page with `units` slots, all empty.
+    pub fn empty(units: usize) -> Self {
+        PageContent {
+            units: vec![None; units],
+            oob: Vec::new(),
+        }
+    }
+
+    /// Number of occupied units.
+    pub fn occupied_units(&self) -> usize {
+        self.units.iter().filter(|u| u.is_some()).count()
+    }
+
+    /// Total payload bytes across units.
+    pub fn payload_bytes(&self) -> u64 {
+        self.units
+            .iter()
+            .flatten()
+            .map(|u| u.bytes() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_unit_payload() {
+        let u = UnitPayload::single(42, 3, 512);
+        assert_eq!(u.bytes(), 512);
+        assert_eq!(u.fragments.len(), 1);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn merged_unit_sums_bytes() {
+        let u = UnitPayload::merged(vec![
+            Fragment { key: 1, version: 1, bytes: 128 },
+            Fragment { key: 2, version: 5, bytes: 256 },
+        ]);
+        assert_eq!(u.bytes(), 384);
+    }
+
+    #[test]
+    fn page_content_accounting() {
+        let mut p = PageContent::empty(8);
+        assert_eq!(p.occupied_units(), 0);
+        p.units[0] = Some(UnitPayload::single(1, 1, 512));
+        p.units[3] = Some(UnitPayload::single(2, 1, 128));
+        assert_eq!(p.occupied_units(), 2);
+        assert_eq!(p.payload_bytes(), 640);
+    }
+
+    #[test]
+    fn empty_unit_is_padding() {
+        assert!(UnitPayload::default().is_empty());
+        assert_eq!(UnitPayload::default().bytes(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for flash array misuse.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::geometry::{BlockId, Ppn};
+
+/// Violations of NAND programming rules.
+///
+/// These indicate FTL bugs, not environmental failures, so upper layers
+/// generally treat them as fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// Attempt to program a page that is not in the erased state
+    /// (out-of-place update violation).
+    ProgramDirtyPage(Ppn),
+    /// Attempt to program pages of a block out of order.
+    ProgramOutOfOrder {
+        /// Page that was requested.
+        requested: Ppn,
+        /// Page index the block expects next.
+        expected_page: u32,
+    },
+    /// Address beyond the configured geometry.
+    OutOfRange(Ppn),
+    /// Block id beyond the configured geometry.
+    BlockOutOfRange(BlockId),
+    /// Erase of a block whose P/E budget is exhausted.
+    WornOut(BlockId),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::ProgramDirtyPage(ppn) => {
+                write!(f, "program of non-erased page {ppn}")
+            }
+            FlashError::ProgramOutOfOrder {
+                requested,
+                expected_page,
+            } => write!(
+                f,
+                "out-of-order program of {requested}, block expects page {expected_page}"
+            ),
+            FlashError::OutOfRange(ppn) => write!(f, "physical page {ppn} out of range"),
+            FlashError::BlockOutOfRange(b) => write!(f, "block {b} out of range"),
+            FlashError::WornOut(b) => write!(f, "block {b} exceeded its P/E cycle budget"),
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FlashError::ProgramDirtyPage(Ppn(5))
+            .to_string()
+            .contains("non-erased"));
+        assert!(FlashError::ProgramOutOfOrder {
+            requested: Ppn(9),
+            expected_page: 2
+        }
+        .to_string()
+        .contains("expects page 2"));
+        assert!(FlashError::WornOut(BlockId(1)).to_string().contains("P/E"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(FlashError::OutOfRange(Ppn(0)));
+        assert!(e.to_string().contains("out of range"));
+    }
+}

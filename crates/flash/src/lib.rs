@@ -1,0 +1,45 @@
+//! NAND flash array model for the Check-In reproduction.
+//!
+//! This crate is the lowest substrate of the simulated SSD: a
+//! channel/die/plane/block/page array ([`FlashArray`]) that
+//!
+//! * enforces NAND programming rules (out-of-place updates, in-order page
+//!   programming within a block, erase-before-reuse);
+//! * accounts P/E cycles per block, which feeds the paper's lifetime
+//!   analysis (Equation 1);
+//! * models operation timing (tR / tPROG / tBER and channel bus transfers)
+//!   through per-die and per-channel FIFO resources, so that channel
+//!   parallelism and die contention emerge naturally;
+//! * stores page *content tags* ([`PageContent`]) plus OOB recovery
+//!   metadata ([`OobEntry`]) instead of raw bytes, which lets the test
+//!   suite verify end-to-end data consistency cheaply.
+//!
+//! # Examples
+//!
+//! ```
+//! use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, PageContent, UnitPayload, Ppn};
+//! use checkin_sim::SimTime;
+//!
+//! let mut flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+//! let mut page = PageContent::empty(8);
+//! page.units[0] = Some(UnitPayload::single(/*key*/ 1, /*version*/ 1, /*bytes*/ 512));
+//! let window = flash.program(Ppn(0), page, SimTime::ZERO)?;
+//! assert_eq!(flash.read(Ppn(0)).unwrap().occupied_units(), 1);
+//! assert!(window.finish > window.start);
+//! # Ok::<(), checkin_flash::FlashError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod content;
+mod error;
+mod geometry;
+mod timing;
+
+pub use array::FlashArray;
+pub use content::{Fragment, OobEntry, OobKind, PageContent, UnitPayload};
+pub use error::FlashError;
+pub use geometry::{BlockId, FlashGeometry, Ppa, Ppn};
+pub use timing::FlashTiming;

@@ -1,0 +1,139 @@
+//! FTL configuration.
+
+/// Tunables of the flash translation layer.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_ftl::FtlConfig;
+///
+/// let cfg = FtlConfig { unit_bytes: 512, ..FtlConfig::default() };
+/// assert_eq!(cfg.units_per_page(4096), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtlConfig {
+    /// Mapping unit size in bytes (the paper sweeps 512..4096).
+    pub unit_bytes: u32,
+    /// Run garbage collection when the free-block pool drops to this size.
+    pub gc_threshold_blocks: u32,
+    /// Background GC may run (in idle windows) when the pool drops to this
+    /// softer threshold.
+    pub gc_soft_threshold_blocks: u32,
+    /// Number of parallel write points (active blocks being filled). More
+    /// write points exploit more channel/die parallelism for programs.
+    pub write_points: u32,
+    /// Mapping-table cache capacity in entries; `None` models an
+    /// all-in-DRAM table.
+    pub map_cache_entries: Option<u64>,
+    /// Capacity of the power-protected write buffer in mapping units.
+    /// Buffered units page out oldest-first once this watermark is
+    /// reached, so actively appended units coalesce before hitting flash.
+    pub write_buffer_units: u32,
+    /// Static wear-leveling threshold: when the spread between the most-
+    /// and least-erased blocks exceeds this, an idle round migrates the
+    /// coldest block so its low-wear cells rejoin the pool. `None`
+    /// disables static wear leveling.
+    pub wear_leveling_threshold: Option<u64>,
+}
+
+impl FtlConfig {
+    /// Units per physical page for a given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_bytes` does not divide `page_bytes`.
+    pub fn units_per_page(&self, page_bytes: u32) -> u32 {
+        assert!(
+            self.unit_bytes > 0 && page_bytes.is_multiple_of(self.unit_bytes),
+            "mapping unit {} must divide page size {}",
+            self.unit_bytes,
+            page_bytes
+        );
+        page_bytes / self.unit_bytes
+    }
+
+    /// Validates thresholds and sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn validate(&self, page_bytes: u32, total_blocks: u64) -> Result<(), String> {
+        if self.unit_bytes == 0 || !page_bytes.is_multiple_of(self.unit_bytes) {
+            return Err(format!(
+                "unit_bytes {} must be a divisor of page size {}",
+                self.unit_bytes, page_bytes
+            ));
+        }
+        if self.gc_threshold_blocks < 2 {
+            return Err("gc_threshold_blocks must be at least 2".into());
+        }
+        if self.gc_soft_threshold_blocks < self.gc_threshold_blocks {
+            return Err("gc_soft_threshold_blocks must be >= gc_threshold_blocks".into());
+        }
+        if self.write_points == 0 {
+            return Err("write_points must be non-zero".into());
+        }
+        if self.write_buffer_units < self.units_per_page(page_bytes) {
+            return Err(format!(
+                "write_buffer_units {} must hold at least one page ({} units)",
+                self.write_buffer_units,
+                self.units_per_page(page_bytes)
+            ));
+        }
+        if self.write_points as u64 + self.gc_threshold_blocks as u64 >= total_blocks {
+            return Err(format!(
+                "write_points + gc_threshold ({} + {}) must be far below total blocks ({total_blocks})",
+                self.write_points, self.gc_threshold_blocks
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FtlConfig {
+    /// Defaults mirror a conventional 4 KiB-mapped SSD with ~6% GC
+    /// headroom and one write point per die of the paper's geometry.
+    fn default() -> Self {
+        FtlConfig {
+            unit_bytes: 4096,
+            gc_threshold_blocks: 8,
+            gc_soft_threshold_blocks: 24,
+            write_points: 8,
+            map_cache_entries: None,
+            write_buffer_units: 128,
+            wear_leveling_threshold: Some(64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_per_page_divides() {
+        let cfg = FtlConfig { unit_bytes: 1024, ..FtlConfig::default() };
+        assert_eq!(cfg.units_per_page(4096), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_divisor_unit_panics() {
+        let cfg = FtlConfig { unit_bytes: 3000, ..FtlConfig::default() };
+        cfg.units_per_page(4096);
+    }
+
+    #[test]
+    fn validate_flags_bad_fields() {
+        let good = FtlConfig::default();
+        assert!(good.validate(4096, 1024).is_ok());
+        let bad = FtlConfig { gc_threshold_blocks: 1, ..good };
+        assert!(bad.validate(4096, 1024).is_err());
+        let bad = FtlConfig { write_points: 0, ..good };
+        assert!(bad.validate(4096, 1024).is_err());
+        let bad = FtlConfig { gc_soft_threshold_blocks: 2, gc_threshold_blocks: 8, ..good };
+        assert!(bad.validate(4096, 1024).is_err());
+        let bad = FtlConfig { write_points: 2000, ..good };
+        assert!(bad.validate(4096, 1024).is_err());
+    }
+}

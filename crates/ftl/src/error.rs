@@ -1,0 +1,67 @@
+//! FTL error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::location::Lpn;
+
+/// Failures surfaced by the flash translation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// No free blocks remain and no block has reclaimable space.
+    OutOfSpace,
+    /// Read of a logical unit that has never been written (or was trimmed).
+    Unmapped(Lpn),
+    /// A flash-level rule was violated (indicates an FTL bug).
+    Flash(checkin_flash::FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::OutOfSpace => write!(f, "device out of space: no reclaimable blocks"),
+            FtlError::Unmapped(lpn) => write!(f, "read of unmapped logical unit {lpn}"),
+            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl Error for FtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtlError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<checkin_flash::FlashError> for FtlError {
+    fn from(e: checkin_flash::FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkin_flash::{FlashError, Ppn};
+
+    #[test]
+    fn display_and_source() {
+        let e = FtlError::Flash(FlashError::ProgramDirtyPage(Ppn(1)));
+        assert!(e.to_string().contains("flash error"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&FtlError::OutOfSpace).is_none());
+    }
+
+    #[test]
+    fn from_flash_error() {
+        let e: FtlError = FlashError::OutOfRange(Ppn(9)).into();
+        assert!(matches!(e, FtlError::Flash(_)));
+    }
+
+    #[test]
+    fn unmapped_names_lpn() {
+        assert!(FtlError::Unmapped(Lpn(77)).to_string().contains("lpn:77"));
+    }
+}

@@ -1,0 +1,1106 @@
+//! The flash translation layer.
+//!
+//! Responsibilities:
+//!
+//! * translate logical-unit writes into page programs through a
+//!   power-protected write buffer that packs `units_per_page` sub-units
+//!   into each NAND program (the paper's sub-page mapping, §III-D);
+//! * serve the **remap** primitive that Check-In's checkpoint processor
+//!   uses: make a data-area LPN alias the physical unit already written by
+//!   journaling, so a checkpoint costs a mapping update instead of a copy;
+//! * reclaim space with greedy garbage collection, migrating valid units
+//!   and preserving sharing;
+//! * account every statistic the paper's evaluation needs (host vs flash
+//!   bytes, invalid-unit generation, GC invocations, RMW operations).
+
+use std::collections::{HashMap, VecDeque};
+
+use checkin_flash::{
+    BlockId, FlashArray, OobEntry, OobKind, PageContent, UnitPayload,
+};
+use checkin_sim::{CounterSet, SimTime};
+
+use crate::config::FtlConfig;
+use crate::error::FtlError;
+use crate::location::{BufSlot, Location, Lpn, Pun};
+use crate::map_cache::MapCacheModel;
+use crate::mapping::{MappingTable, Unlink};
+
+/// One logical-unit write request.
+#[derive(Debug, Clone)]
+pub struct UnitWrite {
+    /// Destination logical unit.
+    pub lpn: Lpn,
+    /// New content for (part of) the unit.
+    pub payload: UnitPayload,
+    /// True when the write covers the whole mapping unit. Partial writes
+    /// trigger a read-modify-write merge with the unit's old content.
+    pub whole_unit: bool,
+}
+
+/// Lifecycle of a physical block from the FTL's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Free,
+    Active,
+    Closed,
+}
+
+#[derive(Debug, Clone)]
+struct SlotData {
+    payload: UnitPayload,
+    oob: OobEntry,
+}
+
+
+/// The flash translation layer over a [`FlashArray`].
+///
+/// # Examples
+///
+/// ```
+/// use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
+/// use checkin_ftl::{Ftl, FtlConfig, Lpn, UnitWrite};
+/// use checkin_sim::SimTime;
+///
+/// let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+/// let mut ftl = Ftl::new(flash, FtlConfig { unit_bytes: 512, write_points: 2, ..FtlConfig::default() }).unwrap();
+/// let w = UnitWrite { lpn: Lpn(0), payload: UnitPayload::single(9, 1, 512), whole_unit: true };
+/// ftl.write(w, OobKind::Data, SimTime::ZERO)?;
+/// let (payload, _done) = ftl.read(Lpn(0), SimTime::ZERO)?;
+/// assert_eq!(payload.fragments[0].key, 9);
+/// # Ok::<(), checkin_ftl::FtlError>(())
+/// ```
+#[derive(Debug)]
+pub struct Ftl {
+    config: FtlConfig,
+    upp: u32,
+    flash: FlashArray,
+    table: MappingTable,
+    slots: HashMap<BufSlot, SlotData>,
+    next_slot: u64,
+    /// Per-write-point active block and next page cursor.
+    actives: Vec<Option<(BlockId, u32)>>,
+    /// Buffered units in arrival order. Updated units are re-queued at the
+    /// tail, so the head naturally holds units that stopped receiving
+    /// writes (complete journal units, cold data) — those page out first.
+    pending: VecDeque<BufSlot>,
+    next_wp: usize,
+    free_blocks: VecDeque<BlockId>,
+    block_kind: Vec<BlockKind>,
+    valid_units: Vec<u32>,
+    counters: CounterSet,
+    map_cache: MapCacheModel,
+    seq: u64,
+    in_gc: bool,
+}
+
+impl Ftl {
+    /// Wraps a flash array with translation state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `config` is inconsistent with the
+    /// array's geometry.
+    pub fn new(flash: FlashArray, config: FtlConfig) -> Result<Self, String> {
+        let g = *flash.geometry();
+        config.validate(g.page_bytes, g.total_blocks())?;
+        let upp = config.units_per_page(g.page_bytes);
+        let total_blocks = g.total_blocks();
+        Ok(Ftl {
+            upp,
+            map_cache: MapCacheModel::with_capacity(config.map_cache_entries),
+            config,
+            flash,
+            table: MappingTable::new(),
+            slots: HashMap::new(),
+            next_slot: 0,
+            actives: vec![None; config.write_points as usize],
+            pending: VecDeque::new(),
+            next_wp: 0,
+            free_blocks: (0..total_blocks).map(BlockId).collect(),
+            block_kind: vec![BlockKind::Free; total_blocks as usize],
+            valid_units: vec![0; total_blocks as usize],
+            counters: CounterSet::new(),
+            seq: 0,
+            in_gc: false,
+        })
+    }
+
+    /// Mapping unit size in bytes.
+    pub fn unit_bytes(&self) -> u32 {
+        self.config.unit_bytes
+    }
+
+    /// Units per physical page.
+    pub fn units_per_page(&self) -> u32 {
+        self.upp
+    }
+
+    /// The underlying flash array (stats, geometry).
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// FTL configuration in effect.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// FTL counters (`ftl.*`), separate from the flash array's.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Live mapping entries (drives the map-cache cost model).
+    pub fn live_entries(&self) -> u64 {
+        self.table.live_entries() as u64
+    }
+
+    /// Expected firmware cost of one mapping-table access right now.
+    pub fn map_access_cost(&self) -> checkin_sim::SimDuration {
+        self.map_cache.access_cost(self.live_entries())
+    }
+
+    /// Blocks currently in the free pool.
+    pub fn free_block_count(&self) -> usize {
+        self.free_blocks.len()
+    }
+
+    /// True if the free pool is at or below the soft (background) GC
+    /// threshold.
+    pub fn wants_background_gc(&self) -> bool {
+        self.free_blocks.len() <= self.config.gc_soft_threshold_blocks as usize
+    }
+
+    /// Write-amplification factor: flash bytes programmed over host bytes
+    /// written (including RMW and GC traffic). Zero before any host write.
+    pub fn waf(&self) -> f64 {
+        let host = self.counters.get("ftl.host_bytes");
+        if host == 0 {
+            return 0.0;
+        }
+        let programmed =
+            self.flash.counters().get("flash.program") * self.flash.geometry().page_bytes as u64;
+        programmed as f64 / host as f64
+    }
+
+    fn note_unlink(&mut self, u: Unlink) {
+        match u {
+            Unlink::Orphaned(Location::Flash(pun)) => {
+                let block = self.flash.geometry().block_of(pun.page(self.upp));
+                let v = &mut self.valid_units[block.0 as usize];
+                debug_assert!(*v > 0, "valid count underflow on {block}");
+                *v = v.saturating_sub(1);
+                self.counters.incr("ftl.invalid_units");
+            }
+            Unlink::Orphaned(Location::Buffer(slot)) => {
+                // The old copy never reached flash: discard it from DRAM so
+                // it does not waste a unit of the next page program.
+                self.slots.remove(&slot);
+                self.pending.retain(|&s| s != slot);
+            }
+            Unlink::StillReferenced(_) | Unlink::NotMapped => {}
+        }
+    }
+
+    fn new_slot(&mut self, payload: UnitPayload, lpn: Lpn, kind: OobKind) -> BufSlot {
+        let slot = BufSlot(self.next_slot);
+        self.next_slot += 1;
+        self.seq += 1;
+        self.slots.insert(
+            slot,
+            SlotData {
+                payload,
+                oob: OobEntry {
+                    lpn: lpn.0,
+                    sequence: self.seq,
+                    kind,
+                },
+            },
+        );
+        slot
+    }
+
+    /// Writes one logical unit. Partial writes merge with existing content
+    /// (read-modify-write); the RMW read is charged to flash timing when
+    /// the old copy is on flash.
+    ///
+    /// Returns the completion instant: `at` for buffered writes, or the
+    /// page-program finish when this write filled a page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FtlError::OutOfSpace`] when a required program cannot
+    /// allocate a block.
+    pub fn write(&mut self, w: UnitWrite, kind: OobKind, at: SimTime) -> Result<SimTime, FtlError> {
+        self.counters.incr("ftl.host_unit_writes");
+        self.counters
+            .add("ftl.host_bytes", w.payload.bytes() as u64);
+        let mut done = at;
+
+        let payload = if w.whole_unit {
+            w.payload
+        } else {
+            // Read-modify-write merge with the old unit content.
+            match self.table.lookup(w.lpn) {
+                None => w.payload,
+                Some(Location::Buffer(slot)) => {
+                    let old = &self.slots[&slot].payload;
+                    merge_payload(old, &w.payload)
+                }
+                Some(Location::Flash(pun)) => {
+                    self.counters.incr("ftl.rmw_reads");
+                    let win = self.flash.schedule_read(pun.page(self.upp), at)?;
+                    done = done.max(win.finish);
+                    let old = self
+                        .flash
+                        .read(pun.page(self.upp))
+                        .and_then(|pc| pc.units[pun.offset(self.upp) as usize].clone())
+                        .unwrap_or_default();
+                    merge_payload(&old, &w.payload)
+                }
+            }
+        };
+
+        let slot = self.new_slot(payload, w.lpn, kind);
+        let prev = self.table.map(w.lpn, Location::Buffer(slot));
+        self.note_unlink(prev);
+
+        self.pending.push_back(slot);
+        done = done.max(self.drain_to_watermark(at)?);
+        Ok(done)
+    }
+
+    /// Reads one logical unit. Returns its content and the completion
+    /// instant (equal to `at` for buffer hits).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::Unmapped`] when the unit has never been written.
+    pub fn read(&mut self, lpn: Lpn, at: SimTime) -> Result<(UnitPayload, SimTime), FtlError> {
+        self.counters.incr("ftl.host_unit_reads");
+        match self.table.lookup(lpn) {
+            None => Err(FtlError::Unmapped(lpn)),
+            Some(Location::Buffer(slot)) => Ok((self.slots[&slot].payload.clone(), at)),
+            Some(Location::Flash(pun)) => {
+                let win = self.flash.schedule_read(pun.page(self.upp), at)?;
+                let payload = self
+                    .flash
+                    .read(pun.page(self.upp))
+                    .and_then(|pc| pc.units[pun.offset(self.upp) as usize].clone());
+                debug_assert!(
+                    payload.is_some(),
+                    "mapped unit {lpn} -> {pun} has no flash content (erased while referenced?)"
+                );
+                Ok((payload.unwrap_or_default(), win.finish))
+            }
+        }
+    }
+
+    /// True when `lpn` currently maps to something.
+    pub fn is_mapped(&self, lpn: Lpn) -> bool {
+        self.table.lookup(lpn).is_some()
+    }
+
+    /// Current location of `lpn` (diagnostics).
+    pub fn location_of(&self, lpn: Lpn) -> Option<Location> {
+        self.table.lookup(lpn)
+    }
+
+    /// The remap primitive: make `dst` reference the same physical copy as
+    /// `src` (checkpoint by copy-on-write, Algorithm 1's
+    /// `MapToTarget` step). No flash traffic; only mapping metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::Unmapped`] when `src` has no mapping.
+    pub fn remap(&mut self, dst: Lpn, src: Lpn) -> Result<(), FtlError> {
+        let prev = self.table.alias(dst, src).map_err(FtlError::Unmapped)?;
+        self.note_unlink(prev);
+        self.counters.incr("ftl.remap_ops");
+        Ok(())
+    }
+
+    /// Removes `lpn`'s mapping (deallocate/trim). Returns true when a
+    /// mapping existed.
+    pub fn deallocate(&mut self, lpn: Lpn) -> bool {
+        if std::env::var_os("CHECKIN_TRACE_LPN") == Some(lpn.0.to_string().into()) {
+            eprintln!("TRACE dealloc lpn={} loc={:?}", lpn.0, self.table.lookup(lpn));
+        }
+        let u = self.table.unmap(lpn);
+        let existed = u != Unlink::NotMapped;
+        self.note_unlink(u);
+        if existed {
+            self.counters.incr("ftl.deallocations");
+        }
+        existed
+    }
+
+    /// Pads and programs every partially filled write-point buffer.
+    /// Returns the last program's finish time (or `at` when nothing was
+    /// pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn flush(&mut self, at: SimTime) -> Result<SimTime, FtlError> {
+        let mut done = at;
+        while !self.pending.is_empty() {
+            done = done.max(self.drain_one_page(at)?);
+        }
+        Ok(done)
+    }
+
+    /// Pages out buffered units while the buffer exceeds its watermark.
+    fn drain_to_watermark(&mut self, at: SimTime) -> Result<SimTime, FtlError> {
+        let mut done = at;
+        while self.pending.len() >= self.config.write_buffer_units as usize {
+            done = done.max(self.drain_one_page(at)?);
+        }
+        Ok(done)
+    }
+
+    fn drain_one_page(&mut self, at: SimTime) -> Result<SimTime, FtlError> {
+        // Take the batch BEFORE allocating: block allocation may trigger
+        // GC, which enqueues freshly migrated units. Those stay buffered
+        // for later pages.
+        let take_n = self.pending.len().min(self.upp as usize);
+        if take_n == 0 {
+            return Ok(at);
+        }
+        let taken: Vec<BufSlot> = self.pending.drain(..take_n).collect();
+        let wp = self.next_wp;
+        self.next_wp = (self.next_wp + 1) % self.actives.len();
+        let (block, page) = match self.alloc_page_slot(wp, at) {
+            Ok(v) => v,
+            Err(e) => {
+                // Put the batch back so no buffered data is lost.
+                for (i, slot) in taken.into_iter().enumerate() {
+                    self.pending.insert(i, slot);
+                }
+                return Err(e);
+            }
+        };
+        let pending = taken;
+        let ppn = self.flash.geometry().ppn_in_block(block, page);
+
+        let mut content = PageContent::empty(self.upp as usize);
+        let mut placements: Vec<(BufSlot, u32)> = Vec::with_capacity(pending.len());
+        for (offset, slot) in pending.into_iter().enumerate() {
+            let data = self.slots.remove(&slot).expect("pending slot exists");
+            content.units[offset] = Some(data.payload);
+            content.oob.push(data.oob);
+            placements.push((slot, offset as u32));
+        }
+
+        let win = self.flash.program(ppn, content, at)?;
+        self.counters.incr("ftl.pages_programmed");
+
+        for (slot, offset) in placements {
+            let pun = Pun::compose(ppn, offset, self.upp);
+            let moved = self.table.relocate(Location::Buffer(slot), Location::Flash(pun));
+            if moved > 0 {
+                self.valid_units[block.0 as usize] += 1;
+            }
+            // moved == 0: the buffered unit died before page-out; it is now
+            // padding on flash and simply never becomes valid.
+        }
+        Ok(win.finish)
+    }
+
+    fn alloc_page_slot(&mut self, wp: usize, at: SimTime) -> Result<(BlockId, u32), FtlError> {
+        let ppb = self.flash.geometry().pages_per_block;
+        if let Some((block, page)) = self.actives[wp] {
+            if page < ppb {
+                self.actives[wp] = if page + 1 < ppb {
+                    Some((block, page + 1))
+                } else {
+                    self.block_kind[block.0 as usize] = BlockKind::Closed;
+                    None
+                };
+                return Ok((block, page));
+            }
+        }
+        let block = self.alloc_block(at)?;
+        self.actives[wp] = if ppb > 1 {
+            Some((block, 1))
+        } else {
+            self.block_kind[block.0 as usize] = BlockKind::Closed;
+            None
+        };
+        Ok((block, 0))
+    }
+
+    fn alloc_block(&mut self, at: SimTime) -> Result<BlockId, FtlError> {
+        if !self.in_gc && self.free_blocks.len() <= self.config.gc_threshold_blocks as usize {
+            self.collect_until_headroom(at)?;
+        }
+        let block = self.free_blocks.pop_front().ok_or(FtlError::OutOfSpace)?;
+        self.block_kind[block.0 as usize] = BlockKind::Active;
+        Ok(block)
+    }
+
+    fn collect_until_headroom(&mut self, at: SimTime) -> Result<(), FtlError> {
+        while self.free_blocks.len() <= self.config.gc_threshold_blocks as usize {
+            if self.run_gc_round(at)?.is_none() {
+                // No reclaimable victim. Not fatal yet: the caller may
+                // still have free blocks to use.
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Selects the greedy GC victim: the closed block with the fewest
+    /// valid units (ties broken by lower erase count for wear levelling).
+    /// Returns `None` when no block would yield free space.
+    fn select_victim(&self) -> Option<BlockId> {
+        let capacity = self.upp * self.flash.geometry().pages_per_block;
+        self.block_kind
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == BlockKind::Closed)
+            .map(|(i, _)| BlockId(i as u64))
+            .filter(|b| self.valid_units[b.0 as usize] < capacity)
+            .min_by_key(|b| {
+                (
+                    self.valid_units[b.0 as usize],
+                    self.flash.erase_count(*b),
+                )
+            })
+    }
+
+    /// Spread between the most-erased block and the coldest block still
+    /// holding data (free blocks recirculate on their own, so only closed
+    /// blocks can pin cold data to barely-worn cells).
+    pub fn wear_delta(&self) -> u64 {
+        let min = self
+            .block_kind
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == BlockKind::Closed)
+            .map(|(b, _)| self.flash.erase_count(BlockId(b as u64)))
+            .min();
+        match min {
+            Some(min) => self.flash.max_erase_count().saturating_sub(min),
+            None => 0,
+        }
+    }
+
+    /// Runs one static wear-leveling round if the wear skew exceeds the
+    /// configured threshold: the *coldest* closed block (fewest erases)
+    /// is migrated and erased, so its barely-worn cells rejoin the free
+    /// pool while its long-lived data moves to hotter blocks. Returns
+    /// `Ok(None)` when levelling is disabled, not needed, or no candidate
+    /// exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors from the migration.
+    pub fn run_wear_leveling_round(&mut self, at: SimTime) -> Result<Option<SimTime>, FtlError> {
+        let Some(threshold) = self.config.wear_leveling_threshold else {
+            return Ok(None);
+        };
+        if self.wear_delta() <= threshold {
+            return Ok(None);
+        }
+        let victim = self
+            .block_kind
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == BlockKind::Closed)
+            .map(|(i, _)| BlockId(i as u64))
+            .min_by_key(|b| self.flash.erase_count(*b));
+        let Some(victim) = victim else {
+            return Ok(None);
+        };
+        self.in_gc = true;
+        self.counters.incr("ftl.wear_level_rounds");
+        let result = self.migrate_and_erase(victim, at);
+        self.in_gc = false;
+        result.map(Some)
+    }
+
+    /// Runs one garbage-collection round: migrate the victim's valid units
+    /// (preserving shared references), erase it, and return the finish
+    /// time. Returns `Ok(None)` when no victim is reclaimable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors (FTL bugs) and out-of-space conditions from
+    /// the migration writes.
+    pub fn run_gc_round(&mut self, at: SimTime) -> Result<Option<SimTime>, FtlError> {
+        let Some(victim) = self.select_victim() else {
+            return Ok(None);
+        };
+        self.in_gc = true;
+        let result = self.migrate_and_erase(victim, at);
+        self.in_gc = false;
+        result.map(Some)
+    }
+
+    fn migrate_and_erase(&mut self, victim: BlockId, at: SimTime) -> Result<SimTime, FtlError> {
+        self.counters.incr("ftl.gc_invocations");
+        let g = *self.flash.geometry();
+        let mut done = at;
+        for page in 0..g.pages_per_block {
+            let ppn = g.ppn_in_block(victim, page);
+            // Collect valid units of this page first (borrow rules).
+            let mut valid: Vec<(u32, UnitPayload, Lpn)> = Vec::new();
+            for offset in 0..self.upp {
+                let pun = Pun::compose(ppn, offset, self.upp);
+                let refs = self.table.referrers(Location::Flash(pun));
+                if let Some(&primary) = refs.first() {
+                    let payload = self
+                        .flash
+                        .read(ppn)
+                        .and_then(|pc| pc.units[offset as usize].clone())
+                        .unwrap_or_default();
+                    valid.push((offset, payload, primary));
+                }
+            }
+            if valid.is_empty() {
+                continue;
+            }
+            let win = self.flash.schedule_read(ppn, at)?;
+            done = done.max(win.finish);
+            for (offset, payload, primary) in valid {
+                let pun = Pun::compose(ppn, offset, self.upp);
+                let slot = self.new_slot(payload, primary, OobKind::GcCopy);
+                let moved = self
+                    .table
+                    .relocate(Location::Flash(pun), Location::Buffer(slot));
+                debug_assert!(moved > 0);
+                self.valid_units[victim.0 as usize] -= 1;
+                self.counters.incr("ftl.gc_units_moved");
+                self.pending.push_back(slot);
+                done = done.max(self.drain_to_watermark(at)?);
+            }
+        }
+        debug_assert_eq!(self.valid_units[victim.0 as usize], 0);
+        let win = self.flash.erase(victim, done)?;
+        self.block_kind[victim.0 as usize] = BlockKind::Free;
+        self.free_blocks.push_back(victim);
+        Ok(win.finish)
+    }
+
+    /// Mutable access to the flash array (power-fail injection in tests).
+    pub fn flash_mut(&mut self) -> &mut FlashArray {
+        &mut self.flash
+    }
+
+    /// Iterates `(lpn, location)` over the whole table (recovery scans).
+    pub fn mapping_iter(&self) -> impl Iterator<Item = (Lpn, Location)> + '_ {
+        self.table.iter()
+    }
+
+    /// Exhaustive internal-consistency check for tests: mapping symmetry,
+    /// per-block valid-unit counts, free blocks hold no valid data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.table.check_consistency()?;
+        let g = self.flash.geometry();
+        let mut expect = vec![0u32; g.total_blocks() as usize];
+        // Each occupied flash location counts once, however many referrers.
+        let mut seen = std::collections::HashSet::new();
+        for (_, loc) in self.table.iter() {
+            if let Location::Flash(pun) = loc {
+                if seen.insert(pun) {
+                    let b = g.block_of(pun.page(self.upp));
+                    expect[b.0 as usize] += 1;
+                }
+            }
+        }
+        for (i, (&got, &want)) in self.valid_units.iter().zip(&expect).enumerate() {
+            if got != want {
+                return Err(format!(
+                    "block {i}: valid_units={got} but table references {want}"
+                ));
+            }
+        }
+        for &b in &self.free_blocks {
+            if self.valid_units[b.0 as usize] != 0 {
+                return Err(format!("free block {b} has valid units"));
+            }
+            if self.block_kind[b.0 as usize] != BlockKind::Free {
+                return Err(format!("free-pool block {b} not marked Free"));
+            }
+        }
+        for slot in self.slots.keys() {
+            let loc = Location::Buffer(*slot);
+            if self.table.referrers(loc).is_empty() && !self.pending.contains(slot) {
+                return Err(format!("orphaned buffer slot {slot}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Merges a partial write into existing unit content: fragments of keys
+/// present in `new` are replaced; other old fragments survive.
+fn merge_payload(old: &UnitPayload, new: &UnitPayload) -> UnitPayload {
+    let mut fragments: Vec<_> = old
+        .fragments
+        .iter()
+        .filter(|f| !new.fragments.iter().any(|n| n.key == f.key))
+        .copied()
+        .collect();
+    fragments.extend(new.fragments.iter().copied());
+    UnitPayload { fragments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkin_flash::{FlashGeometry, FlashTiming};
+
+    fn small_ftl(unit_bytes: u32) -> Ftl {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes,
+                write_points: 2,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                write_buffer_units: 16,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn w(lpn: u64, key: u64, version: u64, bytes: u32) -> UnitWrite {
+        UnitWrite {
+            lpn: Lpn(lpn),
+            payload: UnitPayload::single(key, version, bytes),
+            whole_unit: true,
+        }
+    }
+
+    #[test]
+    fn write_then_read_from_buffer() {
+        let mut f = small_ftl(512);
+        f.write(w(0, 1, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+        let (p, t) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        assert_eq!(p.fragments[0].key, 1);
+        assert_eq!(t, SimTime::ZERO, "buffer hit has no flash latency");
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn page_out_after_buffer_watermark() {
+        let mut f = small_ftl(512);
+        let upp = f.units_per_page() as u64; // 8
+        // Watermark is 16 units: writing 4 pages' worth forces page-outs.
+        for i in 0..upp * 4 {
+            f.write(w(i, i, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+        }
+        assert!(f.flash().counters().get("flash.program") >= 2);
+        let (p, t) = f.read(Lpn(0), SimTime::from_nanos(0)).unwrap();
+        assert_eq!(p.fragments[0].key, 0);
+        assert!(t > SimTime::ZERO, "flash read has latency");
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_copy() {
+        let mut f = small_ftl(512);
+        for i in 0..16 {
+            f.write(w(0, 7, i + 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+            // Flush so each version reaches flash and the next overwrite
+            // invalidates a flash-resident copy.
+            f.flush(SimTime::ZERO).unwrap();
+        }
+        let (p, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        assert_eq!(p.fragments[0].version, 16, "latest version wins");
+        assert!(f.counters().get("ftl.invalid_units") > 0);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_unmapped_errors() {
+        let mut f = small_ftl(512);
+        assert!(matches!(
+            f.read(Lpn(5), SimTime::ZERO),
+            Err(FtlError::Unmapped(Lpn(5)))
+        ));
+    }
+
+    #[test]
+    fn remap_shares_physical_copy() {
+        let mut f = small_ftl(512);
+        f.write(w(100, 1, 3, 512), OobKind::Journal, SimTime::ZERO).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        f.remap(Lpn(0), Lpn(100)).unwrap();
+        let (a, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        let (b, _) = f.read(Lpn(100), SimTime::ZERO).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(f.location_of(Lpn(0)), f.location_of(Lpn(100)));
+        // Remap costs zero flash programs.
+        let programs = f.flash().counters().get("flash.program");
+        assert_eq!(programs, 1);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remap_unmapped_source_fails() {
+        let mut f = small_ftl(512);
+        assert!(matches!(f.remap(Lpn(0), Lpn(9)), Err(FtlError::Unmapped(_))));
+    }
+
+    #[test]
+    fn deallocate_journal_keeps_data_alias_alive() {
+        let mut f = small_ftl(512);
+        f.write(w(100, 1, 1, 512), OobKind::Journal, SimTime::ZERO).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        f.remap(Lpn(0), Lpn(100)).unwrap();
+        assert!(f.deallocate(Lpn(100)));
+        // Data alias still readable; no invalid unit was generated.
+        let (p, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        assert_eq!(p.fragments[0].key, 1);
+        assert_eq!(f.counters().get("ftl.invalid_units"), 0);
+        assert!(!f.deallocate(Lpn(100)), "already gone");
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partial_write_merges_with_flash_copy() {
+        let mut f = small_ftl(4096);
+        // Unit holds keys 1 and 2.
+        f.write(
+            UnitWrite {
+                lpn: Lpn(0),
+                payload: UnitPayload::merged(vec![
+                    checkin_flash::Fragment { key: 1, version: 1, bytes: 1024 },
+                    checkin_flash::Fragment { key: 2, version: 1, bytes: 1024 },
+                ]),
+                whole_unit: true,
+            },
+            OobKind::Data,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        // Partial update of key 2 only.
+        f.write(
+            UnitWrite {
+                lpn: Lpn(0),
+                payload: UnitPayload::single(2, 2, 1024),
+                whole_unit: false,
+            },
+            OobKind::Data,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let (p, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        let k1 = p.fragments.iter().find(|fr| fr.key == 1).unwrap();
+        let k2 = p.fragments.iter().find(|fr| fr.key == 2).unwrap();
+        assert_eq!(k1.version, 1);
+        assert_eq!(k2.version, 2);
+        assert_eq!(f.counters().get("ftl.rmw_reads"), 1);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_churn() {
+        let mut f = small_ftl(512);
+        // Small geometry: 64 blocks x 32 pages x 8 units = 16384 units.
+        // Hammer 256 logical units with updates until GC must run.
+        for round in 0..100u64 {
+            for lpn in 0..256u64 {
+                f.write(w(lpn, lpn, round + 1, 512), OobKind::Data, SimTime::ZERO)
+                    .unwrap();
+            }
+        }
+        assert!(f.counters().get("ftl.gc_invocations") > 0, "GC should trigger");
+        assert!(f.free_block_count() > 0);
+        // Every unit readable at its latest version.
+        for lpn in 0..256u64 {
+            let (p, _) = f.read(Lpn(lpn), SimTime::ZERO).unwrap();
+            assert_eq!(p.fragments[0].version, 100, "lpn {lpn}");
+        }
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gc_preserves_shared_references() {
+        let mut f = small_ftl(512);
+        f.write(w(1000, 5, 9, 512), OobKind::Journal, SimTime::ZERO).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        f.remap(Lpn(0), Lpn(1000)).unwrap();
+        // Force churn so GC eventually relocates the shared unit's block.
+        for round in 0..120u64 {
+            for lpn in 1..200u64 {
+                f.write(w(lpn, lpn, round + 1, 512), OobKind::Data, SimTime::ZERO)
+                    .unwrap();
+            }
+        }
+        assert!(f.counters().get("ftl.gc_invocations") > 0);
+        let (a, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        let (b, _) = f.read(Lpn(1000), SimTime::ZERO).unwrap();
+        assert_eq!(a, b, "aliases stay identical across GC migration");
+        assert_eq!(a.fragments[0].version, 9);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn waf_exceeds_one_under_small_writes() {
+        let mut f = small_ftl(4096);
+        for i in 0..64u64 {
+            // 512-byte host writes into 4 KiB units: heavy padding.
+            f.write(
+                UnitWrite {
+                    lpn: Lpn(i),
+                    payload: UnitPayload::single(i, 1, 512),
+                    whole_unit: false,
+                },
+                OobKind::Data,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        assert!(f.waf() > 1.0, "waf = {}", f.waf());
+    }
+
+    #[test]
+    fn flush_pads_partial_pages() {
+        let mut f = small_ftl(512);
+        f.write(w(0, 1, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+        let done = f.flush(SimTime::ZERO).unwrap();
+        assert!(done > SimTime::ZERO);
+        assert_eq!(f.flash().counters().get("flash.program"), 1);
+        let (p, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        assert_eq!(p.fragments[0].key, 1);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_space_when_all_valid() {
+        let flash = FlashArray::new(
+            FlashGeometry {
+                channels: 1,
+                dies_per_channel: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 8,
+                pages_per_block: 4,
+                page_bytes: 4096,
+            },
+            FlashTiming::mlc(),
+        );
+        let mut f = Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 4096,
+                write_points: 1,
+                gc_threshold_blocks: 2,
+                gc_soft_threshold_blocks: 2,
+                write_buffer_units: 1,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        // 8 blocks x 4 pages = 32 units; all distinct -> nothing reclaimable.
+        let mut failed = false;
+        for i in 0..40u64 {
+            match f.write(w(i, i, 1, 4096), OobKind::Data, SimTime::ZERO) {
+                Ok(_) => {}
+                Err(FtlError::OutOfSpace) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(failed, "completely full device must report OutOfSpace");
+    }
+
+    #[test]
+    fn map_access_cost_reflects_live_entries() {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        let mut f = Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 512,
+                write_points: 2,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                map_cache_entries: Some(4),
+                write_buffer_units: 16,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        let cheap = f.map_access_cost();
+        for i in 0..64 {
+            f.write(w(i, i, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+        }
+        assert!(f.map_access_cost() > cheap);
+    }
+
+    #[test]
+    fn background_gc_signal() {
+        let f = small_ftl(512);
+        assert!(!f.wants_background_gc(), "fresh device has headroom");
+    }
+
+    #[test]
+    fn merge_payload_replaces_matching_keys() {
+        let old = UnitPayload::merged(vec![
+            checkin_flash::Fragment { key: 1, version: 1, bytes: 100 },
+            checkin_flash::Fragment { key: 2, version: 1, bytes: 100 },
+        ]);
+        let new = UnitPayload::single(2, 5, 100);
+        let merged = merge_payload(&old, &new);
+        assert_eq!(merged.fragments.len(), 2);
+        assert_eq!(
+            merged.fragments.iter().find(|f| f.key == 2).unwrap().version,
+            5
+        );
+    }
+}
+
+#[cfg(test)]
+mod buffer_overwrite_tests {
+    use super::*;
+    use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
+
+    #[test]
+    fn buffered_overwrite_discards_old_slot() {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        let mut f = Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 512,
+                write_points: 1,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        // Write the same lpn `upp` times: old buffered copies must be
+        // dropped, so no page program should happen (buffer never fills).
+        for v in 1..=8u64 {
+            f.write(
+                UnitWrite {
+                    lpn: Lpn(0),
+                    payload: UnitPayload::single(1, v, 512),
+                    whole_unit: true,
+                },
+                OobKind::Data,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(f.flash().counters().get("flash.program"), 0);
+        let (p, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        assert_eq!(p.fragments[0].version, 8);
+        f.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod wear_leveling_tests {
+    use super::*;
+    use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
+
+    fn wl_ftl(threshold: Option<u64>) -> Ftl {
+        let flash = FlashArray::new(
+            FlashGeometry {
+                channels: 1,
+                dies_per_channel: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 16,
+                pages_per_block: 8,
+                page_bytes: 4096,
+            },
+            FlashTiming::mlc(),
+        );
+        Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 4096,
+                write_points: 1,
+                gc_threshold_blocks: 2,
+                gc_soft_threshold_blocks: 4,
+                write_buffer_units: 1,
+                wear_leveling_threshold: threshold,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn write_unit(f: &mut Ftl, lpn: u64, version: u64) {
+        f.write(
+            UnitWrite {
+                lpn: Lpn(lpn),
+                payload: UnitPayload::single(lpn, version, 4096),
+                whole_unit: true,
+            },
+            OobKind::Data,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    }
+
+    /// Cold data parked in block 0 while hot lpns churn: without static
+    /// wear leveling the cold block never gets erased; with it, the wear
+    /// spread stays bounded and the cold data survives the migration.
+    #[test]
+    fn levels_cold_block_and_preserves_data() {
+        let mut f = wl_ftl(Some(4));
+        // Cold records fill the first block (8 units).
+        for lpn in 0..8u64 {
+            write_unit(&mut f, lpn, 1);
+        }
+        // Hot churn: rewrite a small set until GC has cycled many times.
+        for round in 0..400u64 {
+            for lpn in 8..32u64 {
+                write_unit(&mut f, lpn, round + 1);
+            }
+        }
+        assert!(f.wear_delta() > 4, "churn must skew wear");
+        let mut rounds = 0;
+        while f.run_wear_leveling_round(SimTime::ZERO).unwrap().is_some() {
+            rounds += 1;
+            assert!(rounds < 64, "wear leveling must converge");
+        }
+        assert!(rounds > 0, "levelling should have run");
+        assert_eq!(f.counters().get("ftl.wear_level_rounds"), rounds);
+        // Cold data intact at version 1.
+        for lpn in 0..8u64 {
+            let (p, _) = f.read(Lpn(lpn), SimTime::ZERO).unwrap();
+            assert_eq!(p.fragments[0].version, 1, "lpn {lpn}");
+        }
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn disabled_threshold_never_levels() {
+        let mut f = wl_ftl(None);
+        for round in 0..200u64 {
+            for lpn in 0..24u64 {
+                write_unit(&mut f, lpn, round + 1);
+            }
+        }
+        assert_eq!(f.run_wear_leveling_round(SimTime::ZERO).unwrap(), None);
+        assert_eq!(f.counters().get("ftl.wear_level_rounds"), 0);
+    }
+
+    #[test]
+    fn below_threshold_is_a_noop() {
+        let mut f = wl_ftl(Some(1_000_000));
+        for round in 0..100u64 {
+            for lpn in 0..24u64 {
+                write_unit(&mut f, lpn, round + 1);
+            }
+        }
+        assert_eq!(f.run_wear_leveling_round(SimTime::ZERO).unwrap(), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! The flash mapping table: forward map plus reverse referrer tracking.
+//!
+//! The distinctive requirement of Check-In is that **several logical units
+//! may reference one physical unit** (after a checkpoint remap, the journal
+//! LPN and the data LPN alias the same flash copy). The table therefore
+//! keeps, for every occupied location, the list of logical units referring
+//! to it; a physical unit is *valid* while at least one referrer remains.
+
+use std::collections::HashMap;
+
+use crate::location::{Location, Lpn};
+
+/// Result of removing a referrer from a location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unlink {
+    /// The location still has other referrers (remains valid).
+    StillReferenced(Location),
+    /// The location lost its last referrer (became invalid).
+    Orphaned(Location),
+    /// The logical unit was not mapped.
+    NotMapped,
+}
+
+/// Forward (LPN → location) and reverse (location → LPNs) mapping.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_ftl::{MappingTable, Location, Lpn, Pun};
+///
+/// let mut t = MappingTable::new();
+/// t.map(Lpn(1), Location::Flash(Pun(100)));
+/// t.alias(Lpn(2), Lpn(1)).unwrap(); // lpn 2 shares lpn 1's copy
+/// assert_eq!(t.lookup(Lpn(2)), Some(Location::Flash(Pun(100))));
+/// assert_eq!(t.referrers(Location::Flash(Pun(100))).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MappingTable {
+    forward: HashMap<Lpn, Location>,
+    reverse: HashMap<Location, Vec<Lpn>>,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location of a logical unit.
+    pub fn lookup(&self, lpn: Lpn) -> Option<Location> {
+        self.forward.get(&lpn).copied()
+    }
+
+    /// Logical units referencing `loc` (empty slice when unoccupied).
+    pub fn referrers(&self, loc: Location) -> &[Lpn] {
+        self.reverse.get(&loc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of live forward entries (drives the map-cache model).
+    pub fn live_entries(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of occupied physical/buffer locations.
+    pub fn occupied_locations(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Points `lpn` at `loc`, unlinking any previous mapping. Returns the
+    /// outcome for the *previous* location so the caller can update block
+    /// validity counters.
+    pub fn map(&mut self, lpn: Lpn, loc: Location) -> Unlink {
+        let prev = self.unmap(lpn);
+        self.forward.insert(lpn, loc);
+        self.reverse.entry(loc).or_default().push(lpn);
+        prev
+    }
+
+    /// Removes `lpn`'s mapping entirely (trim). Returns what happened to
+    /// the location it referenced.
+    pub fn unmap(&mut self, lpn: Lpn) -> Unlink {
+        let Some(loc) = self.forward.remove(&lpn) else {
+            return Unlink::NotMapped;
+        };
+        let list = self
+            .reverse
+            .get_mut(&loc)
+            .expect("reverse entry exists for mapped location");
+        list.retain(|&l| l != lpn);
+        if list.is_empty() {
+            self.reverse.remove(&loc);
+            Unlink::Orphaned(loc)
+        } else {
+            Unlink::StillReferenced(loc)
+        }
+    }
+
+    /// Makes `dst` reference the same location as `src` (the remap /
+    /// copy-on-write primitive). Returns the outcome for `dst`'s previous
+    /// location.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(src)` when `src` is unmapped.
+    pub fn alias(&mut self, dst: Lpn, src: Lpn) -> Result<Unlink, Lpn> {
+        let loc = self.lookup(src).ok_or(src)?;
+        if self.lookup(dst) == Some(loc) {
+            // dst already aliases src: nothing changes.
+            return Ok(Unlink::StillReferenced(loc));
+        }
+        Ok(self.map(dst, loc))
+    }
+
+    /// Re-homes every referrer of `from` onto `to` (used when the write
+    /// buffer drains to flash, and when GC migrates a unit). Returns how
+    /// many referrers moved.
+    pub fn relocate(&mut self, from: Location, to: Location) -> usize {
+        let Some(lpns) = self.reverse.remove(&from) else {
+            return 0;
+        };
+        let n = lpns.len();
+        for &lpn in &lpns {
+            self.forward.insert(lpn, to);
+        }
+        self.reverse.entry(to).or_default().extend(lpns);
+        n
+    }
+
+    /// Iterates all forward entries (diagnostics / recovery).
+    pub fn iter(&self) -> impl Iterator<Item = (Lpn, Location)> + '_ {
+        self.forward.iter().map(|(&l, &loc)| (l, loc))
+    }
+
+    /// Verifies forward/reverse symmetry; returns a description of the
+    /// first inconsistency found. Used by tests and debug assertions.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (&lpn, &loc) in &self.forward {
+            let refs = self.referrers(loc);
+            if !refs.contains(&lpn) {
+                return Err(format!("{lpn} maps to {loc} but is not a referrer"));
+            }
+        }
+        for (&loc, lpns) in &self.reverse {
+            if lpns.is_empty() {
+                return Err(format!("{loc} has an empty referrer list"));
+            }
+            for &lpn in lpns {
+                if self.forward.get(&lpn) != Some(&loc) {
+                    return Err(format!("{loc} lists {lpn} but forward disagrees"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::{BufSlot, Pun};
+
+    #[test]
+    fn map_and_lookup() {
+        let mut t = MappingTable::new();
+        assert_eq!(t.map(Lpn(1), Location::Flash(Pun(5))), Unlink::NotMapped);
+        assert_eq!(t.lookup(Lpn(1)), Some(Location::Flash(Pun(5))));
+        assert_eq!(t.live_entries(), 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remap_orphans_old_location() {
+        let mut t = MappingTable::new();
+        t.map(Lpn(1), Location::Flash(Pun(5)));
+        let prev = t.map(Lpn(1), Location::Flash(Pun(9)));
+        assert_eq!(prev, Unlink::Orphaned(Location::Flash(Pun(5))));
+        assert!(t.referrers(Location::Flash(Pun(5))).is_empty());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn alias_shares_location() {
+        let mut t = MappingTable::new();
+        t.map(Lpn(1), Location::Flash(Pun(5)));
+        t.alias(Lpn(2), Lpn(1)).unwrap();
+        assert_eq!(t.referrers(Location::Flash(Pun(5))).len(), 2);
+        // Unmapping one leaves the location referenced.
+        assert_eq!(
+            t.unmap(Lpn(1)),
+            Unlink::StillReferenced(Location::Flash(Pun(5)))
+        );
+        assert_eq!(t.unmap(Lpn(2)), Unlink::Orphaned(Location::Flash(Pun(5))));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn alias_unmapped_source_fails() {
+        let mut t = MappingTable::new();
+        assert_eq!(t.alias(Lpn(2), Lpn(1)), Err(Lpn(1)));
+    }
+
+    #[test]
+    fn alias_is_idempotent() {
+        let mut t = MappingTable::new();
+        t.map(Lpn(1), Location::Flash(Pun(5)));
+        t.alias(Lpn(2), Lpn(1)).unwrap();
+        t.alias(Lpn(2), Lpn(1)).unwrap();
+        assert_eq!(t.referrers(Location::Flash(Pun(5))).len(), 2);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn relocate_moves_all_referrers() {
+        let mut t = MappingTable::new();
+        t.map(Lpn(1), Location::Buffer(BufSlot(0)));
+        t.alias(Lpn(2), Lpn(1)).unwrap();
+        let moved = t.relocate(Location::Buffer(BufSlot(0)), Location::Flash(Pun(7)));
+        assert_eq!(moved, 2);
+        assert_eq!(t.lookup(Lpn(1)), Some(Location::Flash(Pun(7))));
+        assert_eq!(t.lookup(Lpn(2)), Some(Location::Flash(Pun(7))));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn relocate_unoccupied_is_noop() {
+        let mut t = MappingTable::new();
+        assert_eq!(t.relocate(Location::Flash(Pun(1)), Location::Flash(Pun(2))), 0);
+    }
+
+    #[test]
+    fn unmap_missing_is_not_mapped() {
+        let mut t = MappingTable::new();
+        assert_eq!(t.unmap(Lpn(42)), Unlink::NotMapped);
+    }
+
+    #[test]
+    fn occupied_locations_counts_distinct() {
+        let mut t = MappingTable::new();
+        t.map(Lpn(1), Location::Flash(Pun(5)));
+        t.alias(Lpn(2), Lpn(1)).unwrap();
+        t.map(Lpn(3), Location::Flash(Pun(6)));
+        assert_eq!(t.occupied_locations(), 2);
+        assert_eq!(t.live_entries(), 3);
+    }
+}

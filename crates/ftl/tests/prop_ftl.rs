@@ -1,0 +1,170 @@
+//! Property tests driving the FTL directly with random operation soups,
+//! mirrored against a shadow model.
+
+use std::collections::HashMap;
+
+use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
+use checkin_ftl::{Ftl, FtlConfig, FtlError, Lpn, UnitWrite};
+use checkin_sim::SimTime;
+use proptest::prelude::*;
+
+const LPNS: u64 = 192;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Whole-unit write of a fresh version.
+    Write { lpn: u8 },
+    /// Remap dst to alias src's copy.
+    Remap { dst: u8, src: u8 },
+    /// Trim one unit.
+    Deallocate { lpn: u8 },
+    /// Force the buffer out to flash.
+    Flush,
+    /// One GC round (if a victim exists).
+    Gc,
+    /// One wear-leveling round.
+    WearLevel,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => any::<u8>().prop_map(|lpn| Op::Write { lpn }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(dst, src)| Op::Remap { dst, src }),
+        2 => any::<u8>().prop_map(|lpn| Op::Deallocate { lpn }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Gc),
+        1 => Just(Op::WearLevel),
+    ]
+}
+
+fn build() -> Ftl {
+    let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+    Ftl::new(
+        flash,
+        FtlConfig {
+            unit_bytes: 512,
+            write_points: 2,
+            gc_threshold_blocks: 4,
+            gc_soft_threshold_blocks: 8,
+            write_buffer_units: 16,
+            wear_leveling_threshold: Some(8),
+            ..FtlConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Shadow: lpn -> (key, version) of the expected current copy.
+fn run_ops(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut ftl = build();
+    let mut shadow: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut next_version = 1u64;
+    let t = SimTime::ZERO;
+
+    for op in ops {
+        match op {
+            Op::Write { lpn } => {
+                let lpn = *lpn as u64 % LPNS;
+                let version = next_version;
+                next_version += 1;
+                ftl.write(
+                    UnitWrite {
+                        lpn: Lpn(lpn),
+                        payload: UnitPayload::single(lpn, version, 512),
+                        whole_unit: true,
+                    },
+                    OobKind::Data,
+                    t,
+                )
+                .unwrap();
+                shadow.insert(lpn, (lpn, version));
+            }
+            Op::Remap { dst, src } => {
+                let dst = *dst as u64 % LPNS;
+                let src = *src as u64 % LPNS;
+                match ftl.remap(Lpn(dst), Lpn(src)) {
+                    Ok(()) => {
+                        let copy = shadow.get(&src).copied();
+                        prop_assert!(copy.is_some(), "remap of unmapped src succeeded");
+                        shadow.insert(dst, copy.unwrap());
+                    }
+                    Err(FtlError::Unmapped(_)) => {
+                        prop_assert!(!shadow.contains_key(&src));
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+            Op::Deallocate { lpn } => {
+                let lpn = *lpn as u64 % LPNS;
+                let existed = ftl.deallocate(Lpn(lpn));
+                prop_assert_eq!(existed, shadow.remove(&lpn).is_some());
+            }
+            Op::Flush => {
+                ftl.flush(t).unwrap();
+            }
+            Op::Gc => {
+                ftl.run_gc_round(t).unwrap();
+            }
+            Op::WearLevel => {
+                ftl.run_wear_leveling_round(t).unwrap();
+            }
+        }
+    }
+
+    // Final sweep: every shadow entry readable with the right content.
+    for (&lpn, &(key, version)) in &shadow {
+        let (payload, _) = ftl.read(Lpn(lpn), t).unwrap();
+        let f = payload
+            .fragments
+            .iter()
+            .find(|f| f.key == key)
+            .unwrap_or_else(|| panic!("lpn {lpn}: key {key} missing"));
+        prop_assert_eq!(f.version, version, "lpn {}", lpn);
+    }
+    // And nothing else is mapped.
+    for lpn in 0..LPNS {
+        prop_assert_eq!(
+            ftl.is_mapped(Lpn(lpn)),
+            shadow.contains_key(&lpn),
+            "mapping presence mismatch at {}",
+            lpn
+        );
+    }
+    prop_assert!(ftl.check_invariants().is_ok());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ftl_matches_shadow_under_random_ops(ops in proptest::collection::vec(op(), 1..400)) {
+        run_ops(&ops)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Long soups hit GC and wear leveling organically.
+    #[test]
+    fn ftl_matches_shadow_under_long_churn(ops in proptest::collection::vec(op(), 2_000..3_000)) {
+        run_ops(&ops)?;
+    }
+}
+
+#[test]
+fn gc_pressure_soup_deterministic_regression() {
+    // A fixed soup heavy on writes: exercises GC + WL deterministically.
+    let ops: Vec<Op> = (0..6_000)
+        .map(|i| match i % 17 {
+            0 => Op::Flush,
+            1 => Op::Gc,
+            2 => Op::WearLevel,
+            3 => Op::Deallocate { lpn: (i % 251) as u8 },
+            4 => Op::Remap { dst: (i % 241) as u8, src: (i % 239) as u8 },
+            _ => Op::Write { lpn: (i % 251) as u8 },
+        })
+        .collect();
+    run_ops(&ops).unwrap();
+}

@@ -1,0 +1,128 @@
+//! Throughput measurement over simulated time.
+
+use crate::time::SimTime;
+
+/// Counts completed operations and reports rates over the elapsed
+/// simulated interval.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_sim::{ThroughputMeter, SimTime};
+///
+/// let mut m = ThroughputMeter::new();
+/// m.start(SimTime::ZERO);
+/// for _ in 0..500 { m.complete_op(); }
+/// m.finish(SimTime::from_nanos(1_000_000_000));
+/// assert_eq!(m.ops_per_sec(), 500.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    started: SimTime,
+    finished: SimTime,
+    ops: u64,
+    bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with no interval set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the beginning of the measured interval.
+    pub fn start(&mut self, at: SimTime) {
+        self.started = at;
+    }
+
+    /// Marks the end of the measured interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the start.
+    pub fn finish(&mut self, at: SimTime) {
+        debug_assert!(at >= self.started, "finish before start");
+        self.finished = at;
+    }
+
+    /// Records one completed operation.
+    pub fn complete_op(&mut self) {
+        self.ops += 1;
+    }
+
+    /// Records `n` bytes moved (for bandwidth-style reporting).
+    pub fn add_bytes(&mut self, n: u64) {
+        self.bytes += n;
+    }
+
+    /// Completed operation count.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Length of the measured interval in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.finished.saturating_duration_since(self.started).as_secs_f64()
+    }
+
+    /// Operations per second over the interval (zero if the interval is
+    /// empty).
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Megabytes per second over the interval.
+    pub fn mib_per_sec(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / (1024.0 * 1024.0) / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_over_interval() {
+        let mut m = ThroughputMeter::new();
+        m.start(SimTime::from_nanos(1_000_000_000));
+        for _ in 0..100 {
+            m.complete_op();
+        }
+        m.finish(SimTime::from_nanos(3_000_000_000));
+        assert_eq!(m.ops_per_sec(), 50.0);
+        assert_eq!(m.ops(), 100);
+    }
+
+    #[test]
+    fn empty_interval_yields_zero_rate() {
+        let mut m = ThroughputMeter::new();
+        m.complete_op();
+        assert_eq!(m.ops_per_sec(), 0.0);
+        assert_eq!(m.mib_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth() {
+        let mut m = ThroughputMeter::new();
+        m.start(SimTime::ZERO);
+        m.add_bytes(2 * 1024 * 1024);
+        m.finish(SimTime::from_nanos(1_000_000_000));
+        assert_eq!(m.mib_per_sec(), 2.0);
+        assert_eq!(m.bytes(), 2 * 1024 * 1024);
+    }
+}

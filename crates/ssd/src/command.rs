@@ -1,0 +1,138 @@
+//! Host-visible command set, including the vendor-specific extensions the
+//! paper adds (§III-C): single CoW, batched checkpoint, journal
+//! deallocation.
+
+use checkin_flash::Fragment;
+
+/// Sector size of the host block interface (the paper's "typical host
+/// sector size").
+pub const SECTOR_BYTES: u32 = 512;
+
+/// What a write request carries (content tags, not raw bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteContent {
+    /// One record (or one aligned journal log) of `bytes` payload.
+    Record {
+        /// Key-value store key.
+        key: u64,
+        /// Record version.
+        version: u64,
+        /// Actual payload bytes (may be less than `sectors * 512` when the
+        /// engine rounded the log up to a size class).
+        bytes: u32,
+    },
+    /// A merged journal sector holding several small records
+    /// (sector-aligned journaling's `MERGED` type).
+    Merged(Vec<Fragment>),
+    /// A deletion tombstone: journals "key was deleted at version". The
+    /// payload is a zero-byte fragment; readers treat it as absence.
+    Tombstone {
+        /// Deleted key.
+        key: u64,
+        /// Version of the deletion.
+        version: u64,
+    },
+}
+
+/// A block-interface write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// Start sector.
+    pub lba: u64,
+    /// Length in sectors.
+    pub sectors: u32,
+    /// Content tags for the range.
+    pub content: WriteContent,
+}
+
+impl WriteRequest {
+    /// Payload bytes carried by this request.
+    pub fn payload_bytes(&self) -> u64 {
+        match &self.content {
+            WriteContent::Record { bytes, .. } => *bytes as u64,
+            WriteContent::Merged(frags) => frags.iter().map(|f| f.bytes as u64).sum(),
+            WriteContent::Tombstone { .. } => 0,
+        }
+    }
+
+    /// Bytes moved on the host link (whole sectors).
+    pub fn wire_bytes(&self) -> u64 {
+        self.sectors as u64 * SECTOR_BYTES as u64
+    }
+}
+
+/// A block-interface read of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// Start sector.
+    pub lba: u64,
+    /// Length in sectors.
+    pub sectors: u32,
+    /// Key whose fragments the caller is after (`None` returns everything
+    /// found in the range).
+    pub key: Option<u64>,
+}
+
+/// One entry of a CoW / checkpoint command: move the journal copy at
+/// `src_lba` to its data-area home `dst_lba`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CowEntry {
+    /// Journal location (sectors).
+    pub src_lba: u64,
+    /// Data-area home (sectors).
+    pub dst_lba: u64,
+    /// Source length in sectors (the journal log's span).
+    pub sectors: u32,
+    /// Destination extent in sectors (the record's home footprint). On
+    /// the copy path the gathered record is rewritten into this many
+    /// sectors; remaps use `sectors` because source and destination alias
+    /// the same units.
+    pub dst_sectors: u32,
+    /// Key being checkpointed (identifies the fragment within merged
+    /// sectors).
+    pub key: u64,
+    /// True when the journal copy shares its sector(s) with other records
+    /// (`MERGED`); such entries are never remap-eligible.
+    pub merged: bool,
+}
+
+/// How the device executes checkpoint entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// In-storage copy: read the journal units and program them to the
+    /// data area (ISC-A / ISC-B).
+    Copy,
+    /// Remap when alignment permits, falling back to copy otherwise
+    /// (ISC-C / Check-In).
+    Remap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_write_bytes() {
+        let w = WriteRequest {
+            lba: 8,
+            sectors: 2,
+            content: WriteContent::Record { key: 1, version: 1, bytes: 900 },
+        };
+        assert_eq!(w.payload_bytes(), 900);
+        assert_eq!(w.wire_bytes(), 1024);
+    }
+
+    #[test]
+    fn merged_write_sums_fragments() {
+        let w = WriteRequest {
+            lba: 0,
+            sectors: 1,
+            content: WriteContent::Merged(vec![
+                Fragment { key: 1, version: 1, bytes: 128 },
+                Fragment { key: 2, version: 4, bytes: 256 },
+            ]),
+        };
+        assert_eq!(w.payload_bytes(), 384);
+        assert_eq!(w.wire_bytes(), 512);
+    }
+}

@@ -1,0 +1,53 @@
+//! SSD front-end error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by the device front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// Malformed host request (bad alignment, zero length, ...).
+    InvalidRequest(String),
+    /// Propagated FTL failure (out of space, internal bug).
+    Ftl(checkin_ftl::FtlError),
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            SsdError::Ftl(e) => write!(f, "ftl error: {e}"),
+        }
+    }
+}
+
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Ftl(e) => Some(e),
+            SsdError::InvalidRequest(_) => None,
+        }
+    }
+}
+
+impl From<checkin_ftl::FtlError> for SsdError {
+    fn from(e: checkin_ftl::FtlError) -> Self {
+        SsdError::Ftl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkin_ftl::{FtlError, Lpn};
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SsdError = FtlError::Unmapped(Lpn(3)).into();
+        assert!(e.to_string().contains("ftl error"));
+        assert!(Error::source(&e).is_some());
+        let e = SsdError::InvalidRequest("zero sectors".into());
+        assert!(e.to_string().contains("zero sectors"));
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! SSD device model with the in-storage checkpointing engine (ISCE).
+//!
+//! Sits on top of [`checkin_ftl`] and exposes the host-visible command
+//! set used by the Check-In paper:
+//!
+//! * standard block commands — read, write, flush, deallocate — with full
+//!   interface timing (PCIe link occupancy, per-command overhead, firmware
+//!   CPU, bounded submission-queue depth);
+//! * the vendor-specific extensions of §III-C: [`Ssd::cow_single`] (one
+//!   copy-on-write entry per command, ISC-A), [`Ssd::checkpoint`] (one
+//!   batched multi-CoW command, ISC-B and up), and journal deallocation;
+//! * the ISCE itself ([`isce` planning + execution inside `Ssd`]):
+//!   checkpoint entries are classified remap-vs-copy per Algorithm 1, the
+//!   copy class executes as consecutive reads then consecutive writes, and
+//!   the deallocator schedules background GC in idle windows.
+//!
+//! [`isce` planning + execution inside `Ssd`]: plan_entry
+//!
+//! # Examples
+//!
+//! An in-storage checkpoint by remapping:
+//!
+//! ```
+//! use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind};
+//! use checkin_ftl::{Ftl, FtlConfig};
+//! use checkin_ssd::{CheckpointMode, CowEntry, ReadRequest, Ssd, SsdTiming, WriteContent, WriteRequest};
+//! use checkin_sim::SimTime;
+//!
+//! let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+//! let ftl = Ftl::new(flash, FtlConfig { unit_bytes: 512, write_points: 2, ..FtlConfig::default() }).unwrap();
+//! let mut ssd = Ssd::new(ftl, SsdTiming::paper_default());
+//!
+//! // Journaling appended key 5's new version at journal LBA 1000.
+//! let t = ssd.write(
+//!     &WriteRequest { lba: 1000, sectors: 2, content: WriteContent::Record { key: 5, version: 2, bytes: 1024 } },
+//!     OobKind::Journal,
+//!     SimTime::ZERO,
+//! )?;
+//! let t = ssd.flush(t)?;
+//! // Checkpoint: remap it to its data-area home at LBA 8 — zero copies.
+//! let entry = CowEntry { src_lba: 1000, dst_lba: 8, sectors: 2, dst_sectors: 2, key: 5, merged: false };
+//! let t = ssd.checkpoint(&[entry], CheckpointMode::Remap, t)?;
+//! let (frags, _) = ssd.read(&ReadRequest { lba: 8, sectors: 2, key: Some(5) }, t)?;
+//! assert_eq!(frags[0].version, 2);
+//! # Ok::<(), checkin_ssd::SsdError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod command;
+mod device;
+mod error;
+mod isce;
+mod queue;
+mod spor;
+mod timing;
+
+pub use command::{
+    CheckpointMode, CowEntry, ReadRequest, WriteContent, WriteRequest, SECTOR_BYTES,
+};
+pub use device::Ssd;
+pub use error::SsdError;
+pub use isce::{classify_batch, plan_entry, should_background_gc, EntryPlan};
+pub use queue::CommandQueue;
+pub use spor::{OobRecord, OobSnapshot};
+pub use timing::SsdTiming;

@@ -1,0 +1,128 @@
+//! Submission-queue depth modelling.
+//!
+//! NVMe exposes deep queues, but they are finite: when the paper's ISC-A
+//! floods the device with one CoW command per journal entry, commands
+//! serialize behind the queue. [`CommandQueue`] models this: a command may
+//! start only when a slot is free; otherwise it waits for the earliest
+//! completion.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use checkin_sim::SimTime;
+
+/// A fixed-depth in-flight command window.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_ssd::CommandQueue;
+/// use checkin_sim::SimTime;
+///
+/// let mut q = CommandQueue::new(1);
+/// let t0 = q.admit(SimTime::ZERO);
+/// q.complete(SimTime::from_nanos(100));
+/// // Depth 1: the next command cannot start before the first completes.
+/// let t1 = q.admit(SimTime::ZERO);
+/// assert_eq!((t0.as_nanos(), t1.as_nanos()), (0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommandQueue {
+    depth: usize,
+    inflight: BinaryHeap<Reverse<SimTime>>,
+}
+
+impl CommandQueue {
+    /// Creates a queue admitting up to `depth` concurrent commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        CommandQueue {
+            depth,
+            inflight: BinaryHeap::new(),
+        }
+    }
+
+    /// Earliest instant a command arriving at `at` may start. Call
+    /// [`CommandQueue::complete`] with its completion time afterwards.
+    pub fn admit(&mut self, at: SimTime) -> SimTime {
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t <= at {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        if self.inflight.len() < self.depth {
+            at
+        } else {
+            let Reverse(t) = self.inflight.pop().expect("queue non-empty");
+            t.max(at)
+        }
+    }
+
+    /// Registers the completion time of an admitted command.
+    pub fn complete(&mut self, done: SimTime) {
+        self.inflight.push(Reverse(done));
+    }
+
+    /// Commands currently tracked as in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_depth_immediately() {
+        let mut q = CommandQueue::new(4);
+        for _ in 0..4 {
+            assert_eq!(q.admit(SimTime::ZERO), SimTime::ZERO);
+            q.complete(SimTime::from_nanos(1_000));
+        }
+        // Fifth command waits for a completion slot.
+        assert_eq!(q.admit(SimTime::ZERO), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn expired_completions_free_slots() {
+        let mut q = CommandQueue::new(1);
+        q.admit(SimTime::ZERO);
+        q.complete(SimTime::from_nanos(10));
+        // Arriving after completion: starts immediately.
+        assert_eq!(q.admit(SimTime::from_nanos(20)), SimTime::from_nanos(20));
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn serializes_burst_beyond_depth() {
+        let mut q = CommandQueue::new(2);
+        let mut starts = Vec::new();
+        for i in 0..6u64 {
+            let s = q.admit(SimTime::ZERO);
+            starts.push(s.as_nanos());
+            q.complete(s + checkin_sim::SimDuration::from_nanos(100 * (i + 1)));
+        }
+        assert_eq!(starts[0], 0);
+        assert_eq!(starts[1], 0);
+        assert!(starts[2] > 0, "third command queued: {starts:?}");
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        CommandQueue::new(0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Device-level timing parameters (host link, firmware CPU, DRAM).
+
+use checkin_sim::SimDuration;
+
+/// Timing model of the SSD front end.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_ssd::SsdTiming;
+///
+/// let t = SsdTiming::paper_default();
+/// assert!(t.link_transfer(4096).as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsdTiming {
+    /// Host link (PCIe/NVMe) payload bandwidth in bytes per second.
+    pub link_bytes_per_sec: u64,
+    /// Fixed per-command interface overhead (doorbell, fetch, completion).
+    pub cmd_overhead: SimDuration,
+    /// Firmware cost to parse and dispatch one command.
+    pub cpu_cmd_cost: SimDuration,
+    /// Firmware cost to decode one entry of a batched CoW/checkpoint
+    /// command.
+    pub cpu_cow_entry_cost: SimDuration,
+    /// DRAM buffer access per mapping unit moved through the data cache.
+    pub dram_unit_cost: SimDuration,
+    /// Submission-queue depth: commands beyond this wait host-side.
+    pub queue_depth: usize,
+}
+
+impl SsdTiming {
+    /// PCIe Gen3 x4-class defaults matching the paper's Table I host
+    /// interface.
+    pub fn paper_default() -> Self {
+        SsdTiming {
+            link_bytes_per_sec: 3_200_000_000,
+            cmd_overhead: SimDuration::from_micros(5),
+            cpu_cmd_cost: SimDuration::from_nanos(1_500),
+            cpu_cow_entry_cost: SimDuration::from_nanos(300),
+            dram_unit_cost: SimDuration::from_nanos(200),
+            queue_depth: 32,
+        }
+    }
+
+    /// Time to move `bytes` across the host link.
+    pub fn link_transfer(&self, bytes: u64) -> SimDuration {
+        debug_assert!(self.link_bytes_per_sec > 0);
+        SimDuration::from_nanos(
+            (bytes.saturating_mul(1_000_000_000) / self.link_bytes_per_sec).max(1),
+        )
+    }
+}
+
+impl Default for SsdTiming {
+    fn default() -> Self {
+        SsdTiming::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_scales() {
+        let t = SsdTiming::paper_default();
+        assert_eq!(
+            t.link_transfer(8192).as_nanos(),
+            2 * t.link_transfer(4096).as_nanos()
+        );
+        // 4 KiB at 3.2 GB/s = 1.28 us
+        assert_eq!(t.link_transfer(4096).as_nanos(), 1280);
+    }
+
+    #[test]
+    fn zero_bytes_still_cost_a_nanosecond() {
+        assert_eq!(SsdTiming::paper_default().link_transfer(0).as_nanos(), 1);
+    }
+
+    #[test]
+    fn default_matches_paper_default() {
+        assert_eq!(SsdTiming::default(), SsdTiming::paper_default());
+    }
+}

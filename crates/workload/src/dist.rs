@@ -1,0 +1,125 @@
+//! Key access distributions.
+
+use checkin_sim::SimRng;
+
+use crate::zipfian::{ZipfianGenerator, YCSB_THETA};
+
+/// Which access skew a workload uses (the paper evaluates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessPattern {
+    /// Every key equally likely.
+    Uniform,
+    /// YCSB scrambled zipfian, theta = 0.99.
+    #[default]
+    Zipfian,
+}
+
+impl AccessPattern {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPattern::Uniform => "uniform",
+            AccessPattern::Zipfian => "zipfian",
+        }
+    }
+}
+
+/// A sampler of keys in `[0, key_space)` under a chosen pattern.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_workload::{AccessPattern, KeyChooser};
+/// use checkin_sim::SimRng;
+///
+/// let mut chooser = KeyChooser::new(AccessPattern::Uniform, 100);
+/// let mut rng = SimRng::seed_from(1);
+/// assert!(chooser.next_key(&mut rng) < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyChooser {
+    pattern: AccessPattern,
+    key_space: u64,
+    zipf: Option<ZipfianGenerator>,
+}
+
+impl KeyChooser {
+    /// Creates a sampler over `[0, key_space)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_space` is zero.
+    pub fn new(pattern: AccessPattern, key_space: u64) -> Self {
+        assert!(key_space > 0, "key space must be non-empty");
+        let zipf = match pattern {
+            AccessPattern::Zipfian => Some(ZipfianGenerator::scrambled(key_space, YCSB_THETA)),
+            AccessPattern::Uniform => None,
+        };
+        KeyChooser {
+            pattern,
+            key_space,
+            zipf,
+        }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self, rng: &mut SimRng) -> u64 {
+        match (&mut self.zipf, self.pattern) {
+            (Some(z), _) => z.next_key(rng),
+            (None, _) => rng.gen_range(self.key_space),
+        }
+    }
+
+    /// The configured pattern.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Size of the key space.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space_evenly() {
+        let mut c = KeyChooser::new(AccessPattern::Uniform, 10);
+        let mut rng = SimRng::seed_from(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[c.next_key(&mut rng) as usize] += 1;
+        }
+        for (i, &n) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&n), "bucket {i}: {n}");
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut c = KeyChooser::new(AccessPattern::Zipfian, 1_000);
+        let mut rng = SimRng::seed_from(5);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..50_000 {
+            counts[c.next_key(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max as f64 / 50_000.0 > 0.05, "hottest key share");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AccessPattern::Uniform.label(), "uniform");
+        assert_eq!(AccessPattern::Zipfian.label(), "zipfian");
+        assert_eq!(AccessPattern::default(), AccessPattern::Zipfian);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_space_panics() {
+        KeyChooser::new(AccessPattern::Uniform, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Zipfian key generation, YCSB-style.
+//!
+//! Implements the Gray et al. rejection-free zipfian sampler used by YCSB,
+//! plus the *scrambled* variant that spreads the hot keys uniformly over
+//! the key space (so hotness is not correlated with key order — important
+//! because our key-value store lays keys out by id).
+
+use checkin_sim::SimRng;
+
+/// Default YCSB skew constant.
+pub const YCSB_THETA: f64 = 0.99;
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+/// FNV-1a 64-bit hash used for scrambling.
+fn fnv1a(mut x: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for _ in 0..8 {
+        h ^= x & 0xFF;
+        h = h.wrapping_mul(0x100_0000_01B3);
+        x >>= 8;
+    }
+    h
+}
+
+/// Zipfian distribution over `[0, n)` with skew `theta`.
+///
+/// # Examples
+///
+/// ```
+/// use checkin_workload::ZipfianGenerator;
+/// use checkin_sim::SimRng;
+///
+/// let mut z = ZipfianGenerator::new(1000, 0.99);
+/// let mut rng = SimRng::seed_from(1);
+/// let k = z.next_rank(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scrambled: bool,
+}
+
+impl ZipfianGenerator {
+    /// A plain zipfian over `[0, n)`: rank 0 is the hottest key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        ZipfianGenerator {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            scrambled: false,
+        }
+    }
+
+    /// A scrambled zipfian: same popularity profile, hot keys spread
+    /// pseudo-randomly over the space (YCSB's default behaviour).
+    pub fn scrambled(n: u64, theta: f64) -> Self {
+        let mut z = Self::new(n, theta);
+        z.scrambled = true;
+        z
+    }
+
+    /// Key-space size.
+    pub fn key_space(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next rank (0 = hottest) without scrambling.
+    pub fn next_rank(&mut self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws the next key (scrambled if configured).
+    pub fn next_key(&mut self, rng: &mut SimRng) -> u64 {
+        let rank = self.next_rank(rng);
+        if self.scrambled {
+            fnv1a(rank) % self.n
+        } else {
+            rank
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_range() {
+        let mut z = ZipfianGenerator::new(100, YCSB_THETA);
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..10_000 {
+            assert!(z.next_rank(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let mut z = ZipfianGenerator::new(1_000, YCSB_THETA);
+        let mut rng = SimRng::seed_from(3);
+        let mut counts = vec![0u64; 1_000];
+        for _ in 0..100_000 {
+            counts[z.next_rank(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Rank 0 of a theta=0.99 zipfian over 1000 keys draws ~13% of mass.
+        let share = counts[0] as f64 / 100_000.0;
+        assert!((0.08..0.20).contains(&share), "rank-0 share {share}");
+    }
+
+    #[test]
+    fn scrambled_moves_hot_key_but_keeps_skew() {
+        let mut z = ZipfianGenerator::scrambled(1_000, YCSB_THETA);
+        let mut rng = SimRng::seed_from(3);
+        let mut counts = vec![0u64; 1_000];
+        for _ in 0..100_000 {
+            counts[z.next_key(&mut rng) as usize] += 1;
+        }
+        let (hot_key, &hot) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .unwrap();
+        assert_ne!(hot_key, 0, "scrambling relocates the hottest key");
+        assert!(hot as f64 / 100_000.0 > 0.05, "skew preserved");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut z1 = ZipfianGenerator::scrambled(500, YCSB_THETA);
+        let mut z2 = ZipfianGenerator::scrambled(500, YCSB_THETA);
+        let mut r1 = SimRng::seed_from(42);
+        let mut r2 = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(z1.next_key(&mut r1), z2.next_key(&mut r2));
+        }
+    }
+
+    #[test]
+    fn distinct_key_coverage_is_narrow_vs_uniform() {
+        // A zipfian touches far fewer distinct keys than uniform in the
+        // same number of draws — the effect behind the paper's Fig. 3(b).
+        let n = 10_000u64;
+        let mut z = ZipfianGenerator::scrambled(n, YCSB_THETA);
+        let mut rng = SimRng::seed_from(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            seen.insert(z.next_key(&mut rng));
+        }
+        assert!(
+            (seen.len() as f64) < 0.5 * n as f64,
+            "zipfian distinct {} of {n}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn invalid_theta_panics() {
+        ZipfianGenerator::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "key space")]
+    fn empty_keyspace_panics() {
+        ZipfianGenerator::new(0, 0.5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Shopping-cart scenario: an online-shopping session store with mixed
+//! record sizes (another of the paper's motivating services).
+//!
+//! Carts are read-modify-write objects — fetch the cart, add an item,
+//! write it back (YCSB workload F) — and they *grow*: a cart's value size
+//! varies from a hundred bytes to several KiB. This exercises the
+//! sector-aligned journaling across all of Algorithm 2's paths: size
+//! classes, merging, and compression of multi-sector values.
+//!
+//! ```sh
+//! cargo run --release --example shopping_cart
+//! ```
+
+use checkin_core::{KvSystem, Strategy, SystemConfig};
+use checkin_workload::{AccessPattern, OpMix, RecordSizes};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Shopping carts: read-modify-write sessions, mixed value sizes\n");
+
+    // Four cart-size profiles, mirroring the paper's Fig. 13(b) patterns.
+    let profiles = [
+        ("mostly-small", RecordSizes::pattern1()),
+        ("balanced", RecordSizes::pattern2()),
+        ("large-carts", RecordSizes::pattern3()),
+        ("uniform-mix", RecordSizes::pattern4()),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>16}",
+        "cart profile", "queries/s", "p99.9", "space overhead", "journal sectors"
+    );
+    for (name, sizes) in profiles {
+        let mut config = SystemConfig::for_strategy(Strategy::CheckIn);
+        config.total_queries = 16_000;
+        config.threads = 32;
+        config.workload.record_count = 5_000; // active sessions
+        config.workload.mix = OpMix::F; // 50% reads, 50% RMW
+        config.workload.pattern = AccessPattern::Zipfian;
+        config.workload.sizes = sizes;
+
+        let mut system = KvSystem::new(config)?;
+        let report = system.run()?;
+        println!(
+            "{:<14} {:>12.0} {:>12} {:>13.2}x {:>16}",
+            name,
+            report.throughput,
+            format!("{}", report.latency.p999),
+            report.journal_space_overhead,
+            report.write_query_bytes / 512,
+        );
+    }
+
+    // The trade-off the paper discusses in §III-H: alignment wastes some
+    // journal space (classes round up) but wins it back by merging small
+    // values and compressing large ones.
+    println!(
+        "\nSpace overhead stays near 1.0x for small-value profiles because\n\
+         partial logs merge into shared sectors; large carts compress, so\n\
+         multi-sector logs often *shrink* below their raw size."
+    );
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Workload-facing integration: the YCSB mixes and skews interact with
+//! the whole stack the way the paper's motivation section describes.
+
+use checkin_core::{KvSystem, Strategy, SystemConfig};
+use checkin_flash::FlashGeometry;
+use checkin_workload::{AccessPattern, OpMix, RecordSizes};
+
+fn config(mix: OpMix, pattern: AccessPattern) -> SystemConfig {
+    let mut c = SystemConfig::for_strategy(Strategy::Baseline);
+    c.total_queries = 8_000;
+    c.threads = 16;
+    c.workload.record_count = 1_000;
+    c.workload.mix = mix;
+    c.workload.pattern = pattern;
+    c.journal_trigger_sectors = 2_048;
+    c.geometry = FlashGeometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 96,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    };
+    c
+}
+
+#[test]
+fn all_paper_workloads_run_end_to_end() {
+    for mix in [OpMix::A, OpMix::F, OpMix::WRITE_ONLY] {
+        for pattern in [AccessPattern::Uniform, AccessPattern::Zipfian] {
+            let report = KvSystem::new(config(mix, pattern)).unwrap().run().unwrap();
+            assert_eq!(report.ops, 8_000, "{}/{}", mix.label(), pattern.label());
+            assert!(report.throughput > 0.0);
+        }
+    }
+}
+
+#[test]
+fn zipfian_supersedes_more_journal_logs_than_uniform() {
+    // Fig. 3(b)'s mechanism: under zipfian skew the same hot keys are
+    // rewritten, so a larger share of journal logs is already stale
+    // ("OLD") by checkpoint time than under uniform access.
+    let uni = KvSystem::new(config(OpMix::WRITE_ONLY, AccessPattern::Uniform))
+        .unwrap()
+        .run()
+        .unwrap();
+    let zipf = KvSystem::new(config(OpMix::WRITE_ONLY, AccessPattern::Zipfian))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        zipf.superseded_logs as f64 > uni.superseded_logs as f64 * 1.5,
+        "zipfian {} !>> uniform {}",
+        zipf.superseded_logs,
+        uni.superseded_logs
+    );
+}
+
+#[test]
+fn uniform_checkpoints_move_more_data_than_zipfian() {
+    // More distinct latest versions under uniform access -> more
+    // checkpoint work (Fig. 3(b): steeper checkpoint-time growth).
+    let uni = KvSystem::new(config(OpMix::WRITE_ONLY, AccessPattern::Uniform))
+        .unwrap()
+        .run()
+        .unwrap();
+    let zipf = KvSystem::new(config(OpMix::WRITE_ONLY, AccessPattern::Zipfian))
+        .unwrap()
+        .run()
+        .unwrap();
+    let uni_entries = uni.remapped_entries + uni.copied_entries + uni.checkpoint_flash_programs;
+    let zipf_entries =
+        zipf.remapped_entries + zipf.copied_entries + zipf.checkpoint_flash_programs;
+    assert!(
+        uni_entries > zipf_entries,
+        "uniform cp work {uni_entries} !> zipfian {zipf_entries}"
+    );
+}
+
+#[test]
+fn write_only_amplifies_io_more_than_read_heavy() {
+    let wo = KvSystem::new(config(OpMix::WRITE_ONLY, AccessPattern::Zipfian))
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = KvSystem::new(config(OpMix::B, AccessPattern::Zipfian))
+        .unwrap()
+        .run()
+        .unwrap();
+    // Workload B is 95% reads: journal + checkpoint traffic is a sliver of
+    // total time; write-only stresses it maximally.
+    assert!(wo.checkpoints >= b.checkpoints);
+    assert!(wo.write_query_bytes > b.write_query_bytes);
+}
+
+#[test]
+fn rmw_workload_reads_from_journal() {
+    // Workload F's read-modify-writes read the freshest copy, which sits
+    // in the journal between checkpoints.
+    let mut c = config(OpMix::F, AccessPattern::Zipfian);
+    c.strategy = Strategy::CheckIn;
+    c.unit_bytes = None;
+    let report = KvSystem::new(c).unwrap().run().unwrap();
+    assert_eq!(report.ops, 8_000);
+    assert!(report.latency_read.count > 0);
+    assert!(report.latency_write.count > 0);
+}
+
+#[test]
+fn mixed_record_patterns_run_under_checkin() {
+    for sizes in [
+        RecordSizes::pattern1(),
+        RecordSizes::pattern2(),
+        RecordSizes::pattern3(),
+        RecordSizes::pattern4(),
+    ] {
+        let mut c = config(OpMix::WRITE_ONLY, AccessPattern::Zipfian);
+        c.strategy = Strategy::CheckIn;
+        c.workload.sizes = sizes;
+        c.total_queries = 4_000;
+        let report = KvSystem::new(c).unwrap().run().unwrap();
+        assert_eq!(report.ops, 4_000);
+        assert!(report.journal_space_overhead > 0.0);
+    }
+}
+
+#[test]
+fn thread_scaling_increases_throughput_until_saturation() {
+    let mut last = 0.0;
+    let mut grew = 0;
+    for threads in [2u32, 8, 32] {
+        let mut c = config(OpMix::A, AccessPattern::Zipfian);
+        c.threads = threads;
+        let report = KvSystem::new(c).unwrap().run().unwrap();
+        if report.throughput > last {
+            grew += 1;
+        }
+        last = report.throughput;
+    }
+    assert!(grew >= 2, "throughput should scale with threads initially");
+}

@@ -1,0 +1,208 @@
+//! Property-based tests over the full stack and its core invariants.
+
+use std::collections::HashMap;
+
+use checkin_core::{align_log, EngineError, KvEngine, Layout, LogClass, Strategy};
+use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
+use checkin_ftl::{Ftl, FtlConfig, Lpn, MappingTable, Location, Pun};
+use checkin_sim::SimTime;
+use checkin_ssd::{Ssd, SsdTiming, SECTOR_BYTES};
+use proptest::prelude::*;
+// `checkin_core::Strategy` shadows proptest's `Strategy` trait name; bring
+// the trait into scope under an alias so its methods resolve.
+use proptest::strategy::Strategy as PropStrategy;
+
+// ---------------------------------------------------------------------
+// Algorithm 2 (sector alignment) invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn aligned_logs_never_shrink_below_payload(bytes in 1u32..=4096, ratio in 0.3f64..=1.0) {
+        let log = align_log(bytes, ratio);
+        let effective = if bytes > SECTOR_BYTES {
+            (bytes as f64 * ratio).ceil() as u32
+        } else {
+            bytes
+        };
+        prop_assert!(log.stored_bytes >= effective.min(log.sectors * SECTOR_BYTES));
+        prop_assert!(log.stored_bytes >= effective || bytes > SECTOR_BYTES);
+    }
+
+    #[test]
+    fn aligned_full_logs_are_sector_multiples(bytes in 1u32..=4096, ratio in 0.3f64..=1.0) {
+        let log = align_log(bytes, ratio);
+        match log.class {
+            LogClass::Full => {
+                prop_assert_eq!(log.stored_bytes % SECTOR_BYTES, 0);
+                prop_assert_eq!(log.stored_bytes / SECTOR_BYTES, log.sectors);
+            }
+            LogClass::Partial => {
+                prop_assert!(log.stored_bytes < SECTOR_BYTES);
+                prop_assert_eq!(log.stored_bytes % 128, 0);
+                prop_assert_eq!(log.sectors, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_is_monotone_in_value_size(a in 1u32..=512, b in 1u32..=512) {
+        // Within the sub-sector classes, a bigger value never stores fewer
+        // bytes.
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(align_log(small, 1.0).stored_bytes <= align_log(large, 1.0).stored_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mapping-table invariants
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Map(u8, u8),
+    Alias(u8, u8),
+    Unmap(u8),
+    Relocate(u8, u8),
+}
+
+fn map_op() -> impl PropStrategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(l, p)| MapOp::Map(l, p)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, s)| MapOp::Alias(d, s)),
+        any::<u8>().prop_map(MapOp::Unmap),
+        (any::<u8>(), any::<u8>()).prop_map(|(f, t)| MapOp::Relocate(f, t)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mapping_table_stays_consistent(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let mut table = MappingTable::new();
+        for op in ops {
+            match op {
+                MapOp::Map(l, p) => {
+                    table.map(Lpn(l as u64), Location::Flash(Pun(p as u64)));
+                }
+                MapOp::Alias(d, s) => {
+                    let _ = table.alias(Lpn(d as u64), Lpn(s as u64));
+                }
+                MapOp::Unmap(l) => {
+                    table.unmap(Lpn(l as u64));
+                }
+                MapOp::Relocate(f, t) => {
+                    table.relocate(
+                        Location::Flash(Pun(f as u64)),
+                        Location::Flash(Pun(t as u64)),
+                    );
+                }
+            }
+            prop_assert!(table.check_consistency().is_ok());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-stack property: random update/read/checkpoint sequences preserve
+// the shadow model for every strategy.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum StackOp {
+    Update { key: u8, bytes: u16 },
+    Read { key: u8 },
+    Checkpoint,
+}
+
+fn stack_op() -> impl PropStrategy<Value = StackOp> {
+    prop_oneof![
+        4 => (any::<u8>(), 1u16..=4096).prop_map(|(key, bytes)| StackOp::Update { key, bytes }),
+        4 => any::<u8>().prop_map(|key| StackOp::Read { key }),
+        1 => Just(StackOp::Checkpoint),
+    ]
+}
+
+const RECORDS: u64 = 64;
+
+fn build(strategy: Strategy) -> (Ssd, KvEngine) {
+    let unit = strategy.default_unit_bytes();
+    let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+    let ftl = Ftl::new(
+        flash,
+        FtlConfig {
+            unit_bytes: unit,
+            write_points: 2,
+            gc_threshold_blocks: 4,
+            gc_soft_threshold_blocks: 8,
+            ..FtlConfig::default()
+        },
+    )
+    .unwrap();
+    let ssd = Ssd::new(ftl, SsdTiming::paper_default());
+    let layout = Layout::new(RECORDS, 4096 + 16, unit, 1 << 10);
+    (ssd, KvEngine::new(strategy, layout, 0.7))
+}
+
+fn run_stack_ops(strategy: Strategy, ops: &[StackOp]) -> Result<(), TestCaseError> {
+    let (mut ssd, mut engine) = build(strategy);
+    let records: Vec<(u64, u32)> = (0..RECORDS).map(|k| (k, 256)).collect();
+    let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
+    let mut shadow: HashMap<u64, u64> = records.iter().map(|&(k, _)| (k, 1)).collect();
+
+    for op in ops {
+        match op {
+            StackOp::Update { key, bytes } => {
+                let key = *key as u64 % RECORDS;
+                match engine.update(&mut ssd, key, *bytes as u32, t) {
+                    Ok(done) => t = done,
+                    Err(EngineError::JournalFull) => {
+                        t = engine.checkpoint(&mut ssd, t).unwrap().finish;
+                        t = engine.update(&mut ssd, key, *bytes as u32, t).unwrap();
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+                *shadow.get_mut(&key).unwrap() += 1;
+            }
+            StackOp::Read { key } => {
+                let key = *key as u64 % RECORDS;
+                let r = engine.get(&mut ssd, key, t).unwrap();
+                t = r.finish;
+                prop_assert_eq!(r.version, shadow[&key]);
+            }
+            StackOp::Checkpoint => {
+                t = engine.checkpoint(&mut ssd, t).unwrap().finish;
+            }
+        }
+    }
+    for (&key, &version) in &shadow {
+        let r = engine.get(&mut ssd, key, t).unwrap();
+        t = r.finish;
+        prop_assert_eq!(r.version, version, "final sweep key {}", key);
+    }
+    prop_assert!(ssd.ftl().check_invariants().is_ok());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn baseline_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
+        run_stack_ops(Strategy::Baseline, &ops)?;
+    }
+
+    #[test]
+    fn iscb_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
+        run_stack_ops(Strategy::IscB, &ops)?;
+    }
+
+    #[test]
+    fn iscc_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
+        run_stack_ops(Strategy::IscC, &ops)?;
+    }
+
+    #[test]
+    fn checkin_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
+        run_stack_ops(Strategy::CheckIn, &ops)?;
+    }
+}
