@@ -36,8 +36,7 @@ fn part_a() -> Vec<(Strategy, RunReport)> {
             c.checkpoint_interval = SimDuration::from_millis(interval_ms);
             let r = run(c);
             let unit = c_unit_bytes(strategy) as u64;
-            let redundant =
-                r.redundant_write_bytes / 512 + r.flash.gc_units_moved * unit / 512;
+            let redundant = r.redundant_write_bytes / 512 + r.flash.gc_units_moved * unit / 512;
             // Compare each strategy at 250ms against baseline at 250ms.
             if interval_ms == 250 {
                 defaults.push((strategy, r.clone()));
@@ -87,7 +86,12 @@ fn part_b() {
         "{:<10} {:>10} {:>8} {:>12} {:>10}",
         "config", "queries", "gc", "invalid", "erases"
     );
-    for strategy in [Strategy::Baseline, Strategy::IscB, Strategy::IscC, Strategy::CheckIn] {
+    for strategy in [
+        Strategy::Baseline,
+        Strategy::IscB,
+        Strategy::IscC,
+        Strategy::CheckIn,
+    ] {
         for queries in [75_000u64, 150_000, 300_000] {
             let mut c = gc_pressured_config(strategy);
             c.total_queries = queries;
@@ -121,7 +125,10 @@ fn lifetime(defaults: &[(Strategy, RunReport)]) {
         .find(|(s, _)| *s == Strategy::IscC)
         .map(|(_, r)| r)
         .unwrap();
-    println!("{:<10} {:>10} {:>14} {:>12}", "config", "erases", "vs baseline", "vs ISC-C");
+    println!(
+        "{:<10} {:>10} {:>14} {:>12}",
+        "config", "erases", "vs baseline", "vs ISC-C"
+    );
     for (s, r) in defaults {
         println!(
             "{:<10} {:>10} {:>14} {:>12}",

@@ -9,7 +9,10 @@ fn main() {
     let threads = [4u32, 16, 32, 64, 128];
     for mix in [OpMix::A, OpMix::F, OpMix::WRITE_ONLY] {
         banner(
-            &format!("Fig. 11: workload {} — throughput (queries/s) and mean latency", mix.label()),
+            &format!(
+                "Fig. 11: workload {} — throughput (queries/s) and mean latency",
+                mix.label()
+            ),
             "throughput rises then saturates with threads; Check-In gains ~8.1% \
              average throughput and ~10.2% lower latency at 128 threads vs baseline",
         );
@@ -27,18 +30,21 @@ fn main() {
                 c.threads = t;
                 c.total_queries = 20_000;
                 let r = run(c);
-                print!(
-                    " {:>16}",
-                    format!("{:.0}/{}", r.throughput, r.latency.mean)
-                );
+                print!(" {:>16}", format!("{:.0}/{}", r.throughput, r.latency.mean));
                 if t == 128 {
                     at_128.push((strategy, r.throughput, r.latency.mean.as_micros_f64()));
                 }
             }
             println!();
         }
-        let base = at_128.iter().find(|(s, _, _)| *s == Strategy::Baseline).unwrap();
-        let ci = at_128.iter().find(|(s, _, _)| *s == Strategy::CheckIn).unwrap();
+        let base = at_128
+            .iter()
+            .find(|(s, _, _)| *s == Strategy::Baseline)
+            .unwrap();
+        let ci = at_128
+            .iter()
+            .find(|(s, _, _)| *s == Strategy::CheckIn)
+            .unwrap();
         println!(
             "at 128 threads: Check-In throughput {:+.1}% vs baseline (paper +8.1%), \
              latency {:.1}% lower (paper -10.2%)",

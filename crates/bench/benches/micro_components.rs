@@ -1,14 +1,15 @@
-//! Criterion micro-benchmarks of the substrate components: zipfian key
-//! generation, FTL write/remap paths, and whole-checkpoint execution.
+//! Micro-benchmarks of the substrate components: zipfian key generation,
+//! FTL write/remap paths, and whole-checkpoint execution. Uses the
+//! in-repo harness (`checkin_bench::harness`) — criterion is unavailable
+//! in offline builds.
 
+use checkin_bench::harness::{bench, BenchOpts};
 use checkin_core::{JournalManager, Layout, Strategy};
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
 use checkin_ftl::{Ftl, FtlConfig, Lpn, UnitWrite};
 use checkin_sim::{SimRng, SimTime};
 use checkin_ssd::{CheckpointMode, CowEntry, Ssd, SsdTiming};
 use checkin_workload::ZipfianGenerator;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn fresh_ftl(unit_bytes: u32) -> Ftl {
     let flash = FlashArray::new(FlashGeometry::paper_default(), FlashTiming::mlc());
@@ -22,112 +23,106 @@ fn fresh_ftl(unit_bytes: u32) -> Ftl {
     .unwrap()
 }
 
-fn bench_zipfian(c: &mut Criterion) {
-    c.bench_function("workload/zipfian_next_key", |b| {
-        let mut z = ZipfianGenerator::scrambled(1_000_000, 0.99);
-        let mut rng = SimRng::seed_from(7);
-        b.iter(|| black_box(z.next_key(&mut rng)));
+fn bench_zipfian(opts: BenchOpts) {
+    let mut z = ZipfianGenerator::scrambled(1_000_000, 0.99);
+    let mut rng = SimRng::seed_from(7);
+    bench("workload/zipfian_next_key", opts, || z.next_key(&mut rng));
+}
+
+fn bench_ftl_write(opts: BenchOpts) {
+    let mut ftl = fresh_ftl(512);
+    let mut lpn = 0u64;
+    bench("ftl/sequential_unit_write", opts, || {
+        let w = UnitWrite {
+            lpn: Lpn(lpn % 400_000),
+            payload: UnitPayload::single(lpn, 1, 512),
+            whole_unit: true,
+        };
+        lpn += 1;
+        ftl.write(w, OobKind::Data, SimTime::ZERO).unwrap()
     });
 }
 
-fn bench_ftl_write(c: &mut Criterion) {
-    c.bench_function("ftl/sequential_unit_write", |b| {
-        let mut ftl = fresh_ftl(512);
-        let mut lpn = 0u64;
-        b.iter(|| {
-            let w = UnitWrite {
-                lpn: Lpn(lpn % 400_000),
-                payload: UnitPayload::single(lpn, 1, 512),
+fn bench_remap(opts: BenchOpts) {
+    let mut ftl = fresh_ftl(512);
+    for i in 0..4_096u64 {
+        ftl.write(
+            UnitWrite {
+                lpn: Lpn(i),
+                payload: UnitPayload::single(i, 1, 512),
                 whole_unit: true,
-            };
-            lpn += 1;
-            black_box(ftl.write(w, OobKind::Data, SimTime::ZERO).unwrap());
-        });
+            },
+            OobKind::Journal,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    }
+    ftl.flush(SimTime::ZERO).unwrap();
+    let mut i = 0u64;
+    bench("ftl/remap", opts, || {
+        let dst = Lpn(1_000_000 + i);
+        ftl.remap(dst, Lpn(i % 4_096)).unwrap();
+        i += 1;
+        i
     });
 }
 
-fn bench_remap(c: &mut Criterion) {
-    c.bench_function("ftl/remap", |b| {
-        let mut ftl = fresh_ftl(512);
-        for i in 0..4_096u64 {
-            ftl.write(
-                UnitWrite {
-                    lpn: Lpn(i),
-                    payload: UnitPayload::single(i, 1, 512),
-                    whole_unit: true,
-                },
-                OobKind::Journal,
-                SimTime::ZERO,
-            )
-            .unwrap();
+fn bench_checkpoint_command(opts: BenchOpts) {
+    let ftl = fresh_ftl(512);
+    let mut ssd = Ssd::new(ftl, SsdTiming::paper_default());
+    let layout = Layout::new(1_024, 4096, 512, 1 << 14);
+    let mut jm = JournalManager::new(layout, true, 0.7);
+    let mut t = SimTime::ZERO;
+    for key in 0..64u64 {
+        {
+            let req = jm.append(key, 1, 512).unwrap();
+            t = ssd.write(&req, OobKind::Journal, t).unwrap();
         }
-        ftl.flush(SimTime::ZERO).unwrap();
-        let mut i = 0u64;
-        b.iter(|| {
-            let dst = Lpn(1_000_000 + i);
-            ftl.remap(dst, Lpn(i % 4_096)).unwrap();
-            black_box(());
-            i += 1;
-        });
+    }
+    let zone = jm.begin_checkpoint();
+    let entries: Vec<CowEntry> = zone
+        .entries
+        .iter()
+        .map(|(key, e)| CowEntry {
+            src_lba: e.journal_lba,
+            dst_lba: layout.home_lba(*key),
+            sectors: e.sectors,
+            dst_sectors: e.sectors,
+            key: *key,
+            merged: e.merged,
+        })
+        .collect();
+    bench("ssd/checkpoint_batch_64_remaps", opts, || {
+        ssd.checkpoint(&entries, CheckpointMode::Remap, SimTime::ZERO)
+            .unwrap()
     });
 }
 
-fn bench_checkpoint_command(c: &mut Criterion) {
-    c.bench_function("ssd/checkpoint_batch_64_remaps", |b| {
-        let ftl = fresh_ftl(512);
-        let mut ssd = Ssd::new(ftl, SsdTiming::paper_default());
-        let layout = Layout::new(1_024, 4096, 512, 1 << 14);
-        let mut jm = JournalManager::new(layout, true, 0.7);
-        let mut t = SimTime::ZERO;
-        for key in 0..64u64 {
-            for req in jm.append(key, 1, 512).unwrap() {
-                t = ssd.write(&req, OobKind::Journal, t).unwrap();
-            }
-        }
-        let zone = jm.begin_checkpoint();
-        let entries: Vec<CowEntry> = zone
-            .entries
-            .iter()
-            .map(|(key, e)| CowEntry {
-                src_lba: e.journal_lba,
-                dst_lba: layout.home_lba(*key),
-                sectors: e.sectors,
-                dst_sectors: e.sectors,
-                key: *key,
-                merged: e.merged,
-            })
-            .collect();
-        b.iter(|| {
-            black_box(
-                ssd.checkpoint(&entries, CheckpointMode::Remap, SimTime::ZERO)
-                    .unwrap(),
-            );
-        });
+fn bench_end_to_end_small(opts: BenchOpts) {
+    bench("system/kv_system_2000_queries", opts, || {
+        let mut config = checkin_core::SystemConfig::for_strategy(Strategy::CheckIn);
+        config.total_queries = 2_000;
+        config.threads = 8;
+        config.workload.record_count = 500;
+        let report = checkin_core::KvSystem::new(config).unwrap().run().unwrap();
+        report.throughput
     });
 }
 
-fn bench_end_to_end_small(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system");
-    group.sample_size(10);
-    group.bench_function("kv_system_2000_queries", |b| {
-        b.iter(|| {
-            let mut config = checkin_core::SystemConfig::for_strategy(Strategy::CheckIn);
-            config.total_queries = 2_000;
-            config.threads = 8;
-            config.workload.record_count = 500;
-            let report = checkin_core::KvSystem::new(config).unwrap().run().unwrap();
-            black_box(report.throughput);
-        });
-    });
-    group.finish();
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        BenchOpts::quick()
+    } else {
+        BenchOpts::full()
+    };
+    println!(
+        "micro_components ({})",
+        if quick { "quick" } else { "full" }
+    );
+    bench_zipfian(opts);
+    bench_ftl_write(opts);
+    bench_remap(opts);
+    bench_checkpoint_command(opts);
+    bench_end_to_end_small(opts);
 }
-
-criterion_group!(
-    benches,
-    bench_zipfian,
-    bench_ftl_write,
-    bench_remap,
-    bench_checkpoint_command,
-    bench_end_to_end_small
-);
-criterion_main!(benches);

@@ -10,7 +10,10 @@ fn main() {
     let s = c.ssd_timing;
     println!("Table I: simulated machine configuration (reproduction defaults)\n");
     println!("DBMS configuration");
-    println!("  record size            {:>20}", "128 B - 4 KiB (weighted mix)");
+    println!(
+        "  record size            {:>20}",
+        "128 B - 4 KiB (weighted mix)"
+    );
     println!(
         "  checkpoint interval    {:>20}",
         format!("{} (scaled from 60 s)", c.checkpoint_interval)
@@ -29,7 +32,11 @@ fn main() {
     );
     println!(
         "  interface              {:>20}",
-        format!("{:.1} GB/s + {} per cmd", s.link_bytes_per_sec as f64 / 1e9, s.cmd_overhead)
+        format!(
+            "{:.1} GB/s + {} per cmd",
+            s.link_bytes_per_sec as f64 / 1e9,
+            s.cmd_overhead
+        )
     );
     println!("  queue depth            {:>20}", s.queue_depth);
     println!("\nStorage configuration");
@@ -50,7 +57,10 @@ fn main() {
     );
     println!(
         "  flash timing (MLC)     {:>20}",
-        format!("tR {} / tPROG {} / tBER {}", f.t_read, f.t_program, f.t_erase)
+        format!(
+            "tR {} / tPROG {} / tBER {}",
+            f.t_read, f.t_program, f.t_erase
+        )
     );
     println!(
         "  channel bus            {:>20}",

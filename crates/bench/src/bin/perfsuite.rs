@@ -1,0 +1,365 @@
+//! `perfsuite` — the wall-clock performance suite behind `BENCH_perf.json`.
+//!
+//! Times the hot paths the dense-table / allocation-free refactors target:
+//!
+//! 1. **L2P lookup & remap** — the dense `MappingTable` against an in-binary
+//!    `HashMap`-backed baseline replicating the pre-refactor layout (forward
+//!    `HashMap<Lpn, Location>` plus reverse `HashMap<_, Vec<Lpn>>`). The
+//!    suite fails (exit 1) unless the dense lookup is at least 2x faster.
+//! 2. **Journal append** — sector-aligned appends through `JournalManager`
+//!    with the double-buffered zone swap on overflow.
+//! 3. **Checkpoint remap** — a 64-entry in-storage checkpoint command
+//!    against a fully modelled SSD.
+//! 4. **Full system run** — a 50k-query Check-In run (10k under `--quick`).
+//! 5. **Parallel sweep** — the five-strategy comparison batch, serial vs.
+//!    `run_configs` across all cores.
+//!
+//! Results land in `BENCH_perf.json` (override with `--out PATH`) so later
+//! changes can regress against recorded numbers.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use checkin_bench::harness::{bench, compare, BenchOpts, BenchResult, Comparison};
+use checkin_core::{default_jobs, run_configs, JournalManager, Layout, Strategy, SystemConfig};
+use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
+use checkin_ftl::{BufSlot, Ftl, FtlConfig, Location, Lpn, MappingTable, Pun, UnitWrite};
+use checkin_sim::{SimRng, SimTime};
+use checkin_ssd::{CheckpointMode, CowEntry, Ssd, SsdTiming};
+
+/// Mapped LPNs in the L2P benches — the paper-default device has ~400k
+/// 4-sector mapping units, so this is a realistically full table.
+const L2P_ENTRIES: u64 = 400_000;
+
+/// Required dense-vs-HashMap lookup speedup (the acceptance bar).
+const REQUIRED_L2P_SPEEDUP: f64 = 2.0;
+
+/// The pre-refactor mapping table: hashed forward map plus hashed
+/// reverse referrer lists. Kept here, out of the library, purely as the
+/// measurement baseline for the dense [`MappingTable`].
+#[derive(Default)]
+struct HashMapTable {
+    forward: HashMap<Lpn, Location>,
+    flash_refs: HashMap<Pun, Vec<Lpn>>,
+    buf_refs: HashMap<BufSlot, Vec<Lpn>>,
+}
+
+impl HashMapTable {
+    fn lookup(&self, lpn: Lpn) -> Option<Location> {
+        self.forward.get(&lpn).copied()
+    }
+
+    fn map(&mut self, lpn: Lpn, loc: Location) {
+        self.unmap(lpn);
+        self.forward.insert(lpn, loc);
+        match loc {
+            Location::Flash(pun) => self.flash_refs.entry(pun).or_default().push(lpn),
+            Location::Buffer(slot) => self.buf_refs.entry(slot).or_default().push(lpn),
+        }
+    }
+
+    fn unmap(&mut self, lpn: Lpn) {
+        let Some(loc) = self.forward.remove(&lpn) else {
+            return;
+        };
+        match loc {
+            Location::Flash(pun) => {
+                if let Some(refs) = self.flash_refs.get_mut(&pun) {
+                    refs.retain(|&l| l != lpn);
+                    if refs.is_empty() {
+                        self.flash_refs.remove(&pun);
+                    }
+                }
+            }
+            Location::Buffer(slot) => {
+                if let Some(refs) = self.buf_refs.get_mut(&slot) {
+                    refs.retain(|&l| l != lpn);
+                    if refs.is_empty() {
+                        self.buf_refs.remove(&slot);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Same population for both tables: every LPN mapped, a few PUN aliases.
+fn populate_dense() -> MappingTable {
+    let mut t = MappingTable::with_capacity(L2P_ENTRIES as usize);
+    for i in 0..L2P_ENTRIES {
+        t.map(Lpn(i), Location::Flash(Pun(i)));
+    }
+    t
+}
+
+fn populate_hashed() -> HashMapTable {
+    let mut t = HashMapTable::default();
+    for i in 0..L2P_ENTRIES {
+        t.map(Lpn(i), Location::Flash(Pun(i)));
+    }
+    t
+}
+
+fn bench_l2p(
+    opts: BenchOpts,
+    results: &mut Vec<BenchResult>,
+    comparisons: &mut Vec<Comparison>,
+) -> f64 {
+    section("L2P mapping table: dense Vec vs HashMap baseline");
+    let dense = populate_dense();
+    let hashed = populate_hashed();
+
+    let mut rng = SimRng::seed_from(11);
+    let hashed_lookup = bench("l2p/lookup_hashmap_baseline", opts, || {
+        hashed.lookup(Lpn(rng.gen_range(L2P_ENTRIES)))
+    });
+    let mut rng = SimRng::seed_from(11);
+    let dense_lookup = bench("l2p/lookup_dense", opts, || {
+        dense.lookup(Lpn(rng.gen_range(L2P_ENTRIES)))
+    });
+    let lookup_cmp = compare("l2p_lookup_speedup", &hashed_lookup, &dense_lookup);
+    let speedup = lookup_cmp.speedup;
+
+    // Remap churn: every iteration moves a random LPN to a fresh PUN,
+    // exercising forward update plus reverse unlink/link — the write path
+    // the FTL takes on every host program and GC relocation.
+    let mut hashed = hashed;
+    let mut rng = SimRng::seed_from(12);
+    let mut next_pun = L2P_ENTRIES;
+    let hashed_remap = bench("l2p/remap_hashmap_baseline", opts, || {
+        let lpn = Lpn(rng.gen_range(L2P_ENTRIES));
+        hashed.map(lpn, Location::Flash(Pun(next_pun)));
+        next_pun += 1;
+    });
+    let mut dense = dense;
+    let mut rng = SimRng::seed_from(12);
+    // Recycle PUNs within a bounded window so the dense reverse array
+    // stays device-sized, as it does in the real FTL.
+    let mut next_pun = L2P_ENTRIES;
+    let dense_remap = bench("l2p/remap_dense", opts, || {
+        let lpn = Lpn(rng.gen_range(L2P_ENTRIES));
+        dense.map(lpn, Location::Flash(Pun(next_pun % (2 * L2P_ENTRIES))));
+        next_pun += 1;
+    });
+    let remap_cmp = compare("l2p_remap_speedup", &hashed_remap, &dense_remap);
+
+    results.extend([hashed_lookup, dense_lookup, hashed_remap, dense_remap]);
+    comparisons.extend([lookup_cmp, remap_cmp]);
+    speedup
+}
+
+fn bench_journal_append(opts: BenchOpts, results: &mut Vec<BenchResult>) {
+    section("Journal append path (sector-aligned, Algorithm 2)");
+    let layout = Layout::new(1_024, 4096, 512, 1 << 14);
+    let mut jm = JournalManager::new(layout, true, 0.7);
+    let mut rng = SimRng::seed_from(21);
+    let mut version = 0u64;
+    results.push(bench("journal/append_aligned", opts, || {
+        version += 1;
+        let key = rng.gen_range(1_024);
+        match jm.append(key, version, 300) {
+            Ok(req) => req.sectors,
+            Err(_) => {
+                // Zone full: swap to the other journal half and recycle
+                // the retiring zone's entry buffer, as the engine does.
+                let zone = jm.begin_checkpoint();
+                jm.recycle_zone(zone);
+                0
+            }
+        }
+    }));
+}
+
+fn bench_checkpoint_remap(opts: BenchOpts, results: &mut Vec<BenchResult>) {
+    section("Checkpoint remap command (64 live entries)");
+    let flash = FlashArray::new(FlashGeometry::paper_default(), FlashTiming::mlc());
+    let ftl = Ftl::new(flash, FtlConfig::default()).unwrap();
+    let mut ssd = Ssd::new(ftl, SsdTiming::paper_default());
+    let layout = Layout::new(1_024, 4096, 512, 1 << 14);
+    let mut jm = JournalManager::new(layout, true, 0.7);
+    let mut t = SimTime::ZERO;
+    for key in 0..64u64 {
+        let req = jm.append(key, 1, 512).unwrap();
+        t = ssd.write(&req, OobKind::Journal, t).unwrap();
+    }
+    let zone = jm.begin_checkpoint();
+    let entries: Vec<CowEntry> = zone
+        .entries
+        .iter()
+        .map(|(key, e)| CowEntry {
+            src_lba: e.journal_lba,
+            dst_lba: layout.home_lba(*key),
+            sectors: e.sectors,
+            dst_sectors: e.sectors,
+            key: *key,
+            merged: e.merged,
+        })
+        .collect();
+    results.push(bench("ssd/checkpoint_remap_64_entries", opts, || {
+        ssd.checkpoint(&entries, CheckpointMode::Remap, SimTime::ZERO)
+            .unwrap()
+    }));
+}
+
+fn bench_ftl_write(opts: BenchOpts, results: &mut Vec<BenchResult>) {
+    section("FTL unit write (journal stream)");
+    let flash = FlashArray::new(FlashGeometry::paper_default(), FlashTiming::mlc());
+    let mut ftl = Ftl::new(flash, FtlConfig::default()).unwrap();
+    let mut lpn = 0u64;
+    results.push(bench("ftl/unit_write", opts, || {
+        let w = UnitWrite {
+            lpn: Lpn(lpn % L2P_ENTRIES),
+            payload: UnitPayload::single(lpn, 1, 512),
+            whole_unit: true,
+        };
+        lpn += 1;
+        ftl.write(w, OobKind::Journal, SimTime::ZERO).unwrap()
+    }));
+}
+
+/// Wraps a one-shot measurement in a [`BenchResult`]: `units` is the work
+/// count (queries, configs) so `ns_per_op` reads as time per unit.
+fn one_shot(name: &str, units: u64, run: impl FnOnce()) -> BenchResult {
+    let start = Instant::now();
+    run();
+    let ns = start.elapsed().as_nanos().max(1);
+    let result = BenchResult {
+        name: name.to_string(),
+        iters: units,
+        best_batch_ns: ns,
+        total_iters: units,
+        total_ns: ns,
+    };
+    println!(
+        "  {:<44} {:>12.1} ns/op   ({:.3} s total)",
+        result.name,
+        result.ns_per_op(),
+        ns as f64 / 1e9
+    );
+    result
+}
+
+fn bench_full_run(quick: bool, results: &mut Vec<BenchResult>) {
+    let queries: u64 = if quick { 10_000 } else { 50_000 };
+    section(&format!("Full system run ({queries} queries, Check-In)"));
+    let mut config = SystemConfig::for_strategy(Strategy::CheckIn);
+    config.total_queries = queries;
+    config.threads = 32;
+    config.workload.record_count = 6_000;
+    let name = format!("system/full_run_{}k_queries", queries / 1_000);
+    results.push(one_shot(&name, queries, || {
+        let report = checkin_bench::run(config);
+        assert!(report.throughput > 0.0);
+    }));
+}
+
+fn bench_parallel_sweep(
+    quick: bool,
+    results: &mut Vec<BenchResult>,
+    comparisons: &mut Vec<Comparison>,
+) {
+    let queries: u64 = if quick { 4_000 } else { 20_000 };
+    let jobs = default_jobs();
+    section(&format!(
+        "Strategy-comparison sweep: serial vs {jobs} worker threads"
+    ));
+    let configs: Vec<SystemConfig> = Strategy::all()
+        .into_iter()
+        .map(|s| {
+            let mut c = SystemConfig::for_strategy(s);
+            c.total_queries = queries;
+            c.threads = 32;
+            c.workload.record_count = 6_000;
+            c
+        })
+        .collect();
+    let n = configs.len() as u64;
+
+    let serial = one_shot("sweep/five_strategies_serial", n, || {
+        for r in run_configs(&configs, 1) {
+            r.expect("sweep config runs");
+        }
+    });
+    let parallel = one_shot("sweep/five_strategies_parallel", n, || {
+        for r in run_configs(&configs, jobs) {
+            r.expect("sweep config runs");
+        }
+    });
+    comparisons.push(compare("sweep_parallel_speedup", &serial, &parallel));
+    results.extend([serial, parallel]);
+}
+
+fn section(title: &str) {
+    println!("\n== {title}");
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_perf.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match argv.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: perfsuite [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    let opts = if quick {
+        BenchOpts::quick()
+    } else {
+        BenchOpts::full()
+    };
+    println!("perfsuite ({mode}) -> {}", out.display());
+
+    let mut results = Vec::new();
+    let mut comparisons = Vec::new();
+
+    let l2p_speedup = bench_l2p(opts, &mut results, &mut comparisons);
+    bench_journal_append(opts, &mut results);
+    bench_ftl_write(opts, &mut results);
+    bench_checkpoint_remap(opts, &mut results);
+    bench_full_run(quick, &mut results);
+    bench_parallel_sweep(quick, &mut results, &mut comparisons);
+
+    harnessed_write(&out, mode, &results, &comparisons);
+
+    println!();
+    if l2p_speedup >= REQUIRED_L2P_SPEEDUP {
+        println!(
+            "PASS: dense L2P lookup is {l2p_speedup:.2}x the HashMap baseline \
+             (required {REQUIRED_L2P_SPEEDUP:.1}x)"
+        );
+    } else {
+        eprintln!(
+            "FAIL: dense L2P lookup is only {l2p_speedup:.2}x the HashMap \
+             baseline (required {REQUIRED_L2P_SPEEDUP:.1}x)"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn harnessed_write(
+    out: &std::path::Path,
+    mode: &str,
+    results: &[BenchResult],
+    comparisons: &[Comparison],
+) {
+    if let Err(e) = checkin_bench::harness::write_json(out, "perfsuite", mode, results, comparisons)
+    {
+        eprintln!("error: could not write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", out.display());
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use checkin_core::{KvSystem, RunReport, Strategy, SystemConfig};
 use checkin_flash::FlashGeometry;
 

@@ -72,6 +72,9 @@ pub struct RunArgs {
     pub gc_pressure: bool,
     /// Emit machine-readable CSV instead of tables.
     pub csv: bool,
+    /// Worker threads for `compare`/`sweep` batches (`None` = one per
+    /// core). Results are deterministic regardless of the value.
+    pub jobs: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -88,6 +91,7 @@ impl Default for RunArgs {
             seed: 0x5EED,
             gc_pressure: false,
             csv: false,
+            jobs: None,
         }
     }
 }
@@ -186,6 +190,7 @@ fn fill_args(args: &mut RunArgs, flag: &str, value: &str) -> Result<(), ParseErr
         "--interval-ms" => args.interval_ms = parse_num(flag, value)?,
         "--unit" => args.unit_bytes = Some(parse_num(flag, value)?),
         "--seed" => args.seed = parse_num(flag, value)?,
+        "--jobs" => args.jobs = Some(parse_num(flag, value)?),
         other => return Err(ParseError(format!("unknown flag '{other}'"))),
     }
     Ok(())
@@ -303,6 +308,9 @@ FLAGS (all optional):
   --interval-ms N        checkpoint interval        (default 250)
   --unit      512|1024|2048|4096  mapping-unit override
   --seed      N          workload seed              (default 0x5EED)
+  --jobs      N          worker threads for compare/sweep batches
+                         (default: one per core; results are identical
+                         for any value, including --jobs 1)
   --gc-pressure          use a small device so GC runs constantly
   --csv                  machine-readable CSV output (compare/sweep)
 ";
@@ -314,8 +322,20 @@ mod tests {
     #[test]
     fn parses_run_with_flags() {
         let cmd = parse(&[
-            "run", "--strategy", "isc-b", "--queries", "1234", "--threads", "8", "--mix", "WO",
-            "--pattern", "uniform", "--unit", "1024", "--gc-pressure",
+            "run",
+            "--strategy",
+            "isc-b",
+            "--queries",
+            "1234",
+            "--threads",
+            "8",
+            "--mix",
+            "WO",
+            "--pattern",
+            "uniform",
+            "--unit",
+            "1024",
+            "--gc-pressure",
         ])
         .unwrap();
         let Command::Run(a) = cmd else { panic!() };
@@ -327,17 +347,26 @@ mod tests {
         assert_eq!(a.unit_bytes, Some(1024));
         assert!(a.gc_pressure);
         assert!(!a.csv);
-        let Command::Run(a) = parse(&["run", "--csv"]).unwrap() else { panic!() };
+        let Command::Run(a) = parse(&["run", "--csv"]).unwrap() else {
+            panic!()
+        };
         assert!(a.csv);
     }
 
     #[test]
     fn parses_sweep() {
         let cmd = parse(&[
-            "sweep", "threads", "--values", "4,16,64", "--strategy", "baseline",
+            "sweep",
+            "threads",
+            "--values",
+            "4,16,64",
+            "--strategy",
+            "baseline",
         ])
         .unwrap();
-        let Command::Sweep { axis, values, base } = cmd else { panic!() };
+        let Command::Sweep { axis, values, base } = cmd else {
+            panic!()
+        };
         assert_eq!(axis, SweepAxis::Threads);
         assert_eq!(values, vec![4, 16, 64]);
         assert_eq!(base.strategy, Strategy::Baseline);
@@ -351,6 +380,16 @@ mod tests {
         assert!(parse(&["run", "--queries", "abc"]).is_err());
         assert!(parse(&["sweep", "sideways", "--values", "1"]).is_err());
         assert!(parse(&["sweep", "threads"]).is_err());
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let Command::Compare(a) = parse(&["compare", "--jobs", "3"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.jobs, Some(3));
+        assert_eq!(RunArgs::default().jobs, None);
+        assert!(parse(&["compare", "--jobs", "x"]).is_err());
     }
 
     #[test]

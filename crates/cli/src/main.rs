@@ -2,7 +2,7 @@
 //! reproduction. See `checkin help` for usage.
 
 use checkin_cli::{parse, Command, RunArgs, SweepAxis, USAGE};
-use checkin_core::{KvSystem, RunReport, Strategy};
+use checkin_core::{KvSystem, RunReport, Strategy, SystemConfig};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +58,22 @@ fn table_row(r: &RunReport) -> String {
     )
 }
 
+/// Runs a batch of configurations across worker threads (`--jobs`,
+/// default one per core). Report order matches `configs`; results are
+/// identical to a serial loop, just faster on the wall clock.
+fn execute_batch(configs: Vec<SystemConfig>, jobs: Option<usize>) -> Vec<RunReport> {
+    let jobs = jobs.unwrap_or_else(checkin_core::default_jobs);
+    checkin_core::run_configs(&configs, jobs)
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect()
+}
+
 fn compare(args: &RunArgs) {
     if args.csv {
         println!("{}", RunReport::csv_header());
@@ -67,10 +83,15 @@ fn compare(args: &RunArgs) {
             "config", "queries/s", "mean", "p99.9", "cp KiB", "gc", "cps"
         );
     }
-    for strategy in Strategy::all() {
-        let mut a = args.clone();
-        a.strategy = strategy;
-        let r = execute(&a);
+    let configs = Strategy::all()
+        .into_iter()
+        .map(|strategy| {
+            let mut a = args.clone();
+            a.strategy = strategy;
+            a.to_config()
+        })
+        .collect();
+    for r in execute_batch(configs, args.jobs) {
         if args.csv {
             println!("{}", r.to_csv_row());
         } else {
@@ -88,21 +109,29 @@ fn sweep(axis: SweepAxis, values: &[u64], base: &RunArgs) {
             "value", "queries/s", "mean", "p99.9", "cp KiB", "gc", "cps"
         );
     }
-    for &v in values {
-        let mut a = base.clone();
-        match axis {
-            SweepAxis::Threads => a.threads = v as u32,
-            SweepAxis::IntervalMs => a.interval_ms = v,
-            SweepAxis::UnitBytes => a.unit_bytes = Some(v as u32),
-        }
-        let r = execute(&a);
+    let configs = values
+        .iter()
+        .map(|&v| {
+            let mut a = base.clone();
+            match axis {
+                SweepAxis::Threads => a.threads = v as u32,
+                SweepAxis::IntervalMs => a.interval_ms = v,
+                SweepAxis::UnitBytes => a.unit_bytes = Some(v as u32),
+            }
+            a.to_config()
+        })
+        .collect();
+    for (&v, r) in values.iter().zip(execute_batch(configs, base.jobs)) {
         if base.csv {
             println!("{v},{}", r.to_csv_row());
         } else {
             println!(
                 "{:<12} {}",
                 v,
-                table_row(&r).split_once(' ').map(|(_, rest)| rest).unwrap_or("")
+                table_row(&r)
+                    .split_once(' ')
+                    .map(|(_, rest)| rest)
+                    .unwrap_or("")
             );
         }
     }

@@ -20,9 +20,7 @@
 
 use checkin_flash::OobKind;
 use checkin_sim::SimTime;
-use checkin_ssd::{
-    CowEntry, ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES,
-};
+use checkin_ssd::{CowEntry, ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES};
 
 use crate::config::Strategy;
 use crate::journal::RetiringZone;
@@ -91,11 +89,8 @@ pub fn run_checkpoint(
     let mut tombstoned = 0u64;
     for (key, e) in &zone.entries {
         if e.tombstone {
-            done = done.max(ssd.deallocate(
-                layout.home_lba(*key),
-                layout.slot_sectors() as u32,
-                at,
-            ));
+            done =
+                done.max(ssd.deallocate(layout.home_lba(*key), layout.slot_sectors() as u32, at));
             tombstoned += 1;
         }
     }
@@ -120,8 +115,7 @@ pub fn run_checkpoint(
 
     // Data movement is complete; everything after this line (metadata,
     // trim) is bookkeeping, not redundant data writes.
-    let redundant_units =
-        ssd.ftl().counters().get("ftl.host_unit_writes") - unit_writes_before;
+    let redundant_units = ssd.ftl().counters().get("ftl.host_unit_writes") - unit_writes_before;
     let redundant_bytes = ssd.ftl().counters().get("ftl.host_bytes") - bytes_before;
 
     // Engine metadata: the superblock records the checkpoint sequence
@@ -172,7 +166,11 @@ fn build_entries(layout: &Layout, zone: &RetiringZone) -> Vec<CowEntry> {
             sectors: e.sectors,
             // The home holds the record itself (or its compressed form),
             // never the journal header padding.
-            dst_sectors: e.raw_bytes.min(e.stored_bytes).div_ceil(SECTOR_BYTES).max(1),
+            dst_sectors: e
+                .raw_bytes
+                .min(e.stored_bytes)
+                .div_ceil(SECTOR_BYTES)
+                .max(1),
             key: *key,
             merged: e.merged,
         })
@@ -254,18 +252,15 @@ mod tests {
         .unwrap();
         let ssd = Ssd::new(ftl, SsdTiming::paper_default());
         let layout = Layout::new(64, 4096, unit, 1 << 12);
-        let jm = JournalManager::new(
-            layout,
-            strategy.sector_aligned_journaling(),
-            0.7,
-        );
+        let jm = JournalManager::new(layout, strategy.sector_aligned_journaling(), 0.7);
         (ssd, layout, jm)
     }
 
     fn journal_some(ssd: &mut Ssd, jm: &mut JournalManager, n: u64) -> SimTime {
         let mut t = SimTime::ZERO;
         for key in 0..n {
-            for req in jm.append(key, 2, 480).unwrap() {
+            {
+                let req = jm.append(key, 2, 480).unwrap();
                 t = ssd.write(&req, OobKind::Journal, t).unwrap();
             }
         }
@@ -319,7 +314,8 @@ mod tests {
             let (mut ssd, layout, mut jm) = setup(strategy);
             let mut t = SimTime::ZERO;
             for (i, &bytes) in sizes.iter().cycle().take(64).enumerate() {
-                for req in jm.append(i as u64 % 32, 2, bytes).unwrap() {
+                {
+                    let req = jm.append(i as u64 % 32, 2, bytes).unwrap();
                     t = ssd.write(&req, OobKind::Journal, t).unwrap();
                 }
             }
@@ -346,7 +342,8 @@ mod tests {
         let (mut ssd_c, layout_c, mut jm_c) = setup(Strategy::IscC);
         let mut t = SimTime::ZERO;
         for key in 0..10u64 {
-            for req in jm_c.append(key, 2, 150).unwrap() {
+            {
+                let req = jm_c.append(key, 2, 150).unwrap();
                 t = ssd_c.write(&req, OobKind::Journal, t).unwrap();
             }
         }
@@ -358,7 +355,8 @@ mod tests {
         let (mut ssd_ci, layout_ci, mut jm_ci) = setup(Strategy::CheckIn);
         let mut t = SimTime::ZERO;
         for key in 0..10u64 {
-            for req in jm_ci.append(key, 2, 150).unwrap() {
+            {
+                let req = jm_ci.append(key, 2, 150).unwrap();
                 t = ssd_ci.write(&req, OobKind::Journal, t).unwrap();
             }
         }
@@ -377,13 +375,22 @@ mod tests {
         let t = journal_some(&mut ssd, &mut jm, 8);
         let zone = jm.begin_checkpoint();
         let out = run_checkpoint(&mut ssd, Strategy::Baseline, &layout, &zone, 1, t).unwrap();
-        assert!(out.host_bytes > 8 * 480, "host transfer: {}", out.host_bytes);
+        assert!(
+            out.host_bytes > 8 * 480,
+            "host transfer: {}",
+            out.host_bytes
+        );
         assert_eq!(out.remapped, 0);
     }
 
     #[test]
     fn in_storage_strategies_move_no_host_data() {
-        for strategy in [Strategy::IscA, Strategy::IscB, Strategy::IscC, Strategy::CheckIn] {
+        for strategy in [
+            Strategy::IscA,
+            Strategy::IscB,
+            Strategy::IscC,
+            Strategy::CheckIn,
+        ] {
             let (mut ssd, layout, mut jm) = setup(strategy);
             let t = journal_some(&mut ssd, &mut jm, 8);
             let zone = jm.begin_checkpoint();
@@ -422,8 +429,7 @@ mod tests {
         for strategy in Strategy::all() {
             let (mut ssd, layout, mut jm) = setup(strategy);
             let zone = jm.begin_checkpoint();
-            let out =
-                run_checkpoint(&mut ssd, strategy, &layout, &zone, 1, SimTime::ZERO).unwrap();
+            let out = run_checkpoint(&mut ssd, strategy, &layout, &zone, 1, SimTime::ZERO).unwrap();
             assert_eq!(out.entries, 0);
             assert_eq!(out.remapped + out.copied, 0);
         }
@@ -439,7 +445,11 @@ mod tests {
         // Journal LBA no longer readable; home still is.
         let (frags, _) = ssd
             .read(
-                &ReadRequest { lba: first_journal_lba, sectors: 1, key: None },
+                &ReadRequest {
+                    lba: first_journal_lba,
+                    sectors: 1,
+                    key: None,
+                },
                 out.finish,
             )
             .unwrap();
@@ -453,7 +463,8 @@ mod tests {
         let mut t = SimTime::ZERO;
         // Small values -> PARTIAL -> merged sectors.
         for key in 0..10u64 {
-            for req in jm.append(key, 3, 100).unwrap() {
+            {
+                let req = jm.append(key, 3, 100).unwrap();
                 t = ssd.write(&req, OobKind::Journal, t).unwrap();
             }
         }

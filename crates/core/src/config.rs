@@ -3,8 +3,8 @@
 
 use checkin_flash::{FlashGeometry, FlashTiming};
 use checkin_ftl::FtlConfig;
-use checkin_ssd::{CheckpointMode, SsdTiming};
 use checkin_sim::SimDuration;
+use checkin_ssd::{CheckpointMode, SsdTiming};
 use checkin_workload::WorkloadSpec;
 
 /// The five configurations the paper evaluates (§IV-A).
@@ -174,7 +174,8 @@ impl SystemConfig {
 
     /// The mapping unit in effect (override or strategy default).
     pub fn effective_unit_bytes(&self) -> u32 {
-        self.unit_bytes.unwrap_or(self.strategy.default_unit_bytes())
+        self.unit_bytes
+            .unwrap_or(self.strategy.default_unit_bytes())
     }
 
     /// FTL configuration derived from this system configuration.
@@ -196,9 +197,10 @@ impl SystemConfig {
     ///
     /// Returns a description of the first inconsistency.
     pub fn validate(&self) -> Result<(), String> {
-        self.workload.mix.validate().map_err(|s| {
-            format!("operation mix sums to {s}%, expected 100")
-        })?;
+        self.workload
+            .mix
+            .validate()
+            .map_err(|s| format!("operation mix sums to {s}%, expected 100"))?;
         if self.threads == 0 {
             return Err("threads must be positive".into());
         }
@@ -223,7 +225,10 @@ mod tests {
         assert_eq!(Strategy::Baseline.checkpoint_mode(), None);
         assert_eq!(Strategy::IscA.checkpoint_mode(), Some(CheckpointMode::Copy));
         assert_eq!(Strategy::IscB.checkpoint_mode(), Some(CheckpointMode::Copy));
-        assert_eq!(Strategy::IscC.checkpoint_mode(), Some(CheckpointMode::Remap));
+        assert_eq!(
+            Strategy::IscC.checkpoint_mode(),
+            Some(CheckpointMode::Remap)
+        );
         assert_eq!(
             Strategy::CheckIn.checkpoint_mode(),
             Some(CheckpointMode::Remap)

@@ -2,8 +2,6 @@
 //! journaling layer (Figure 5's Check-In engine, parameterised so the same
 //! engine also behaves as the conventional baseline).
 
-use std::collections::{HashMap, HashSet};
-
 use checkin_flash::OobKind;
 use checkin_sim::{CounterSet, SimTime};
 use checkin_ssd::{ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES};
@@ -97,13 +95,25 @@ pub struct KvEngine {
     strategy: Strategy,
     layout: Layout,
     journal: JournalManager,
-    /// Key-value mapping layer: committed version and current size.
-    versions: HashMap<u64, u64>,
-    sizes: HashMap<u64, u32>,
-    /// Keys whose latest committed operation is a deletion.
-    deleted: HashSet<u64>,
+    /// Key-value mapping layer, indexed by key: keys are dense integers
+    /// below the layout's record count, so a flat array replaces the
+    /// hash maps the engine used to keep (version 0 = never loaded).
+    keys: Vec<KeyState>,
+    /// Keys with a non-zero version (what `loaded_keys` reports).
+    loaded: usize,
     checkpoint_seq: u64,
     counters: CounterSet,
+}
+
+/// Committed per-key engine state (one flat-array slot).
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyState {
+    /// Latest committed version; 0 = the key was never loaded.
+    version: u64,
+    /// Current value size in bytes (0 after a deletion).
+    bytes: u32,
+    /// True when the latest committed operation is a deletion.
+    deleted: bool,
 }
 
 impl KvEngine {
@@ -128,12 +138,36 @@ impl KvEngine {
             strategy,
             layout,
             journal: JournalManager::with_options(layout, options),
-            versions: HashMap::new(),
-            sizes: HashMap::new(),
-            deleted: HashSet::new(),
+            keys: Vec::with_capacity(layout.record_count() as usize),
+            loaded: 0,
             checkpoint_seq: 0,
             counters: CounterSet::new(),
         }
+    }
+
+    /// State of `key` when it has ever been committed.
+    fn state(&self, key: u64) -> Option<KeyState> {
+        self.keys
+            .get(key as usize)
+            .copied()
+            .filter(|s| s.version > 0)
+    }
+
+    /// Commits new state for `key`, growing the array on first touch.
+    fn commit(&mut self, key: u64, version: u64, bytes: u32, deleted: bool) {
+        let idx = key as usize;
+        if idx >= self.keys.len() {
+            self.keys.resize(idx + 1, KeyState::default());
+        }
+        let slot = &mut self.keys[idx];
+        if slot.version == 0 {
+            self.loaded += 1;
+        }
+        *slot = KeyState {
+            version,
+            bytes,
+            deleted,
+        };
     }
 
     /// The engine's address layout.
@@ -158,12 +192,18 @@ impl KvEngine {
 
     /// Committed version of `key`, if loaded.
     pub fn version_of(&self, key: u64) -> Option<u64> {
-        self.versions.get(&key).copied()
+        self.state(key).map(|s| s.version)
+    }
+
+    /// Current value size of `key` in bytes (`None` for unknown or
+    /// deleted keys).
+    pub fn size_of(&self, key: u64) -> Option<u32> {
+        self.state(key).filter(|s| !s.deleted).map(|s| s.bytes)
     }
 
     /// Number of loaded keys.
     pub fn loaded_keys(&self) -> usize {
-        self.versions.len()
+        self.loaded
     }
 
     /// Mapping units of journal space used since the last checkpoint
@@ -197,8 +237,7 @@ impl KvEngine {
                 },
             };
             t = ssd.write(&req, OobKind::Data, t)?;
-            self.versions.insert(key, 1);
-            self.sizes.insert(key, bytes);
+            self.commit(key, 1, bytes, false);
             self.counters.incr("engine.loads");
         }
         Ok(ssd.flush(t)?)
@@ -212,13 +251,10 @@ impl KvEngine {
     /// [`EngineError::UnknownKey`] when the key was never loaded.
     pub fn get(&mut self, ssd: &mut Ssd, key: u64, at: SimTime) -> Result<ReadResult, EngineError> {
         self.counters.incr("engine.reads");
-        if self.deleted.contains(&key) {
-            return Err(EngineError::UnknownKey(key));
-        }
-        let expected = *self
-            .versions
-            .get(&key)
-            .ok_or(EngineError::UnknownKey(key))?;
+        let expected = match self.state(key) {
+            Some(s) if !s.deleted => s.version,
+            _ => return Err(EngineError::UnknownKey(key)),
+        };
         let (lba, sectors, from_journal) = match self.journal.jmt().lookup(key) {
             Some(e) => (e.journal_lba, e.sectors, true),
             None => (
@@ -261,24 +297,20 @@ impl KvEngine {
         value_bytes: u32,
         at: SimTime,
     ) -> Result<SimTime, EngineError> {
-        if !self.versions.contains_key(&key) || self.deleted.contains(&key) {
-            return Err(EngineError::UnknownKey(key));
-        }
+        let current = match self.state(key) {
+            Some(s) if !s.deleted => s.version,
+            _ => return Err(EngineError::UnknownKey(key)),
+        };
         let max_bytes = (self.layout.slot_sectors() * SECTOR_BYTES as u64) as u32;
         if value_bytes == 0 || value_bytes > max_bytes {
             return Err(EngineError::InvalidValue(value_bytes));
         }
-        let version = self.versions[&key] + 1;
-        let requests = self.journal.append(key, version, value_bytes)?;
-        let mut t = at;
-        for req in &requests {
-            t = ssd.write(req, OobKind::Journal, t)?;
-        }
-        self.versions.insert(key, version);
-        self.sizes.insert(key, value_bytes);
+        let version = current + 1;
+        let req = self.journal.append(key, version, value_bytes)?;
+        let t = ssd.write(&req, OobKind::Journal, at)?;
+        self.commit(key, version, value_bytes, false);
         self.counters.incr("engine.updates");
-        self.counters
-            .add("engine.update_bytes", value_bytes as u64);
+        self.counters.add("engine.update_bytes", value_bytes as u64);
         Ok(t)
     }
 
@@ -291,18 +323,14 @@ impl KvEngine {
     /// [`EngineError::UnknownKey`] for unknown or already-deleted keys;
     /// [`EngineError::JournalFull`] when a checkpoint is required first.
     pub fn delete(&mut self, ssd: &mut Ssd, key: u64, at: SimTime) -> Result<SimTime, EngineError> {
-        if !self.versions.contains_key(&key) || self.deleted.contains(&key) {
-            return Err(EngineError::UnknownKey(key));
-        }
-        let version = self.versions[&key] + 1;
-        let requests = self.journal.append_delete(key, version)?;
-        let mut t = at;
-        for req in &requests {
-            t = ssd.write(req, OobKind::Journal, t)?;
-        }
-        self.versions.insert(key, version);
-        self.sizes.remove(&key);
-        self.deleted.insert(key);
+        let current = match self.state(key) {
+            Some(s) if !s.deleted => s.version,
+            _ => return Err(EngineError::UnknownKey(key)),
+        };
+        let version = current + 1;
+        let req = self.journal.append_delete(key, version)?;
+        let t = ssd.write(&req, OobKind::Journal, at)?;
+        self.commit(key, version, 0, true);
         self.counters.incr("engine.deletes");
         Ok(t)
     }
@@ -329,15 +357,10 @@ impl KvEngine {
         if value_bytes == 0 || value_bytes > max_bytes {
             return Err(EngineError::InvalidValue(value_bytes));
         }
-        let version = self.versions.get(&key).copied().unwrap_or(0) + 1;
-        let requests = self.journal.append(key, version, value_bytes)?;
-        let mut t = at;
-        for req in &requests {
-            t = ssd.write(req, OobKind::Journal, t)?;
-        }
-        self.versions.insert(key, version);
-        self.sizes.insert(key, value_bytes);
-        self.deleted.remove(&key);
+        let version = self.state(key).map_or(0, |s| s.version) + 1;
+        let req = self.journal.append(key, version, value_bytes)?;
+        let t = ssd.write(&req, OobKind::Journal, at)?;
+        self.commit(key, version, value_bytes, false);
         self.counters.incr("engine.inserts");
         Ok(t)
     }
@@ -356,7 +379,8 @@ impl KvEngine {
         self.checkpoint_seq += 1;
         let zone: RetiringZone = self.journal.begin_checkpoint();
         self.counters.add("engine.superseded_logs", zone.superseded);
-        self.counters.add("engine.journal_raw_bytes", zone.raw_bytes);
+        self.counters
+            .add("engine.journal_raw_bytes", zone.raw_bytes);
         self.counters
             .add("engine.journal_stored_bytes", zone.stored_bytes);
         let outcome = run_checkpoint(
@@ -367,6 +391,7 @@ impl KvEngine {
             self.checkpoint_seq,
             at,
         )?;
+        self.journal.recycle_zone(zone);
         self.counters.incr("engine.checkpoints");
         Ok(outcome)
     }
@@ -424,15 +449,16 @@ impl KvEngine {
             t = finish;
             if let Some(v) = frags.iter().map(|f| f.version).max() {
                 let bytes: u32 = frags.iter().map(|f| f.bytes).sum();
-                engine.versions.insert(key, v);
-                engine.sizes.insert(key, bytes);
+                engine.commit(key, v, bytes, false);
             }
         }
 
         // 2. Replay journal logs written after the checkpoint: scan both
-        //    zones unit by unit until a run of unwritten units.
+        //    zones unit by unit until a run of unwritten units. The
+        //    newest-version table is key-indexed, so step 3 replays in
+        //    ascending key order (deterministic device state).
         let us = layout.unit_sectors();
-        let mut newest: HashMap<u64, (u64, u32, bool)> = HashMap::new();
+        let mut newest: Vec<(u64, u32, bool)> = vec![(0, 0, false); record_count as usize];
         for zone in 0..JOURNAL_ZONES {
             let base = layout.journal_base(zone);
             let mut empty_run = 0u32;
@@ -455,7 +481,7 @@ impl KvEngine {
                         if f.key == u64::MAX || f.key >= record_count {
                             continue; // device/engine metadata
                         }
-                        let e = newest.entry(f.key).or_insert((0, 0, false));
+                        let e = &mut newest[f.key as usize];
                         if f.version > e.0 {
                             // bytes == 0 marks a deletion tombstone.
                             *e = (f.version, f.bytes, f.bytes == 0);
@@ -471,18 +497,13 @@ impl KvEngine {
         // 3. Re-checkpoint the journal tail: write newer versions home
         //    (or apply deletion tombstones by trimming the home extent).
         let mut replayed = 0u64;
-        for (key, (version, bytes, tombstone)) in newest {
-            let committed = engine.versions.get(&key).copied().unwrap_or(0);
+        for (key, &(version, bytes, tombstone)) in newest.iter().enumerate() {
+            let key = key as u64;
+            let committed = engine.version_of(key).unwrap_or(0);
             if version > committed {
                 if tombstone {
-                    t = ssd.deallocate(
-                        layout.home_lba(key),
-                        layout.slot_sectors() as u32,
-                        t,
-                    );
-                    engine.versions.insert(key, version);
-                    engine.sizes.remove(&key);
-                    engine.deleted.insert(key);
+                    t = ssd.deallocate(layout.home_lba(key), layout.slot_sectors() as u32, t);
+                    engine.commit(key, version, 0, true);
                 } else {
                     let bytes = bytes.max(1);
                     let req = WriteRequest {
@@ -495,9 +516,7 @@ impl KvEngine {
                         },
                     };
                     t = ssd.write(&req, OobKind::Data, t)?;
-                    engine.versions.insert(key, version);
-                    engine.sizes.insert(key, bytes);
-                    engine.deleted.remove(&key);
+                    engine.commit(key, version, bytes, false);
                 }
                 replayed += 1;
             }
@@ -505,17 +524,13 @@ impl KvEngine {
 
         // 4. Trim both journal zones: everything is checkpointed now.
         for zone in 0..JOURNAL_ZONES {
-            t = ssd.deallocate(
-                layout.journal_base(zone),
-                layout.zone_sectors() as u32,
-                t,
-            );
+            t = ssd.deallocate(layout.journal_base(zone), layout.zone_sectors() as u32, t);
         }
         engine.counters.incr("engine.recoveries");
         let report = RecoveryReport {
             finish: t,
             duration: t.duration_since(at),
-            keys_recovered: engine.versions.len() as u64,
+            keys_recovered: engine.loaded as u64,
             journal_entries_replayed: replayed,
             device_reads: ssd.counters().get("ssd.cmd_read") - reads_before,
         };
@@ -628,7 +643,8 @@ mod tests {
     fn every_strategy_roundtrips_updates_through_checkpoint() {
         for strategy in Strategy::all() {
             let (mut ssd, mut engine) = setup(strategy);
-            let records: Vec<(u64, u32)> = (0..32).map(|k| (k, 300 + (k as u32 * 37) % 3000)).collect();
+            let records: Vec<(u64, u32)> =
+                (0..32).map(|k| (k, 300 + (k as u32 * 37) % 3000)).collect();
             let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
             for round in 0..3 {
                 for k in 0..32u64 {
@@ -708,8 +724,7 @@ mod tests {
         drop(engine);
         let layout = Layout::new(64, 4096, 512, 1 << 11);
         let (_, report) =
-            KvEngine::recover_with_report(Strategy::CheckIn, layout, 0.7, &mut ssd, 16, t)
-                .unwrap();
+            KvEngine::recover_with_report(Strategy::CheckIn, layout, 0.7, &mut ssd, 16, t).unwrap();
         assert_eq!(report.keys_recovered, 16);
         assert_eq!(report.journal_entries_replayed, 5);
         assert!(report.device_reads >= 16, "scan reads homes + journal");
@@ -728,11 +743,16 @@ mod tests {
             Err(EngineError::UnknownKey(3)),
             "updates need insert after a delete"
         );
-        assert_eq!(engine.delete(&mut ssd, 3, t), Err(EngineError::UnknownKey(3)));
+        assert_eq!(
+            engine.delete(&mut ssd, 3, t),
+            Err(EngineError::UnknownKey(3))
+        );
         // Resurrection continues the version chain.
+        assert_eq!(engine.size_of(3), None, "deleted key has no size");
         let t = engine.insert(&mut ssd, 3, 256, t).unwrap();
         let r = engine.get(&mut ssd, 3, t).unwrap();
         assert_eq!(r.version, 4, "load=1, update=2, delete=3, insert=4");
+        assert_eq!(engine.size_of(3), Some(256));
     }
 
     #[test]

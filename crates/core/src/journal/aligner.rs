@@ -146,7 +146,11 @@ mod tests {
             let log = align_log(input, 1.0);
             assert_eq!(log.stored_bytes, expect, "input {input}");
             assert_eq!(log.sectors, 1);
-            let want_class = if expect == 512 { LogClass::Full } else { LogClass::Partial };
+            let want_class = if expect == 512 {
+                LogClass::Full
+            } else {
+                LogClass::Partial
+            };
             assert_eq!(log.class, want_class, "input {input}");
         }
     }

@@ -4,8 +4,18 @@
 //! paper's JMT with `NEW`/`OLD` flags collapses to "latest wins" because
 //! only non-`OLD` entries are checkpointed (Algorithm 1 skips the rest);
 //! superseded versions are still accounted as duplicates for statistics.
+//!
+//! KV keys are dense integers below the layout's record count, so the
+//! table is a flat `Vec` indexed by key (like the FTL's page-mapped L2P
+//! array, paper §II) with a small sorted overflow vector for sparse keys
+//! above the dense limit (e.g. the superblock pseudo-key). The dense
+//! region grows lazily to the highest key touched, and the overflow is
+//! kept sorted, so iteration and checkpoint drains remain in ascending
+//! key order — the determinism the checkpoint processor relies on.
 
-use std::collections::BTreeMap;
+/// Keys below this bound live in the dense array; anything higher goes to
+/// the sorted overflow (workloads use dense keys well below this).
+const DENSE_LIMIT: u64 = 1 << 22;
 
 /// One JMT entry: where the latest journal copy of a key lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +51,13 @@ pub struct JmtEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Jmt {
-    entries: BTreeMap<u64, JmtEntry>,
+    /// Key-indexed entries for keys below [`DENSE_LIMIT`]; grows lazily to
+    /// the highest key recorded. The allocation is kept across checkpoint
+    /// drains so steady-state operation stops allocating.
+    dense: Vec<Option<JmtEntry>>,
+    /// Sparse keys at or above [`DENSE_LIMIT`], sorted by key.
+    overflow: Vec<(u64, JmtEntry)>,
+    live: usize,
     appended: u64,
     superseded: u64,
     raw_bytes: u64,
@@ -54,24 +70,59 @@ impl Jmt {
         Self::default()
     }
 
+    /// An empty table with the dense region pre-reserved for keys below
+    /// `key_hint` (avoids regrowth during the load phase).
+    pub fn with_key_capacity(key_hint: u64) -> Self {
+        let mut jmt = Self::default();
+        jmt.dense.reserve(key_hint.min(DENSE_LIMIT) as usize);
+        jmt
+    }
+
     /// Records a new journal log for `key`, superseding any previous one.
     pub fn record(&mut self, key: u64, entry: JmtEntry) {
         self.appended += 1;
         self.raw_bytes += entry.raw_bytes as u64;
         self.stored_bytes += entry.stored_bytes as u64;
-        if self.entries.insert(key, entry).is_some() {
+        let replaced = if key < DENSE_LIMIT {
+            let idx = key as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, None);
+            }
+            self.dense[idx].replace(entry).is_some()
+        } else {
+            match self.overflow.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(pos) => {
+                    self.overflow[pos].1 = entry;
+                    true
+                }
+                Err(pos) => {
+                    self.overflow.insert(pos, (key, entry));
+                    false
+                }
+            }
+        };
+        if replaced {
             self.superseded += 1;
+        } else {
+            self.live += 1;
         }
     }
 
     /// Latest journal location of `key`.
     pub fn lookup(&self, key: u64) -> Option<&JmtEntry> {
-        self.entries.get(&key)
+        if key < DENSE_LIMIT {
+            self.dense.get(key as usize)?.as_ref()
+        } else {
+            self.overflow
+                .binary_search_by_key(&key, |&(k, _)| k)
+                .ok()
+                .map(|pos| &self.overflow[pos].1)
+        }
     }
 
     /// Distinct keys with live journal logs.
     pub fn live_keys(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Total logs appended to this zone (live + superseded).
@@ -105,21 +156,48 @@ impl Jmt {
     }
 
     /// Iterates live entries in key order (deterministic checkpoints).
+    /// Dense keys all sort below overflow keys, so chaining preserves
+    /// the global order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &JmtEntry)> + '_ {
-        self.entries.iter().map(|(&k, e)| (k, e))
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(k, slot)| slot.as_ref().map(|e| (k as u64, e)))
+            .chain(self.overflow.iter().map(|(k, e)| (*k, e)))
+    }
+
+    /// Drains the table for a checkpoint into `out` (cleared first), in
+    /// key order, resetting all statistics. The caller's buffer and the
+    /// dense array's allocation are both reused, so steady-state
+    /// checkpoints allocate nothing.
+    pub fn drain_into(&mut self, out: &mut Vec<(u64, JmtEntry)>) {
+        out.clear();
+        out.reserve(self.live);
+        for (k, slot) in self.dense.iter_mut().enumerate() {
+            if let Some(e) = slot.take() {
+                out.push((k as u64, e));
+            }
+        }
+        out.append(&mut self.overflow);
+        self.live = 0;
+        self.appended = 0;
+        self.superseded = 0;
+        self.raw_bytes = 0;
+        self.stored_bytes = 0;
     }
 
     /// Drains the table for a checkpoint, returning the live entries in
-    /// key order and resetting all statistics.
+    /// key order and resetting all statistics. Prefer [`Jmt::drain_into`]
+    /// on hot paths; this convenience form allocates the returned vector.
     pub fn take_for_checkpoint(&mut self) -> Vec<(u64, JmtEntry)> {
-        let out = self.entries.iter().map(|(&k, &e)| (k, e)).collect();
-        *self = Jmt::new();
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
         out
     }
 
     /// True when nothing has been journaled since the last checkpoint.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 }
 
@@ -179,5 +257,37 @@ mod tests {
         assert_eq!(collected.len(), 1);
         assert_eq!(collected[0].0, 3);
         assert_eq!(collected[0].1.version, 7);
+    }
+
+    #[test]
+    fn sparse_keys_use_overflow_and_stay_ordered() {
+        let mut j = Jmt::new();
+        let superblock = u64::MAX - 1;
+        j.record(superblock, entry(99, 1));
+        j.record(3, entry(1, 1));
+        j.record(DENSE_LIMIT + 5, entry(50, 1));
+        assert_eq!(j.lookup(superblock).unwrap().journal_lba, 99);
+        assert_eq!(j.live_keys(), 3);
+        let keys: Vec<u64> = j.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![3, DENSE_LIMIT + 5, superblock]);
+        // Superseding an overflow key counts like a dense one.
+        j.record(superblock, entry(100, 2));
+        assert_eq!(j.superseded(), 1);
+        let drained = j.take_for_checkpoint();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained.last().unwrap().1.journal_lba, 100);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer() {
+        let mut j = Jmt::new();
+        let mut buf = Vec::new();
+        for round in 0..3u64 {
+            j.record(1, entry(round, round));
+            j.record(2, entry(round, round));
+            j.drain_into(&mut buf);
+            assert_eq!(buf.len(), 2);
+            assert!(j.is_empty());
+        }
     }
 }

@@ -94,8 +94,8 @@ impl JournalOptions {
 ///
 /// let layout = Layout::new(100, 4096, 512, 1 << 12);
 /// let mut jm = JournalManager::new(layout, true, 0.7);
-/// let reqs = jm.append(7, 1, 300).unwrap();   // partial log -> merged sector
-/// assert_eq!(reqs.len(), 1);
+/// let req = jm.append(7, 1, 300).unwrap();   // partial log -> merged sector
+/// assert_eq!(req.sectors, 1);
 /// assert!(jm.jmt().lookup(7).unwrap().merged);
 /// ```
 #[derive(Debug, Clone)]
@@ -106,6 +106,8 @@ pub struct JournalManager {
     head_sectors: u64,
     merge: Option<MergeBuffer>,
     jmt: Jmt,
+    /// Entry buffer recycled between checkpoints ([`JournalManager::recycle_zone`]).
+    spare_entries: Vec<(u64, JmtEntry)>,
 }
 
 impl JournalManager {
@@ -129,7 +131,8 @@ impl JournalManager {
             zone: 0,
             head_sectors: 0,
             merge: None,
-            jmt: Jmt::new(),
+            jmt: Jmt::with_key_capacity(layout.record_count()),
+            spare_entries: Vec::new(),
         }
     }
 
@@ -146,7 +149,8 @@ impl JournalManager {
     /// Mapping units used so far in the active zone (checkpoint trigger
     /// input).
     pub fn zone_used_units(&self) -> u64 {
-        self.zone_used_sectors().div_ceil(self.layout.unit_sectors())
+        self.zone_used_sectors()
+            .div_ceil(self.layout.unit_sectors())
     }
 
     /// True when sector-aligned journaling (Algorithm 2) is active.
@@ -160,8 +164,8 @@ impl JournalManager {
     }
 
     /// Appends one journal log for `(key, version)` with a `value_bytes`
-    /// payload. Returns the block-interface writes to issue (one for a
-    /// plain log; merged sectors re-write the shared sector).
+    /// payload. Returns the block-interface write to issue (a plain log,
+    /// or a re-write of the shared sector for merged partials).
     ///
     /// # Errors
     ///
@@ -172,7 +176,7 @@ impl JournalManager {
         key: u64,
         version: u64,
         value_bytes: u32,
-    ) -> Result<Vec<WriteRequest>, JournalFull> {
+    ) -> Result<WriteRequest, JournalFull> {
         if self.options.sector_aligned {
             self.append_aligned(key, version, value_bytes)
         } else {
@@ -194,7 +198,7 @@ impl JournalManager {
         key: u64,
         version: u64,
         value_bytes: u32,
-    ) -> Result<Vec<WriteRequest>, JournalFull> {
+    ) -> Result<WriteRequest, JournalFull> {
         let len = raw_log_bytes(value_bytes);
         let sectors = len.div_ceil(SECTOR_BYTES);
         let start = self.head_sectors;
@@ -215,7 +219,7 @@ impl JournalManager {
                 tombstone: false,
             },
         );
-        Ok(vec![WriteRequest {
+        Ok(WriteRequest {
             lba,
             sectors,
             content: WriteContent::Record {
@@ -223,7 +227,7 @@ impl JournalManager {
                 version,
                 bytes: value_bytes,
             },
-        }])
+        })
     }
 
     fn mapping_bytes(&self) -> u32 {
@@ -235,9 +239,12 @@ impl JournalManager {
         key: u64,
         version: u64,
         value_bytes: u32,
-    ) -> Result<Vec<WriteRequest>, JournalFull> {
-        let mut log =
-            align_log_to(value_bytes, self.options.compression_ratio, self.mapping_bytes());
+    ) -> Result<WriteRequest, JournalFull> {
+        let mut log = align_log_to(
+            value_bytes,
+            self.options.compression_ratio,
+            self.mapping_bytes(),
+        );
         if log.class == LogClass::Partial && !self.options.merge_partials {
             // Merging ablated: pad the partial up to a full (remappable)
             // unit instead of sharing one.
@@ -264,7 +271,7 @@ impl JournalManager {
                         tombstone: false,
                     },
                 );
-                Ok(vec![WriteRequest {
+                Ok(WriteRequest {
                     lba,
                     sectors: log.sectors,
                     content: WriteContent::Record {
@@ -272,7 +279,7 @@ impl JournalManager {
                         version,
                         bytes: log.stored_bytes,
                     },
-                }])
+                })
             }
             LogClass::Partial => self.append_partial(key, version, value_bytes, log.stored_bytes),
         }
@@ -284,7 +291,7 @@ impl JournalManager {
         version: u64,
         raw_bytes: u32,
         class_bytes: u32,
-    ) -> Result<Vec<WriteRequest>, JournalFull> {
+    ) -> Result<WriteRequest, JournalFull> {
         // Seal the current merge unit when this log does not fit. A
         // repeated key replaces its fragment in place (the unit still
         // sits in the device's power-protected buffer), so hot keys do
@@ -346,7 +353,7 @@ impl JournalManager {
                 tombstone: false,
             },
         );
-        Ok(vec![request])
+        Ok(request)
     }
 
     /// Appends a deletion tombstone for `(key, version)`. Tombstones get
@@ -356,11 +363,7 @@ impl JournalManager {
     /// # Errors
     ///
     /// [`JournalFull`] when the zone has no room left.
-    pub fn append_delete(
-        &mut self,
-        key: u64,
-        version: u64,
-    ) -> Result<Vec<WriteRequest>, JournalFull> {
+    pub fn append_delete(&mut self, key: u64, version: u64) -> Result<WriteRequest, JournalFull> {
         let sectors = if self.options.sector_aligned {
             self.layout.unit_sectors() as u32
         } else {
@@ -383,21 +386,24 @@ impl JournalManager {
                 tombstone: true,
             },
         );
-        Ok(vec![WriteRequest {
+        Ok(WriteRequest {
             lba,
             sectors,
             content: WriteContent::Tombstone { key, version },
-        }])
+        })
     }
 
     /// Begins a checkpoint: snapshots the JMT, retires the active zone,
     /// and switches journaling to the alternate zone so queries continue
-    /// while the checkpoint runs.
+    /// while the checkpoint runs. The entries vector is recycled from the
+    /// last [`JournalManager::recycle_zone`] call, so steady-state
+    /// checkpoints reuse one allocation.
     pub fn begin_checkpoint(&mut self) -> RetiringZone {
         let superseded = self.jmt.superseded();
         let raw_bytes = self.jmt.raw_bytes();
         let stored_bytes = self.jmt.stored_bytes();
-        let entries = self.jmt.take_for_checkpoint();
+        let mut entries = std::mem::take(&mut self.spare_entries);
+        self.jmt.drain_into(&mut entries);
         let retiring = RetiringZone {
             zone: self.zone,
             base_lba: self.zone_base(),
@@ -411,6 +417,12 @@ impl JournalManager {
         self.head_sectors = 0;
         self.merge = None;
         retiring
+    }
+
+    /// Returns a finished [`RetiringZone`]'s entry buffer to the manager
+    /// so the next [`JournalManager::begin_checkpoint`] can reuse it.
+    pub fn recycle_zone(&mut self, zone: RetiringZone) {
+        self.spare_entries = zone.entries;
     }
 }
 
@@ -430,14 +442,14 @@ mod tests {
         let r2 = jm.append(2, 1, 400).unwrap();
         // 416-byte logs pad to one sector each; no sector sharing after a
         // commit.
-        assert_eq!(r1[0].sectors, 1);
-        assert_eq!(r2[0].lba, r1[0].lba + 1);
+        assert_eq!(r1.sectors, 1);
+        assert_eq!(r2.lba, r1.lba + 1);
         assert_eq!(jm.zone_used_sectors(), 2);
         // Stored bytes reflect the padding.
         assert_eq!(jm.jmt().lookup(1).unwrap().stored_bytes, 512);
         // A 600-byte value spans two sectors (616 bytes + padding).
         let r3 = jm.append(3, 1, 600).unwrap();
-        assert_eq!(r3[0].sectors, 2);
+        assert_eq!(r3.sectors, 2);
     }
 
     #[test]
@@ -445,8 +457,8 @@ mod tests {
         let mut jm = manager(true);
         let r1 = jm.append(1, 1, 512).unwrap();
         let r2 = jm.append(2, 1, 512).unwrap();
-        assert_eq!(r1[0].sectors, 1);
-        assert_eq!(r2[0].lba, r1[0].lba + 1);
+        assert_eq!(r1.sectors, 1);
+        assert_eq!(r2.lba, r1.lba + 1);
         assert!(!jm.jmt().lookup(1).unwrap().merged);
     }
 
@@ -455,7 +467,7 @@ mod tests {
         let mut jm = manager(true);
         jm.append(1, 1, 100).unwrap(); // 128-class
         let r2 = jm.append(2, 1, 200).unwrap(); // 256-class
-        match &r2[0].content {
+        match &r2.content {
             WriteContent::Merged(frags) => {
                 assert_eq!(frags.len(), 2, "both partials share the sector");
             }
@@ -485,7 +497,7 @@ mod tests {
         assert_eq!(jm.jmt().superseded(), 1);
         // Still one sector: the buffered fragment was replaced in place.
         assert_eq!(jm.zone_used_sectors(), 1);
-        match &r[0].content {
+        match &r.content {
             WriteContent::Merged(frags) => {
                 assert_eq!(frags.len(), 1);
                 assert_eq!(frags[0].version, 2);
@@ -499,7 +511,7 @@ mod tests {
         let mut jm = manager(true);
         jm.append(1, 1, 100).unwrap(); // 128 class
         jm.append(2, 1, 300).unwrap(); // 384 class: 128+384 = 512 exactly
-        // Key 1 grows to 384: 384+384 > 512 -> new sector.
+                                       // Key 1 grows to 384: 384+384 > 512 -> new sector.
         jm.append(1, 2, 300).unwrap();
         assert_eq!(jm.zone_used_sectors(), 2);
         assert_ne!(
@@ -513,7 +525,7 @@ mod tests {
         let mut jm = manager(true);
         let r = jm.append(1, 1, 4096).unwrap();
         // 4096 * 0.7 -> 6 sectors instead of 8.
-        assert_eq!(r[0].sectors, 6);
+        assert_eq!(r.sectors, 6);
     }
 
     #[test]
@@ -521,7 +533,7 @@ mod tests {
         let mut jm = manager(true);
         jm.append(1, 1, 512).unwrap();
         jm.append(2, 1, 512).unwrap();
-        let zone0_base = jm.append(3, 1, 512).unwrap()[0].lba & !0xFFF;
+        let zone0_base = jm.append(3, 1, 512).unwrap().lba & !0xFFF;
         let retiring = jm.begin_checkpoint();
         assert_eq!(retiring.zone, 0);
         assert_eq!(retiring.entries.len(), 3);
@@ -529,7 +541,7 @@ mod tests {
         assert!(jm.jmt().is_empty());
         // New appends land in zone 1.
         let r = jm.append(4, 1, 512).unwrap();
-        assert!(r[0].lba >= retiring.base_lba + jm.layout_zone_sectors_for_test());
+        assert!(r.lba >= retiring.base_lba + jm.layout_zone_sectors_for_test());
         let _ = zone0_base;
         // Second checkpoint returns to zone 0.
         let retiring2 = jm.begin_checkpoint();

@@ -5,6 +5,8 @@ mod aligner;
 mod jmt;
 mod manager;
 
-pub use aligner::{align_log, align_log_to, raw_log_bytes, AlignedLog, LogClass, CLASS_STEP, LOG_HEADER_BYTES};
+pub use aligner::{
+    align_log, align_log_to, raw_log_bytes, AlignedLog, LogClass, CLASS_STEP, LOG_HEADER_BYTES,
+};
 pub use jmt::{Jmt, JmtEntry};
 pub use manager::{JournalFull, JournalManager, JournalOptions, RetiringZone};

@@ -48,15 +48,17 @@ mod engine;
 mod journal;
 mod layout;
 mod metrics;
+mod parallel;
 mod system;
 
 pub use checkpoint::{run_checkpoint, CheckpointOutcome, SUPERBLOCK_KEY};
 pub use config::{Strategy, SystemConfig};
 pub use engine::{EngineError, KvEngine, ReadResult, RecoveryReport};
 pub use journal::{
-    align_log, align_log_to, raw_log_bytes, AlignedLog, Jmt, JmtEntry, JournalFull, JournalManager, JournalOptions, LogClass,
-    RetiringZone, CLASS_STEP, LOG_HEADER_BYTES,
+    align_log, align_log_to, raw_log_bytes, AlignedLog, Jmt, JmtEntry, JournalFull, JournalManager,
+    JournalOptions, LogClass, RetiringZone, CLASS_STEP, LOG_HEADER_BYTES,
 };
 pub use layout::{Layout, JOURNAL_ZONES};
 pub use metrics::{FlashStats, LatencyStats, RunReport, TimelinePoint};
+pub use parallel::{default_jobs, run_configs};
 pub use system::KvSystem;

@@ -84,7 +84,11 @@ pub struct TimelinePoint {
 }
 
 /// Everything measured over one simulated run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including the full timeline), so two
+/// reports are equal only when the runs were bit-identical — the property
+/// the parallel sweep path is tested against.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Strategy under test.
     pub strategy: Strategy,

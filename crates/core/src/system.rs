@@ -148,7 +148,10 @@ impl KvSystem {
         let engine0 = self.engine.counters().clone();
 
         // ---- Run phase ------------------------------------------------
-        let mut events: EventQueue<Event> = EventQueue::new();
+        // Closed loop: at most one in-flight event per client plus the
+        // checkpoint tick, so the queue never regrows.
+        let mut events: EventQueue<Event> =
+            EventQueue::with_capacity(self.config.threads as usize + 1);
         let mut host = ResourcePool::new("host-core", self.config.host_cores as usize);
         let start = load_done + SimDuration::from_micros(10);
         // Fixed per-thread quotas: each thread executes the same operation
@@ -165,7 +168,10 @@ impl KvSystem {
                 events.schedule(start, Event::Client(i));
             }
         }
-        events.schedule(start + self.config.checkpoint_interval, Event::CheckpointTick);
+        events.schedule(
+            start + self.config.checkpoint_interval,
+            Event::CheckpointTick,
+        );
 
         let mut completed = 0u64;
         let mut last_finish = start;
@@ -212,10 +218,7 @@ impl KvSystem {
                             .map_err(EngineError::Ssd)?;
                         last_finish = last_finish.max(gc_done);
                     }
-                    events.schedule(
-                        now + self.config.checkpoint_interval,
-                        Event::CheckpointTick,
-                    );
+                    events.schedule(now + self.config.checkpoint_interval, Event::CheckpointTick);
                 }
                 Event::Client(thread) => {
                     if quota[thread as usize] == 0 {
@@ -249,9 +252,8 @@ impl KvSystem {
                     quota[thread as usize] -= 1;
                     last_finish = last_finish.max(finish);
 
-                    let bucket =
-                        (finish.duration_since(start).as_nanos() / bucket_width.as_nanos().max(1))
-                            as usize;
+                    let bucket = (finish.duration_since(start).as_nanos()
+                        / bucket_width.as_nanos().max(1)) as usize;
                     if timeline.len() <= bucket {
                         timeline.resize(
                             bucket + 1,
@@ -309,8 +311,7 @@ impl KvSystem {
 
         let page_bytes = self.config.geometry.page_bytes as u64;
         let write_query_bytes = edelta.get("engine.update_bytes").max(1);
-        let host_io_bytes =
-            sdelta.get("ssd.host_read_bytes") + sdelta.get("ssd.host_write_bytes");
+        let host_io_bytes = sdelta.get("ssd.host_read_bytes") + sdelta.get("ssd.host_write_bytes");
         let flash = FlashStats {
             reads: fdelta.get("flash.read"),
             programs: fdelta.get("flash.program"),
@@ -358,8 +359,7 @@ impl KvSystem {
             write_query_bytes,
             host_io_bytes,
             io_amplification: host_io_bytes as f64 / write_query_bytes as f64,
-            flash_amplification: (flash.total_ops() * page_bytes) as f64
-                / write_query_bytes as f64,
+            flash_amplification: (flash.total_ops() * page_bytes) as f64 / write_query_bytes as f64,
             waf: (flash.programs * page_bytes) as f64
                 / sdelta.get("ssd.host_write_bytes").max(1) as f64,
             journal_space_overhead: if raw == 0 {

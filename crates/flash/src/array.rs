@@ -87,7 +87,9 @@ impl FlashArray {
             timing,
             blocks,
             store: vec![None; geometry.total_pages() as usize],
-            dies: (0..geometry.total_dies()).map(|_| Resource::new("die")).collect(),
+            dies: (0..geometry.total_dies())
+                .map(|_| Resource::new("die"))
+                .collect(),
             channels: (0..geometry.channels as usize)
                 .map(|_| Resource::new("channel"))
                 .collect(),
@@ -321,14 +323,18 @@ mod tests {
     fn double_program_rejected() {
         let mut f = array();
         f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
-        let err = f.program(Ppn(0), page_with(1, 2), SimTime::ZERO).unwrap_err();
+        let err = f
+            .program(Ppn(0), page_with(1, 2), SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err, FlashError::ProgramDirtyPage(Ppn(0)));
     }
 
     #[test]
     fn out_of_order_program_rejected() {
         let mut f = array();
-        let err = f.program(Ppn(2), page_with(1, 1), SimTime::ZERO).unwrap_err();
+        let err = f
+            .program(Ppn(2), page_with(1, 1), SimTime::ZERO)
+            .unwrap_err();
         assert!(matches!(err, FlashError::ProgramOutOfOrder { .. }));
     }
 

@@ -105,11 +105,7 @@ impl PageContent {
 
     /// Total payload bytes across units.
     pub fn payload_bytes(&self) -> u64 {
-        self.units
-            .iter()
-            .flatten()
-            .map(|u| u.bytes() as u64)
-            .sum()
+        self.units.iter().flatten().map(|u| u.bytes() as u64).sum()
     }
 }
 
@@ -128,8 +124,16 @@ mod tests {
     #[test]
     fn merged_unit_sums_bytes() {
         let u = UnitPayload::merged(vec![
-            Fragment { key: 1, version: 1, bytes: 128 },
-            Fragment { key: 2, version: 5, bytes: 256 },
+            Fragment {
+                key: 1,
+                version: 1,
+                bytes: 128,
+            },
+            Fragment {
+                key: 2,
+                version: 5,
+                bytes: 256,
+            },
         ]);
         assert_eq!(u.bytes(), 384);
     }

@@ -1,11 +1,12 @@
 //! Property tests of the NAND rules: out-of-place updates, in-order
-//! programming, erase-before-reuse, and timing monotonicity.
+//! programming, erase-before-reuse, and timing monotonicity. Randomized
+//! via `checkin-testkit` (deterministic seeds, offline-safe).
 
 use checkin_flash::{
     BlockId, FlashArray, FlashError, FlashGeometry, FlashTiming, PageContent, UnitPayload,
 };
 use checkin_sim::SimTime;
-use proptest::prelude::*;
+use checkin_testkit::{check, soup, TestRng};
 
 fn array() -> FlashArray {
     FlashArray::new(
@@ -34,21 +35,29 @@ enum Op {
     Read { block: u8, page: u8 },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| Op::Program { block: b, page: p }),
-        2 => any::<u8>().prop_map(|b| Op::Erase { block: b }),
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| Op::Read { block: b, page: p }),
-    ]
+fn op(rng: &mut TestRng) -> Op {
+    match rng.weighted(&[5, 2, 3]) {
+        0 => Op::Program {
+            block: rng.any_u8(),
+            page: rng.any_u8(),
+        },
+        1 => Op::Erase {
+            block: rng.any_u8(),
+        },
+        _ => Op::Read {
+            block: rng.any_u8(),
+            page: rng.any_u8(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Whatever the op soup, the array enforces NAND rules and its own
-    /// bookkeeping never diverges from a shadow page-state model.
-    #[test]
-    fn nand_rules_hold_under_random_ops(ops in proptest::collection::vec(op(), 1..300)) {
+/// Whatever the op soup, the array enforces NAND rules and its own
+/// bookkeeping never diverges from a shadow page-state model.
+#[test]
+fn nand_rules_hold_under_random_ops() {
+    check("nand_rules_hold_under_random_ops", 64, |rng| {
+        let len = rng.range_usize(1, 299);
+        let ops = soup(rng, len, op);
         let mut flash = array();
         let g = *flash.geometry();
         let blocks = g.total_blocks();
@@ -66,15 +75,15 @@ proptest! {
                     tag += 1;
                     let result = flash.program(ppn, content(tag), SimTime::ZERO);
                     if p == programmed[b as usize] {
-                        prop_assert!(result.is_ok(), "in-order program must succeed");
+                        assert!(result.is_ok(), "in-order program must succeed");
                         programmed[b as usize] += 1;
                     } else if p < programmed[b as usize] {
-                        prop_assert!(
+                        assert!(
                             matches!(result, Err(FlashError::ProgramDirtyPage(_))),
                             "reprogram must fail"
                         );
                     } else {
-                        prop_assert!(
+                        assert!(
                             matches!(result, Err(FlashError::ProgramOutOfOrder { .. })),
                             "skip-ahead program must fail"
                         );
@@ -90,19 +99,23 @@ proptest! {
                     let p = page as u32 % ppb;
                     let ppn = g.ppn_in_block(BlockId(b), p);
                     let stored = flash.read(ppn).is_some();
-                    prop_assert_eq!(stored, p < programmed[b as usize]);
+                    assert_eq!(stored, p < programmed[b as usize]);
                 }
             }
         }
         // Erase accounting matches the flash's own counters.
         let total: u64 = (0..blocks).map(|b| flash.erase_count(BlockId(b))).sum();
-        prop_assert_eq!(total, flash.total_erases());
-    }
+        assert_eq!(total, flash.total_erases());
+    });
+}
 
-    /// Operation windows never run backwards on a die, and utilization
-    /// accounting equals the sum of service times.
-    #[test]
-    fn timing_is_monotone_per_die(pages in proptest::collection::vec(any::<u8>(), 1..60)) {
+/// Operation windows never run backwards on a die, and every program's
+/// finish is strictly after its start.
+#[test]
+fn timing_is_monotone_per_die() {
+    check("timing_is_monotone_per_die", 64, |rng| {
+        let len = rng.range_usize(1, 59);
+        let pages = soup(rng, len, |r| r.any_u8());
         let mut flash = array();
         let g = *flash.geometry();
         let mut last_finish_per_die = std::collections::HashMap::new();
@@ -118,11 +131,11 @@ proptest! {
             let w = flash.program(ppn, content(1), SimTime::ZERO).unwrap();
             let die = g.die_of_block(BlockId(b));
             if let Some(prev) = last_finish_per_die.insert(die, w.finish) {
-                prop_assert!(w.finish > prev, "die timeline must advance");
+                assert!(w.finish > prev, "die timeline must advance");
             }
-            prop_assert!(w.finish > w.start);
+            assert!(w.finish > w.start);
         }
-    }
+    });
 }
 
 #[test]
@@ -144,8 +157,5 @@ fn full_device_program_cycle() {
             assert_eq!(flash.erase_count(BlockId(b)), cycle);
         }
     }
-    assert_eq!(
-        flash.counters().get("flash.program"),
-        3 * g.total_pages()
-    );
+    assert_eq!(flash.counters().get("flash.program"), 3 * g.total_pages());
 }

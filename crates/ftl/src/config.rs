@@ -112,14 +112,20 @@ mod tests {
 
     #[test]
     fn units_per_page_divides() {
-        let cfg = FtlConfig { unit_bytes: 1024, ..FtlConfig::default() };
+        let cfg = FtlConfig {
+            unit_bytes: 1024,
+            ..FtlConfig::default()
+        };
         assert_eq!(cfg.units_per_page(4096), 4);
     }
 
     #[test]
     #[should_panic(expected = "must divide")]
     fn non_divisor_unit_panics() {
-        let cfg = FtlConfig { unit_bytes: 3000, ..FtlConfig::default() };
+        let cfg = FtlConfig {
+            unit_bytes: 3000,
+            ..FtlConfig::default()
+        };
         cfg.units_per_page(4096);
     }
 
@@ -127,13 +133,26 @@ mod tests {
     fn validate_flags_bad_fields() {
         let good = FtlConfig::default();
         assert!(good.validate(4096, 1024).is_ok());
-        let bad = FtlConfig { gc_threshold_blocks: 1, ..good };
+        let bad = FtlConfig {
+            gc_threshold_blocks: 1,
+            ..good
+        };
         assert!(bad.validate(4096, 1024).is_err());
-        let bad = FtlConfig { write_points: 0, ..good };
+        let bad = FtlConfig {
+            write_points: 0,
+            ..good
+        };
         assert!(bad.validate(4096, 1024).is_err());
-        let bad = FtlConfig { gc_soft_threshold_blocks: 2, gc_threshold_blocks: 8, ..good };
+        let bad = FtlConfig {
+            gc_soft_threshold_blocks: 2,
+            gc_threshold_blocks: 8,
+            ..good
+        };
         assert!(bad.validate(4096, 1024).is_err());
-        let bad = FtlConfig { write_points: 2000, ..good };
+        let bad = FtlConfig {
+            write_points: 2000,
+            ..good
+        };
         assert!(bad.validate(4096, 1024).is_err());
     }
 }

@@ -13,11 +13,9 @@
 //! * account every statistic the paper's evaluation needs (host vs flash
 //!   bytes, invalid-unit generation, GC invocations, RMW operations).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use checkin_flash::{
-    BlockId, FlashArray, OobEntry, OobKind, PageContent, UnitPayload,
-};
+use checkin_flash::{BlockId, FlashArray, OobEntry, OobKind, PageContent, UnitPayload};
 use checkin_sim::{CounterSet, SimTime};
 
 use crate::config::FtlConfig;
@@ -52,7 +50,6 @@ struct SlotData {
     oob: OobEntry,
 }
 
-
 /// The flash translation layer over a [`FlashArray`].
 ///
 /// # Examples
@@ -76,8 +73,18 @@ pub struct Ftl {
     upp: u32,
     flash: FlashArray,
     table: MappingTable,
-    slots: HashMap<BufSlot, SlotData>,
+    /// Slot-id-indexed buffered units; freed ids are recycled via
+    /// `free_slot_ids` so this array (and the mapping table's buffer-side
+    /// reverse array) stays bounded by the write-buffer depth instead of
+    /// growing with total writes.
+    slots: Vec<Option<SlotData>>,
+    free_slot_ids: Vec<u64>,
     next_slot: u64,
+    /// Reusable buffers for the page-out and GC loops (no per-page
+    /// allocation in steady state).
+    scratch_batch: Vec<BufSlot>,
+    scratch_placements: Vec<(BufSlot, u32)>,
+    scratch_valid: Vec<(u32, UnitPayload, Lpn)>,
     /// Per-write-point active block and next page cursor.
     actives: Vec<Option<(BlockId, u32)>>,
     /// Buffered units in arrival order. Updated units are re-queued at the
@@ -111,9 +118,15 @@ impl Ftl {
             map_cache: MapCacheModel::with_capacity(config.map_cache_entries),
             config,
             flash,
-            table: MappingTable::new(),
-            slots: HashMap::new(),
+            // Pre-reserve the forward array for the physical unit count:
+            // the host LPN space in steady state tracks the device size.
+            table: MappingTable::with_capacity((g.total_pages() * upp as u64) as usize),
+            slots: Vec::new(),
+            free_slot_ids: Vec::new(),
             next_slot: 0,
+            scratch_batch: Vec::new(),
+            scratch_placements: Vec::new(),
+            scratch_valid: Vec::new(),
             actives: vec![None; config.write_points as usize],
             pending: VecDeque::new(),
             next_wp: 0,
@@ -196,29 +209,47 @@ impl Ftl {
             Unlink::Orphaned(Location::Buffer(slot)) => {
                 // The old copy never reached flash: discard it from DRAM so
                 // it does not waste a unit of the next page program.
-                self.slots.remove(&slot);
+                self.release_slot(slot);
                 self.pending.retain(|&s| s != slot);
             }
             Unlink::StillReferenced(_) | Unlink::NotMapped => {}
         }
     }
 
+    fn slot_data(&self, slot: BufSlot) -> &SlotData {
+        self.slots[slot.0 as usize]
+            .as_ref()
+            .expect("referenced buffer slot holds data")
+    }
+
+    /// Removes a slot's data and recycles its id for reuse. The caller
+    /// must ensure no mapping references the slot anymore.
+    fn release_slot(&mut self, slot: BufSlot) -> SlotData {
+        let data = self.slots[slot.0 as usize]
+            .take()
+            .expect("released buffer slot holds data");
+        self.free_slot_ids.push(slot.0);
+        data
+    }
+
     fn new_slot(&mut self, payload: UnitPayload, lpn: Lpn, kind: OobKind) -> BufSlot {
-        let slot = BufSlot(self.next_slot);
-        self.next_slot += 1;
+        let id = self.free_slot_ids.pop().unwrap_or_else(|| {
+            self.next_slot += 1;
+            self.slots.push(None);
+            self.next_slot - 1
+        });
         self.seq += 1;
-        self.slots.insert(
-            slot,
-            SlotData {
-                payload,
-                oob: OobEntry {
-                    lpn: lpn.0,
-                    sequence: self.seq,
-                    kind,
-                },
+        let data = SlotData {
+            payload,
+            oob: OobEntry {
+                lpn: lpn.0,
+                sequence: self.seq,
+                kind,
             },
-        );
-        slot
+        };
+        debug_assert!(self.slots[id as usize].is_none(), "slot id double use");
+        self.slots[id as usize] = Some(data);
+        BufSlot(id)
     }
 
     /// Writes one logical unit. Partial writes merge with existing content
@@ -245,7 +276,7 @@ impl Ftl {
             match self.table.lookup(w.lpn) {
                 None => w.payload,
                 Some(Location::Buffer(slot)) => {
-                    let old = &self.slots[&slot].payload;
+                    let old = &self.slot_data(slot).payload;
                     merge_payload(old, &w.payload)
                 }
                 Some(Location::Flash(pun)) => {
@@ -281,7 +312,7 @@ impl Ftl {
         self.counters.incr("ftl.host_unit_reads");
         match self.table.lookup(lpn) {
             None => Err(FtlError::Unmapped(lpn)),
-            Some(Location::Buffer(slot)) => Ok((self.slots[&slot].payload.clone(), at)),
+            Some(Location::Buffer(slot)) => Ok((self.slot_data(slot).payload.clone(), at)),
             Some(Location::Flash(pun)) => {
                 let win = self.flash.schedule_read(pun.page(self.upp), at)?;
                 let payload = self
@@ -324,9 +355,6 @@ impl Ftl {
     /// Removes `lpn`'s mapping (deallocate/trim). Returns true when a
     /// mapping existed.
     pub fn deallocate(&mut self, lpn: Lpn) -> bool {
-        if std::env::var_os("CHECKIN_TRACE_LPN") == Some(lpn.0.to_string().into()) {
-            eprintln!("TRACE dealloc lpn={} loc={:?}", lpn.0, self.table.lookup(lpn));
-        }
         let u = self.table.unmap(lpn);
         let existed = u != Unlink::NotMapped;
         self.note_unlink(u);
@@ -368,43 +396,57 @@ impl Ftl {
         if take_n == 0 {
             return Ok(at);
         }
-        let taken: Vec<BufSlot> = self.pending.drain(..take_n).collect();
+        let mut taken = std::mem::take(&mut self.scratch_batch);
+        taken.clear();
+        taken.extend(self.pending.drain(..take_n));
         let wp = self.next_wp;
         self.next_wp = (self.next_wp + 1) % self.actives.len();
         let (block, page) = match self.alloc_page_slot(wp, at) {
             Ok(v) => v,
             Err(e) => {
                 // Put the batch back so no buffered data is lost.
-                for (i, slot) in taken.into_iter().enumerate() {
+                for (i, &slot) in taken.iter().enumerate() {
                     self.pending.insert(i, slot);
                 }
+                self.scratch_batch = taken;
                 return Err(e);
             }
         };
-        let pending = taken;
         let ppn = self.flash.geometry().ppn_in_block(block, page);
 
         let mut content = PageContent::empty(self.upp as usize);
-        let mut placements: Vec<(BufSlot, u32)> = Vec::with_capacity(pending.len());
-        for (offset, slot) in pending.into_iter().enumerate() {
-            let data = self.slots.remove(&slot).expect("pending slot exists");
+        let mut placements = std::mem::take(&mut self.scratch_placements);
+        placements.clear();
+        for (offset, &slot) in taken.iter().enumerate() {
+            let data = self.release_slot(slot);
             content.units[offset] = Some(data.payload);
             content.oob.push(data.oob);
             placements.push((slot, offset as u32));
         }
 
-        let win = self.flash.program(ppn, content, at)?;
+        let win = match self.flash.program(ppn, content, at) {
+            Ok(w) => w,
+            Err(e) => {
+                self.scratch_batch = taken;
+                self.scratch_placements = placements;
+                return Err(e.into());
+            }
+        };
         self.counters.incr("ftl.pages_programmed");
 
-        for (slot, offset) in placements {
+        for &(slot, offset) in &placements {
             let pun = Pun::compose(ppn, offset, self.upp);
-            let moved = self.table.relocate(Location::Buffer(slot), Location::Flash(pun));
+            let moved = self
+                .table
+                .relocate(Location::Buffer(slot), Location::Flash(pun));
             if moved > 0 {
                 self.valid_units[block.0 as usize] += 1;
             }
             // moved == 0: the buffered unit died before page-out; it is now
             // padding on flash and simply never becomes valid.
         }
+        self.scratch_batch = taken;
+        self.scratch_placements = placements;
         Ok(win.finish)
     }
 
@@ -462,12 +504,7 @@ impl Ftl {
             .filter(|&(_, &k)| k == BlockKind::Closed)
             .map(|(i, _)| BlockId(i as u64))
             .filter(|b| self.valid_units[b.0 as usize] < capacity)
-            .min_by_key(|b| {
-                (
-                    self.valid_units[b.0 as usize],
-                    self.flash.erase_count(*b),
-                )
-            })
+            .min_by_key(|b| (self.valid_units[b.0 as usize], self.flash.erase_count(*b)))
     }
 
     /// Spread between the most-erased block and the coldest block still
@@ -545,8 +582,10 @@ impl Ftl {
         let mut done = at;
         for page in 0..g.pages_per_block {
             let ppn = g.ppn_in_block(victim, page);
-            // Collect valid units of this page first (borrow rules).
-            let mut valid: Vec<(u32, UnitPayload, Lpn)> = Vec::new();
+            // Collect valid units of this page first (borrow rules). The
+            // scratch buffer is reused across pages and GC rounds.
+            let mut valid = std::mem::take(&mut self.scratch_valid);
+            valid.clear();
             for offset in 0..self.upp {
                 let pun = Pun::compose(ppn, offset, self.upp);
                 let refs = self.table.referrers(Location::Flash(pun));
@@ -560,11 +599,19 @@ impl Ftl {
                 }
             }
             if valid.is_empty() {
+                self.scratch_valid = valid;
                 continue;
             }
-            let win = self.flash.schedule_read(ppn, at)?;
+            let win = match self.flash.schedule_read(ppn, at) {
+                Ok(w) => w,
+                Err(e) => {
+                    self.scratch_valid = valid;
+                    return Err(e.into());
+                }
+            };
             done = done.max(win.finish);
-            for (offset, payload, primary) in valid {
+            let mut fail = None;
+            for (offset, payload, primary) in valid.drain(..) {
                 let pun = Pun::compose(ppn, offset, self.upp);
                 let slot = self.new_slot(payload, primary, OobKind::GcCopy);
                 let moved = self
@@ -574,7 +621,17 @@ impl Ftl {
                 self.valid_units[victim.0 as usize] -= 1;
                 self.counters.incr("ftl.gc_units_moved");
                 self.pending.push_back(slot);
-                done = done.max(self.drain_to_watermark(at)?);
+                match self.drain_to_watermark(at) {
+                    Ok(t) => done = done.max(t),
+                    Err(e) => {
+                        fail = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.scratch_valid = valid;
+            if let Some(e) = fail {
+                return Err(e);
             }
         }
         debug_assert_eq!(self.valid_units[victim.0 as usize], 0);
@@ -629,9 +686,14 @@ impl Ftl {
                 return Err(format!("free-pool block {b} not marked Free"));
             }
         }
-        for slot in self.slots.keys() {
-            let loc = Location::Buffer(*slot);
-            if self.table.referrers(loc).is_empty() && !self.pending.contains(slot) {
+        for (id, data) in self.slots.iter().enumerate() {
+            if data.is_none() {
+                continue;
+            }
+            let slot = BufSlot(id as u64);
+            if self.table.referrers(Location::Buffer(slot)).is_empty()
+                && !self.pending.contains(&slot)
+            {
                 return Err(format!("orphaned buffer slot {slot}"));
             }
         }
@@ -684,7 +746,8 @@ mod tests {
     #[test]
     fn write_then_read_from_buffer() {
         let mut f = small_ftl(512);
-        f.write(w(0, 1, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+        f.write(w(0, 1, 1, 512), OobKind::Data, SimTime::ZERO)
+            .unwrap();
         let (p, t) = f.read(Lpn(0), SimTime::ZERO).unwrap();
         assert_eq!(p.fragments[0].key, 1);
         assert_eq!(t, SimTime::ZERO, "buffer hit has no flash latency");
@@ -695,9 +758,10 @@ mod tests {
     fn page_out_after_buffer_watermark() {
         let mut f = small_ftl(512);
         let upp = f.units_per_page() as u64; // 8
-        // Watermark is 16 units: writing 4 pages' worth forces page-outs.
+                                             // Watermark is 16 units: writing 4 pages' worth forces page-outs.
         for i in 0..upp * 4 {
-            f.write(w(i, i, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+            f.write(w(i, i, 1, 512), OobKind::Data, SimTime::ZERO)
+                .unwrap();
         }
         assert!(f.flash().counters().get("flash.program") >= 2);
         let (p, t) = f.read(Lpn(0), SimTime::from_nanos(0)).unwrap();
@@ -710,7 +774,8 @@ mod tests {
     fn overwrite_invalidates_old_copy() {
         let mut f = small_ftl(512);
         for i in 0..16 {
-            f.write(w(0, 7, i + 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+            f.write(w(0, 7, i + 1, 512), OobKind::Data, SimTime::ZERO)
+                .unwrap();
             // Flush so each version reaches flash and the next overwrite
             // invalidates a flash-resident copy.
             f.flush(SimTime::ZERO).unwrap();
@@ -733,7 +798,8 @@ mod tests {
     #[test]
     fn remap_shares_physical_copy() {
         let mut f = small_ftl(512);
-        f.write(w(100, 1, 3, 512), OobKind::Journal, SimTime::ZERO).unwrap();
+        f.write(w(100, 1, 3, 512), OobKind::Journal, SimTime::ZERO)
+            .unwrap();
         f.flush(SimTime::ZERO).unwrap();
         f.remap(Lpn(0), Lpn(100)).unwrap();
         let (a, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
@@ -749,13 +815,17 @@ mod tests {
     #[test]
     fn remap_unmapped_source_fails() {
         let mut f = small_ftl(512);
-        assert!(matches!(f.remap(Lpn(0), Lpn(9)), Err(FtlError::Unmapped(_))));
+        assert!(matches!(
+            f.remap(Lpn(0), Lpn(9)),
+            Err(FtlError::Unmapped(_))
+        ));
     }
 
     #[test]
     fn deallocate_journal_keeps_data_alias_alive() {
         let mut f = small_ftl(512);
-        f.write(w(100, 1, 1, 512), OobKind::Journal, SimTime::ZERO).unwrap();
+        f.write(w(100, 1, 1, 512), OobKind::Journal, SimTime::ZERO)
+            .unwrap();
         f.flush(SimTime::ZERO).unwrap();
         f.remap(Lpn(0), Lpn(100)).unwrap();
         assert!(f.deallocate(Lpn(100)));
@@ -775,8 +845,16 @@ mod tests {
             UnitWrite {
                 lpn: Lpn(0),
                 payload: UnitPayload::merged(vec![
-                    checkin_flash::Fragment { key: 1, version: 1, bytes: 1024 },
-                    checkin_flash::Fragment { key: 2, version: 1, bytes: 1024 },
+                    checkin_flash::Fragment {
+                        key: 1,
+                        version: 1,
+                        bytes: 1024,
+                    },
+                    checkin_flash::Fragment {
+                        key: 2,
+                        version: 1,
+                        bytes: 1024,
+                    },
                 ]),
                 whole_unit: true,
             },
@@ -816,7 +894,10 @@ mod tests {
                     .unwrap();
             }
         }
-        assert!(f.counters().get("ftl.gc_invocations") > 0, "GC should trigger");
+        assert!(
+            f.counters().get("ftl.gc_invocations") > 0,
+            "GC should trigger"
+        );
         assert!(f.free_block_count() > 0);
         // Every unit readable at its latest version.
         for lpn in 0..256u64 {
@@ -829,7 +910,8 @@ mod tests {
     #[test]
     fn gc_preserves_shared_references() {
         let mut f = small_ftl(512);
-        f.write(w(1000, 5, 9, 512), OobKind::Journal, SimTime::ZERO).unwrap();
+        f.write(w(1000, 5, 9, 512), OobKind::Journal, SimTime::ZERO)
+            .unwrap();
         f.flush(SimTime::ZERO).unwrap();
         f.remap(Lpn(0), Lpn(1000)).unwrap();
         // Force churn so GC eventually relocates the shared unit's block.
@@ -870,7 +952,8 @@ mod tests {
     #[test]
     fn flush_pads_partial_pages() {
         let mut f = small_ftl(512);
-        f.write(w(0, 1, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+        f.write(w(0, 1, 1, 512), OobKind::Data, SimTime::ZERO)
+            .unwrap();
         let done = f.flush(SimTime::ZERO).unwrap();
         assert!(done > SimTime::ZERO);
         assert_eq!(f.flash().counters().get("flash.program"), 1);
@@ -937,7 +1020,8 @@ mod tests {
         .unwrap();
         let cheap = f.map_access_cost();
         for i in 0..64 {
-            f.write(w(i, i, 1, 512), OobKind::Data, SimTime::ZERO).unwrap();
+            f.write(w(i, i, 1, 512), OobKind::Data, SimTime::ZERO)
+                .unwrap();
         }
         assert!(f.map_access_cost() > cheap);
     }
@@ -951,14 +1035,27 @@ mod tests {
     #[test]
     fn merge_payload_replaces_matching_keys() {
         let old = UnitPayload::merged(vec![
-            checkin_flash::Fragment { key: 1, version: 1, bytes: 100 },
-            checkin_flash::Fragment { key: 2, version: 1, bytes: 100 },
+            checkin_flash::Fragment {
+                key: 1,
+                version: 1,
+                bytes: 100,
+            },
+            checkin_flash::Fragment {
+                key: 2,
+                version: 1,
+                bytes: 100,
+            },
         ]);
         let new = UnitPayload::single(2, 5, 100);
         let merged = merge_payload(&old, &new);
         assert_eq!(merged.fragments.len(), 2);
         assert_eq!(
-            merged.fragments.iter().find(|f| f.key == 2).unwrap().version,
+            merged
+                .fragments
+                .iter()
+                .find(|f| f.key == 2)
+                .unwrap()
+                .version,
             5
         );
     }

@@ -58,8 +58,8 @@ impl MapCacheModel {
     /// Expected cost of one mapping access at the current table size.
     pub fn access_cost(&self, live_entries: u64) -> SimDuration {
         let h = self.hit_rate(live_entries);
-        let nanos = h * self.hit_cost.as_nanos() as f64
-            + (1.0 - h) * self.miss_cost.as_nanos() as f64;
+        let nanos =
+            h * self.hit_cost.as_nanos() as f64 + (1.0 - h) * self.miss_cost.as_nanos() as f64;
         SimDuration::from_nanos(nanos.round() as u64)
     }
 }

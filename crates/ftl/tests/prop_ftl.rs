@@ -1,12 +1,13 @@
 //! Property tests driving the FTL directly with random operation soups,
-//! mirrored against a shadow model.
+//! mirrored against a shadow model. Randomized via `checkin-testkit`
+//! (deterministic seeds, offline-safe — no external crates).
 
 use std::collections::HashMap;
 
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
 use checkin_ftl::{Ftl, FtlConfig, FtlError, Lpn, UnitWrite};
 use checkin_sim::SimTime;
-use proptest::prelude::*;
+use checkin_testkit::{check, soup, TestRng};
 
 const LPNS: u64 = 192;
 
@@ -26,15 +27,18 @@ enum Op {
     WearLevel,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => any::<u8>().prop_map(|lpn| Op::Write { lpn }),
-        2 => (any::<u8>(), any::<u8>()).prop_map(|(dst, src)| Op::Remap { dst, src }),
-        2 => any::<u8>().prop_map(|lpn| Op::Deallocate { lpn }),
-        1 => Just(Op::Flush),
-        1 => Just(Op::Gc),
-        1 => Just(Op::WearLevel),
-    ]
+fn op(rng: &mut TestRng) -> Op {
+    match rng.weighted(&[6, 2, 2, 1, 1, 1]) {
+        0 => Op::Write { lpn: rng.any_u8() },
+        1 => Op::Remap {
+            dst: rng.any_u8(),
+            src: rng.any_u8(),
+        },
+        2 => Op::Deallocate { lpn: rng.any_u8() },
+        3 => Op::Flush,
+        4 => Op::Gc,
+        _ => Op::WearLevel,
+    }
 }
 
 fn build() -> Ftl {
@@ -55,7 +59,7 @@ fn build() -> Ftl {
 }
 
 /// Shadow: lpn -> (key, version) of the expected current copy.
-fn run_ops(ops: &[Op]) -> Result<(), TestCaseError> {
+fn run_ops(ops: &[Op]) {
     let mut ftl = build();
     let mut shadow: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut next_version = 1u64;
@@ -85,19 +89,19 @@ fn run_ops(ops: &[Op]) -> Result<(), TestCaseError> {
                 match ftl.remap(Lpn(dst), Lpn(src)) {
                     Ok(()) => {
                         let copy = shadow.get(&src).copied();
-                        prop_assert!(copy.is_some(), "remap of unmapped src succeeded");
+                        assert!(copy.is_some(), "remap of unmapped src succeeded");
                         shadow.insert(dst, copy.unwrap());
                     }
                     Err(FtlError::Unmapped(_)) => {
-                        prop_assert!(!shadow.contains_key(&src));
+                        assert!(!shadow.contains_key(&src));
                     }
-                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    Err(e) => panic!("{e}"),
                 }
             }
             Op::Deallocate { lpn } => {
                 let lpn = *lpn as u64 % LPNS;
                 let existed = ftl.deallocate(Lpn(lpn));
-                prop_assert_eq!(existed, shadow.remove(&lpn).is_some());
+                assert_eq!(existed, shadow.remove(&lpn).is_some());
             }
             Op::Flush => {
                 ftl.flush(t).unwrap();
@@ -119,38 +123,36 @@ fn run_ops(ops: &[Op]) -> Result<(), TestCaseError> {
             .iter()
             .find(|f| f.key == key)
             .unwrap_or_else(|| panic!("lpn {lpn}: key {key} missing"));
-        prop_assert_eq!(f.version, version, "lpn {}", lpn);
+        assert_eq!(f.version, version, "lpn {lpn}");
     }
     // And nothing else is mapped.
     for lpn in 0..LPNS {
-        prop_assert_eq!(
+        assert_eq!(
             ftl.is_mapped(Lpn(lpn)),
             shadow.contains_key(&lpn),
-            "mapping presence mismatch at {}",
-            lpn
+            "mapping presence mismatch at {lpn}"
         );
     }
-    prop_assert!(ftl.check_invariants().is_ok());
-    Ok(())
+    assert!(ftl.check_invariants().is_ok());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn ftl_matches_shadow_under_random_ops(ops in proptest::collection::vec(op(), 1..400)) {
-        run_ops(&ops)?;
-    }
+#[test]
+fn ftl_matches_shadow_under_random_ops() {
+    check("ftl_matches_shadow_under_random_ops", 64, |rng| {
+        let len = rng.range_usize(1, 399);
+        let ops = soup(rng, len, op);
+        run_ops(&ops);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
-
-    /// Long soups hit GC and wear leveling organically.
-    #[test]
-    fn ftl_matches_shadow_under_long_churn(ops in proptest::collection::vec(op(), 2_000..3_000)) {
-        run_ops(&ops)?;
-    }
+/// Long soups hit GC and wear leveling organically.
+#[test]
+fn ftl_matches_shadow_under_long_churn() {
+    check("ftl_matches_shadow_under_long_churn", 8, |rng| {
+        let len = rng.range_usize(2_000, 2_999);
+        let ops = soup(rng, len, op);
+        run_ops(&ops);
+    });
 }
 
 #[test]
@@ -161,10 +163,17 @@ fn gc_pressure_soup_deterministic_regression() {
             0 => Op::Flush,
             1 => Op::Gc,
             2 => Op::WearLevel,
-            3 => Op::Deallocate { lpn: (i % 251) as u8 },
-            4 => Op::Remap { dst: (i % 241) as u8, src: (i % 239) as u8 },
-            _ => Op::Write { lpn: (i % 251) as u8 },
+            3 => Op::Deallocate {
+                lpn: (i % 251) as u8,
+            },
+            4 => Op::Remap {
+                dst: (i % 241) as u8,
+                src: (i % 239) as u8,
+            },
+            _ => Op::Write {
+                lpn: (i % 251) as u8,
+            },
         })
         .collect();
-    run_ops(&ops).unwrap();
+    run_ops(&ops);
 }

@@ -1,0 +1,239 @@
+//! Property tests pinning the dense Vec-backed `MappingTable` to a
+//! map-based shadow model (the pre-refactor representation): random
+//! soups of map/unmap/alias/relocate must produce identical forward
+//! mappings, identical `Unlink` outcomes, consistent reverse referrer
+//! sets, and the same ascending-LPN iteration order.
+
+use std::collections::BTreeMap;
+
+use checkin_ftl::{BufSlot, Location, Lpn, MappingTable, Pun, Unlink};
+use checkin_testkit::{check, soup, TestRng};
+
+/// Dense logical units (the hot region).
+const DENSE_LPNS: u64 = 200;
+/// Sparse LPNs per high region, exercising the sorted overflow path. The
+/// regions sit above the table's dense limit (`1 << 26`) and around the
+/// device-metadata band near `u64::MAX / 2`.
+const SPARSE_LPNS: u64 = 6;
+/// Physical units — deliberately small so aliases pile up.
+const PUNS: u64 = 48;
+/// Buffer slots.
+const SLOTS: u64 = 12;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Map { lpn: Lpn, loc: Location },
+    Unmap { lpn: Lpn },
+    Alias { dst: Lpn, src: Lpn },
+    Relocate { from: Location, to: Location },
+}
+
+fn any_lpn(rng: &mut TestRng) -> Lpn {
+    match rng.weighted(&[12, 1, 1]) {
+        0 => Lpn(rng.below(DENSE_LPNS)),
+        1 => Lpn((1 << 26) + rng.below(SPARSE_LPNS)),
+        _ => Lpn(u64::MAX / 2 + rng.below(SPARSE_LPNS)),
+    }
+}
+
+fn any_loc(rng: &mut TestRng) -> Location {
+    if rng.chance(0.75) {
+        Location::Flash(Pun(rng.below(PUNS)))
+    } else {
+        Location::Buffer(BufSlot(rng.below(SLOTS)))
+    }
+}
+
+fn any_op(rng: &mut TestRng) -> Op {
+    match rng.weighted(&[6, 3, 3, 1]) {
+        0 => Op::Map {
+            lpn: any_lpn(rng),
+            loc: any_loc(rng),
+        },
+        1 => Op::Unmap { lpn: any_lpn(rng) },
+        2 => Op::Alias {
+            dst: any_lpn(rng),
+            src: any_lpn(rng),
+        },
+        _ => Op::Relocate {
+            from: any_loc(rng),
+            to: any_loc(rng),
+        },
+    }
+}
+
+/// The shadow: a plain ordered map LPN -> location, with the reverse
+/// direction and all counters derived from it on demand. Everything the
+/// dense table tracks incrementally must agree with this ground truth.
+#[derive(Default)]
+struct Shadow {
+    forward: BTreeMap<u64, Location>,
+}
+
+impl Shadow {
+    fn referrers(&self, loc: Location) -> Vec<Lpn> {
+        self.forward
+            .iter()
+            .filter(|&(_, &l)| l == loc)
+            .map(|(&lpn, _)| Lpn(lpn))
+            .collect()
+    }
+
+    fn unmap(&mut self, lpn: Lpn) -> Unlink {
+        match self.forward.remove(&lpn.0) {
+            None => Unlink::NotMapped,
+            Some(loc) => {
+                if self.referrers(loc).is_empty() {
+                    Unlink::Orphaned(loc)
+                } else {
+                    Unlink::StillReferenced(loc)
+                }
+            }
+        }
+    }
+
+    fn map(&mut self, lpn: Lpn, loc: Location) -> Unlink {
+        let prev = self.unmap(lpn);
+        self.forward.insert(lpn.0, loc);
+        prev
+    }
+
+    fn alias(&mut self, dst: Lpn, src: Lpn) -> Result<Unlink, Lpn> {
+        let loc = *self.forward.get(&src.0).ok_or(src)?;
+        if self.forward.get(&dst.0) == Some(&loc) {
+            return Ok(Unlink::StillReferenced(loc));
+        }
+        Ok(self.map(dst, loc))
+    }
+
+    fn relocate(&mut self, from: Location, to: Location) -> usize {
+        let movers: Vec<u64> = self
+            .forward
+            .iter()
+            .filter(|&(_, &l)| l == from)
+            .map(|(&lpn, _)| lpn)
+            .collect();
+        for lpn in &movers {
+            self.forward.insert(*lpn, to);
+        }
+        movers.len()
+    }
+
+    fn occupied(&self) -> usize {
+        let mut locs: Vec<Location> = self.forward.values().copied().collect();
+        locs.sort_by_key(|l| match l {
+            Location::Flash(p) => (0u8, p.0),
+            Location::Buffer(s) => (1u8, s.0),
+        });
+        locs.dedup();
+        locs.len()
+    }
+}
+
+fn assert_equivalent(table: &MappingTable, shadow: &Shadow) {
+    // Forward direction, including iteration order: ascending LPN in both.
+    let from_table: Vec<(u64, Location)> = table.iter().map(|(l, loc)| (l.0, loc)).collect();
+    let from_shadow: Vec<(u64, Location)> =
+        shadow.forward.iter().map(|(&l, &loc)| (l, loc)).collect();
+    assert_eq!(from_table, from_shadow, "forward map / iteration order");
+
+    assert_eq!(table.live_entries(), shadow.forward.len(), "live counter");
+    assert_eq!(
+        table.occupied_locations(),
+        shadow.occupied(),
+        "occupied counter"
+    );
+
+    // Reverse direction over the whole location universe: same referrer
+    // sets (the table keeps insertion order, so compare as sorted sets).
+    let locs = (0..PUNS)
+        .map(|p| Location::Flash(Pun(p)))
+        .chain((0..SLOTS).map(|s| Location::Buffer(BufSlot(s))));
+    for loc in locs {
+        let mut got: Vec<Lpn> = table.referrers(loc).to_vec();
+        got.sort_by_key(|l| l.0);
+        assert_eq!(got, shadow.referrers(loc), "referrers of {loc}");
+    }
+
+    table.check_consistency().unwrap();
+}
+
+fn run_ops(ops: &[Op]) {
+    let mut table = MappingTable::new();
+    let mut shadow = Shadow::default();
+    for op in ops {
+        match *op {
+            Op::Map { lpn, loc } => {
+                assert_eq!(table.map(lpn, loc), shadow.map(lpn, loc), "map {lpn}");
+            }
+            Op::Unmap { lpn } => {
+                assert_eq!(table.unmap(lpn), shadow.unmap(lpn), "unmap {lpn}");
+            }
+            Op::Alias { dst, src } => {
+                assert_eq!(
+                    table.alias(dst, src),
+                    shadow.alias(dst, src),
+                    "alias {dst} -> {src}"
+                );
+            }
+            Op::Relocate { from, to } => {
+                let moved = table.relocate(from, to);
+                assert_eq!(moved, shadow.relocate(from, to), "relocate {from}");
+            }
+        }
+    }
+    assert_equivalent(&table, &shadow);
+}
+
+#[test]
+fn mapping_table_matches_map_shadow_under_random_ops() {
+    check("mapping_table_matches_map_shadow", 96, |rng| {
+        let len = rng.range_usize(1, 299);
+        let ops = soup(rng, len, any_op);
+        run_ops(&ops);
+    });
+}
+
+/// Long soups: the reverse slots cycle through Empty/One/Many many times
+/// and the overflow vector sees repeated insert/remove churn.
+#[test]
+fn mapping_table_matches_map_shadow_under_long_churn() {
+    check("mapping_table_long_churn", 12, |rng| {
+        let len = rng.range_usize(2_000, 2_999);
+        let ops = soup(rng, len, any_op);
+        run_ops(&ops);
+    });
+}
+
+/// Equivalence checked after *every* op, not just at the end — catches
+/// transient counter drift that later ops could mask.
+#[test]
+fn mapping_table_stays_equivalent_at_every_step() {
+    check("mapping_table_stepwise_equivalence", 16, |rng| {
+        let len = rng.range_usize(1, 79);
+        let ops = soup(rng, len, any_op);
+        let mut table = MappingTable::new();
+        let mut shadow = Shadow::default();
+        for op in &ops {
+            match *op {
+                Op::Map { lpn, loc } => {
+                    table.map(lpn, loc);
+                    shadow.map(lpn, loc);
+                }
+                Op::Unmap { lpn } => {
+                    table.unmap(lpn);
+                    shadow.unmap(lpn);
+                }
+                Op::Alias { dst, src } => {
+                    let _ = table.alias(dst, src);
+                    let _ = shadow.alias(dst, src);
+                }
+                Op::Relocate { from, to } => {
+                    table.relocate(from, to);
+                    shadow.relocate(from, to);
+                }
+            }
+            assert_equivalent(&table, &shadow);
+        }
+    });
+}

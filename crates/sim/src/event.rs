@@ -69,6 +69,16 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue pre-sized for `n` concurrent events (closed
+    /// loops know their population upfront).
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
     /// Schedules `payload` to fire at absolute instant `time`.
     ///
     /// Scheduling into the past (before the last popped event) is a logic

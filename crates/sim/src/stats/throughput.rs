@@ -67,7 +67,9 @@ impl ThroughputMeter {
 
     /// Length of the measured interval in seconds.
     pub fn elapsed_secs(&self) -> f64 {
-        self.finished.saturating_duration_since(self.started).as_secs_f64()
+        self.finished
+            .saturating_duration_since(self.started)
+            .as_secs_f64()
     }
 
     /// Operations per second over the interval (zero if the interval is

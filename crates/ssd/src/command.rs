@@ -116,7 +116,11 @@ mod tests {
         let w = WriteRequest {
             lba: 8,
             sectors: 2,
-            content: WriteContent::Record { key: 1, version: 1, bytes: 900 },
+            content: WriteContent::Record {
+                key: 1,
+                version: 1,
+                bytes: 900,
+            },
         };
         assert_eq!(w.payload_bytes(), 900);
         assert_eq!(w.wire_bytes(), 1024);
@@ -128,8 +132,16 @@ mod tests {
             lba: 0,
             sectors: 1,
             content: WriteContent::Merged(vec![
-                Fragment { key: 1, version: 1, bytes: 128 },
-                Fragment { key: 2, version: 4, bytes: 256 },
+                Fragment {
+                    key: 1,
+                    version: 1,
+                    bytes: 128,
+                },
+                Fragment {
+                    key: 2,
+                    version: 4,
+                    bytes: 256,
+                },
             ]),
         };
         assert_eq!(w.payload_bytes(), 384);

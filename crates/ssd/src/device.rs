@@ -157,7 +157,9 @@ impl Ssd {
         let map_cost = self.ftl.map_access_cost() * segments.len() as u64;
         let cpu = self.cpu.schedule(
             cmd.finish,
-            self.timing.cpu_cmd_cost + map_cost + self.timing.dram_unit_cost * segments.len() as u64,
+            self.timing.cpu_cmd_cost
+                + map_cost
+                + self.timing.dram_unit_cost * segments.len() as u64,
         );
 
         let mut fragments = Vec::new();
@@ -212,14 +214,17 @@ impl Ssd {
         let wire = req.wire_bytes();
         self.counters.add("ssd.host_write_bytes", wire);
         let t0 = self.queue.admit(at);
-        let xfer = self
-            .link
-            .schedule(t0, self.timing.cmd_overhead + self.timing.link_transfer(wire));
+        let xfer = self.link.schedule(
+            t0,
+            self.timing.cmd_overhead + self.timing.link_transfer(wire),
+        );
         let segments = self.unit_segments(req.lba, req.sectors);
         let map_cost = self.ftl.map_access_cost() * segments.len() as u64;
         let cpu = self.cpu.schedule(
             xfer.finish,
-            self.timing.cpu_cmd_cost + map_cost + self.timing.dram_unit_cost * segments.len() as u64,
+            self.timing.cpu_cmd_cost
+                + map_cost
+                + self.timing.dram_unit_cost * segments.len() as u64,
         );
 
         let mut done = cpu.finish;
@@ -242,9 +247,7 @@ impl Ssd {
                 WriteContent::Merged(frags) => UnitPayload::merged(frags.clone()),
                 // A tombstone stores a zero-byte fragment: readers filter
                 // it out, recovery scans see the deletion's version.
-                WriteContent::Tombstone { key, version } => {
-                    UnitPayload::single(*key, *version, 0)
-                }
+                WriteContent::Tombstone { key, version } => UnitPayload::single(*key, *version, 0),
             };
             // Every host request owns the sectors it names (journal
             // commits are sector padded, home slots are unit aligned), so
@@ -382,8 +385,7 @@ impl Ssd {
         );
         let cpu = self.cpu.schedule(
             cmd.finish,
-            self.timing.cpu_cmd_cost
-                + self.timing.cpu_cow_entry_cost * entries.len() as u64,
+            self.timing.cpu_cmd_cost + self.timing.cpu_cow_entry_cost * entries.len() as u64,
         );
         let mut done = self.execute_entries(entries, mode, cpu.finish)?;
         // Checkpoint completion persists a metadata unit (recovery point).
@@ -405,10 +407,7 @@ impl Ssd {
         let mut done = at;
 
         if !remaps.is_empty() {
-            let unit_count: u64 = remaps
-                .iter()
-                .map(|e| (e.sectors / us).max(1) as u64)
-                .sum();
+            let unit_count: u64 = remaps.iter().map(|e| (e.sectors / us).max(1) as u64).sum();
             // Two table accesses per unit: source lookup + target update.
             let cpu = self
                 .cpu
@@ -479,9 +478,7 @@ impl Ssd {
                     continue;
                 }
                 let mut remaining = total_bytes;
-                for (dst_lpn, seg, whole) in
-                    self.unit_segments(e.dst_lba, e.dst_sectors.max(1))
-                {
+                for (dst_lpn, seg, whole) in self.unit_segments(e.dst_lba, e.dst_sectors.max(1)) {
                     let take = remaining.min(seg * SECTOR_BYTES);
                     if take == 0 {
                         break;
@@ -582,9 +579,18 @@ mod tests {
     #[test]
     fn write_then_read_roundtrip() {
         let mut s = ssd(512);
-        let t = s.write(&record(10, 2, 7, 3), OobKind::Data, SimTime::ZERO).unwrap();
+        let t = s
+            .write(&record(10, 2, 7, 3), OobKind::Data, SimTime::ZERO)
+            .unwrap();
         let (frags, _) = s
-            .read(&ReadRequest { lba: 10, sectors: 2, key: Some(7) }, t)
+            .read(
+                &ReadRequest {
+                    lba: 10,
+                    sectors: 2,
+                    key: Some(7),
+                },
+                t,
+            )
             .unwrap();
         assert_eq!(frags.len(), 2, "one fragment per 512B unit");
         assert!(frags.iter().all(|f| f.version == 3));
@@ -594,7 +600,14 @@ mod tests {
     fn read_of_unwritten_space_returns_nothing() {
         let mut s = ssd(512);
         let (frags, t) = s
-            .read(&ReadRequest { lba: 100, sectors: 4, key: None }, SimTime::ZERO)
+            .read(
+                &ReadRequest {
+                    lba: 100,
+                    sectors: 4,
+                    key: None,
+                },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(frags.is_empty());
         assert!(t > SimTime::ZERO, "still pays interface costs");
@@ -604,7 +617,14 @@ mod tests {
     fn zero_sector_requests_rejected() {
         let mut s = ssd(512);
         assert!(matches!(
-            s.read(&ReadRequest { lba: 0, sectors: 0, key: None }, SimTime::ZERO),
+            s.read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 0,
+                    key: None
+                },
+                SimTime::ZERO
+            ),
             Err(SsdError::InvalidRequest(_))
         ));
         assert!(matches!(
@@ -619,7 +639,11 @@ mod tests {
         let bad = WriteRequest {
             lba: 0,
             sectors: 2,
-            content: WriteContent::Merged(vec![Fragment { key: 1, version: 1, bytes: 128 }]),
+            content: WriteContent::Merged(vec![Fragment {
+                key: 1,
+                version: 1,
+                bytes: 128,
+            }]),
         };
         assert!(matches!(
             s.write(&bad, OobKind::Journal, SimTime::ZERO),
@@ -636,10 +660,24 @@ mod tests {
             .unwrap();
         let t = s.flush(t).unwrap();
         let programs_before = s.ftl().flash().counters().get("flash.program");
-        let entry = CowEntry { src_lba: 1000, dst_lba: 8, sectors: 2, dst_sectors: 2, key: 5, merged: false };
+        let entry = CowEntry {
+            src_lba: 1000,
+            dst_lba: 8,
+            sectors: 2,
+            dst_sectors: 2,
+            key: 5,
+            merged: false,
+        };
         let t = s.checkpoint(&[entry], CheckpointMode::Remap, t).unwrap();
         let (frags, _) = s
-            .read(&ReadRequest { lba: 8, sectors: 2, key: Some(5) }, t)
+            .read(
+                &ReadRequest {
+                    lba: 8,
+                    sectors: 2,
+                    key: Some(5),
+                },
+                t,
+            )
             .unwrap();
         assert_eq!(frags.len(), 2);
         assert_eq!(s.counters().get("ssd.remap_entries"), 1);
@@ -656,11 +694,25 @@ mod tests {
             .write(&record(1000, 2, 5, 9), OobKind::Journal, SimTime::ZERO)
             .unwrap();
         let t = s.flush(t).unwrap();
-        let entry = CowEntry { src_lba: 1000, dst_lba: 8, sectors: 2, dst_sectors: 2, key: 5, merged: false };
+        let entry = CowEntry {
+            src_lba: 1000,
+            dst_lba: 8,
+            sectors: 2,
+            dst_sectors: 2,
+            key: 5,
+            merged: false,
+        };
         let t = s.checkpoint(&[entry], CheckpointMode::Copy, t).unwrap();
         assert_eq!(s.counters().get("ssd.copy_entries"), 1);
         let (frags, _) = s
-            .read(&ReadRequest { lba: 8, sectors: 2, key: Some(5) }, t)
+            .read(
+                &ReadRequest {
+                    lba: 8,
+                    sectors: 2,
+                    key: Some(5),
+                },
+                t,
+            )
             .unwrap();
         assert_eq!(frags.len(), 2);
         assert_eq!(frags[0].version, 9);
@@ -674,7 +726,14 @@ mod tests {
             .unwrap();
         let t = s.flush(t).unwrap();
         // 2-sector record in an 8-sector unit: not remappable.
-        let entry = CowEntry { src_lba: 1000, dst_lba: 16, sectors: 2, dst_sectors: 2, key: 5, merged: false };
+        let entry = CowEntry {
+            src_lba: 1000,
+            dst_lba: 16,
+            sectors: 2,
+            dst_sectors: 2,
+            key: 5,
+            merged: false,
+        };
         s.checkpoint(&[entry], CheckpointMode::Remap, t).unwrap();
         assert_eq!(s.counters().get("ssd.remap_entries"), 0);
         assert_eq!(s.counters().get("ssd.copy_entries"), 1);
@@ -694,7 +753,8 @@ mod tests {
             let e = CowEntry {
                 src_lba: 1000 + 2 * i,
                 dst_lba: 8 * i,
-                sectors: 2, dst_sectors: 2,
+                sectors: 2,
+                dst_sectors: 2,
                 key: i,
                 merged: false,
             };
@@ -706,18 +766,34 @@ mod tests {
     #[test]
     fn deallocate_frees_whole_units_only() {
         let mut s = ssd(4096);
-        let t = s.write(&record(0, 8, 1, 1), OobKind::Data, SimTime::ZERO).unwrap();
+        let t = s
+            .write(&record(0, 8, 1, 1), OobKind::Data, SimTime::ZERO)
+            .unwrap();
         let t = s.flush(t).unwrap();
         // Partial trim (2 of 8 sectors) is ignored.
         let t = s.deallocate(0, 2, t);
         let (frags, t) = s
-            .read(&ReadRequest { lba: 0, sectors: 8, key: Some(1) }, t)
+            .read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 8,
+                    key: Some(1),
+                },
+                t,
+            )
             .unwrap();
         assert!(!frags.is_empty());
         // Whole-unit trim removes it.
         let t = s.deallocate(0, 8, t);
         let (frags, _) = s
-            .read(&ReadRequest { lba: 0, sectors: 8, key: Some(1) }, t)
+            .read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 8,
+                    key: Some(1),
+                },
+                t,
+            )
             .unwrap();
         assert!(frags.is_empty());
     }
@@ -727,7 +803,9 @@ mod tests {
         let mut s = ssd(512);
         let mut t = SimTime::ZERO;
         for i in 0..80u64 {
-            t = s.write(&record(1000 + i, 1, i, 1), OobKind::Journal, t).unwrap();
+            t = s
+                .write(&record(1000 + i, 1, i, 1), OobKind::Journal, t)
+                .unwrap();
         }
         assert!(s.counters().get("ssd.meta_writes") >= 1);
     }
@@ -753,12 +831,32 @@ mod tests {
                 ..SsdTiming::paper_default()
             },
         );
-        let t = s.write(&record(0, 1, 1, 1), OobKind::Data, SimTime::ZERO).unwrap();
+        let t = s
+            .write(&record(0, 1, 1, 1), OobKind::Data, SimTime::ZERO)
+            .unwrap();
         let t = s.flush(t).unwrap();
         // Two reads submitted at the same instant: with depth 1 the second
         // starts after the first completes.
-        let (_, t1) = s.read(&ReadRequest { lba: 0, sectors: 1, key: None }, t).unwrap();
-        let (_, t2) = s.read(&ReadRequest { lba: 0, sectors: 1, key: None }, t).unwrap();
+        let (_, t1) = s
+            .read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 1,
+                    key: None,
+                },
+                t,
+            )
+            .unwrap();
+        let (_, t2) = s
+            .read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 1,
+                    key: None,
+                },
+                t,
+            )
+            .unwrap();
         assert!(t2 > t1);
     }
 
@@ -777,20 +875,39 @@ mod tests {
             lba: 0,
             sectors: 8,
             content: WriteContent::Merged(vec![
-                Fragment { key: 1, version: 1, bytes: 1024 },
-                Fragment { key: 2, version: 1, bytes: 2048 },
+                Fragment {
+                    key: 1,
+                    version: 1,
+                    bytes: 1024,
+                },
+                Fragment {
+                    key: 2,
+                    version: 1,
+                    bytes: 2048,
+                },
             ]),
         };
         let t = s.write(&good, OobKind::Journal, SimTime::ZERO).unwrap();
         let (frags, _) = s
-            .read(&ReadRequest { lba: 0, sectors: 8, key: None }, t)
+            .read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 8,
+                    key: None,
+                },
+                t,
+            )
             .unwrap();
         assert_eq!(frags.len(), 2);
         // A sector-sized merged write is malformed on this device.
         let bad = WriteRequest {
             lba: 8,
             sectors: 1,
-            content: WriteContent::Merged(vec![Fragment { key: 3, version: 1, bytes: 128 }]),
+            content: WriteContent::Merged(vec![Fragment {
+                key: 3,
+                version: 1,
+                bytes: 128,
+            }]),
         };
         assert!(matches!(
             s.write(&bad, OobKind::Journal, SimTime::ZERO),
@@ -802,7 +919,9 @@ mod tests {
     fn empty_checkpoint_batch_is_cheap_but_persists_metadata() {
         let mut s = ssd(512);
         let meta_before = s.counters().get("ssd.meta_writes");
-        let t = s.checkpoint(&[], CheckpointMode::Remap, SimTime::ZERO).unwrap();
+        let t = s
+            .checkpoint(&[], CheckpointMode::Remap, SimTime::ZERO)
+            .unwrap();
         assert!(t > SimTime::ZERO);
         assert_eq!(s.counters().get("ssd.meta_writes"), meta_before + 1);
         assert_eq!(s.counters().get("ssd.remap_entries"), 0);
@@ -819,10 +938,18 @@ mod tests {
             key: 9,
             merged: false,
         };
-        s.cow_single(&e, CheckpointMode::Copy, SimTime::ZERO).unwrap();
+        s.cow_single(&e, CheckpointMode::Copy, SimTime::ZERO)
+            .unwrap();
         assert!(s.counters().get("ssd.cow_missing_src") >= 1);
         let (frags, _) = s
-            .read(&ReadRequest { lba: 0, sectors: 1, key: None }, SimTime::ZERO)
+            .read(
+                &ReadRequest {
+                    lba: 0,
+                    sectors: 1,
+                    key: None,
+                },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(frags.is_empty(), "nothing should land at the destination");
     }
@@ -841,7 +968,8 @@ mod tests {
             .map(|i| CowEntry {
                 src_lba: 1000 + 2 * i,
                 dst_lba: 2 * i,
-                sectors: 2, dst_sectors: 2,
+                sectors: 2,
+                dst_sectors: 2,
                 key: i,
                 merged: false,
             })
@@ -854,7 +982,14 @@ mod tests {
         s.ftl().check_invariants().unwrap();
         for i in 0..32u64 {
             let (frags, _) = s
-                .read(&ReadRequest { lba: 2 * i, sectors: 2, key: Some(i) }, t)
+                .read(
+                    &ReadRequest {
+                        lba: 2 * i,
+                        sectors: 2,
+                        key: Some(i),
+                    },
+                    t,
+                )
                 .unwrap();
             assert!(!frags.is_empty(), "key {i} readable at home after trim");
         }

@@ -92,7 +92,8 @@ mod tests {
         CowEntry {
             src_lba: src,
             dst_lba: dst,
-            sectors, dst_sectors: sectors,
+            sectors,
+            dst_sectors: sectors,
             key: 0,
             merged,
         }

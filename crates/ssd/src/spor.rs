@@ -164,7 +164,11 @@ mod tests {
         WriteRequest {
             lba,
             sectors: 1,
-            content: WriteContent::Record { key, version, bytes: 512 },
+            content: WriteContent::Record {
+                key,
+                version,
+                bytes: 512,
+            },
         }
     }
 
@@ -173,12 +177,16 @@ mod tests {
         let mut s = ssd();
         let mut t = SimTime::ZERO;
         for i in 0..24u64 {
-            t = s.write(&record(1000 + i, i, 1), OobKind::Journal, t).unwrap();
+            t = s
+                .write(&record(1000 + i, i, 1), OobKind::Journal, t)
+                .unwrap();
         }
         s.flush(t).unwrap();
         let snap = s.scan_oob();
         for i in 0..24u64 {
-            let rec = snap.lookup(1000 + i).unwrap_or_else(|| panic!("lpn {}", 1000 + i));
+            let rec = snap
+                .lookup(1000 + i)
+                .unwrap_or_else(|| panic!("lpn {}", 1000 + i));
             assert_eq!(rec.kind, OobKind::Journal);
         }
         assert!(snap.pages_scanned() >= 3);
@@ -202,7 +210,8 @@ mod tests {
     #[test]
     fn buffered_only_writes_are_not_on_flash() {
         let mut s = ssd();
-        s.write(&record(3, 9, 1), OobKind::Data, SimTime::ZERO).unwrap();
+        s.write(&record(3, 9, 1), OobKind::Data, SimTime::ZERO)
+            .unwrap();
         // No flush: the write lives in the capacitor-backed buffer.
         let snap = s.scan_oob();
         assert!(snap.lookup(3).is_none());
@@ -214,7 +223,9 @@ mod tests {
         let mut s = ssd();
         let mut t = SimTime::ZERO;
         for i in 0..32u64 {
-            t = s.write(&record(2000 + i, i, 3), OobKind::Journal, t).unwrap();
+            t = s
+                .write(&record(2000 + i, i, 3), OobKind::Journal, t)
+                .unwrap();
         }
         t = s.flush(t).unwrap();
         // Remap half of them to data-area homes.

@@ -76,7 +76,13 @@ impl RecordSizes {
 
     /// Fig. 13(b) mixing pattern 2: balanced small/medium.
     pub fn pattern2() -> Self {
-        Self::weighted(vec![(128, 15), (256, 20), (512, 30), (1024, 20), (2048, 15)])
+        Self::weighted(vec![
+            (128, 15),
+            (256, 20),
+            (512, 30),
+            (1024, 20),
+            (2048, 15),
+        ])
     }
 
     /// Fig. 13(b) mixing pattern 3: medium values.
@@ -110,7 +116,11 @@ impl RecordSizes {
 
     /// Largest size in the mix.
     pub fn max_bytes(&self) -> u32 {
-        self.choices.iter().map(|&(s, _)| s).max().expect("non-empty")
+        self.choices
+            .iter()
+            .map(|&(s, _)| s)
+            .max()
+            .expect("non-empty")
     }
 
     /// Weighted mean size.

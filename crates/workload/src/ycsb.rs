@@ -58,15 +58,35 @@ pub struct OpMix {
 
 impl OpMix {
     /// YCSB workload A: 50% reads, 50% updates.
-    pub const A: OpMix = OpMix { read_pct: 50, update_pct: 50, rmw_pct: 0 };
+    pub const A: OpMix = OpMix {
+        read_pct: 50,
+        update_pct: 50,
+        rmw_pct: 0,
+    };
     /// YCSB workload B: 95% reads, 5% updates.
-    pub const B: OpMix = OpMix { read_pct: 95, update_pct: 5, rmw_pct: 0 };
+    pub const B: OpMix = OpMix {
+        read_pct: 95,
+        update_pct: 5,
+        rmw_pct: 0,
+    };
     /// YCSB workload C: 100% reads.
-    pub const C: OpMix = OpMix { read_pct: 100, update_pct: 0, rmw_pct: 0 };
+    pub const C: OpMix = OpMix {
+        read_pct: 100,
+        update_pct: 0,
+        rmw_pct: 0,
+    };
     /// YCSB workload F: 50% reads, 50% read-modify-writes.
-    pub const F: OpMix = OpMix { read_pct: 50, update_pct: 0, rmw_pct: 50 };
+    pub const F: OpMix = OpMix {
+        read_pct: 50,
+        update_pct: 0,
+        rmw_pct: 50,
+    };
     /// Write-only (the paper's "Workload WO").
-    pub const WRITE_ONLY: OpMix = OpMix { read_pct: 0, update_pct: 100, rmw_pct: 0 };
+    pub const WRITE_ONLY: OpMix = OpMix {
+        read_pct: 0,
+        update_pct: 100,
+        rmw_pct: 0,
+    };
 
     /// Validates that the mix sums to 100%.
     ///
@@ -217,7 +237,11 @@ mod tests {
 
     #[test]
     fn invalid_mix_reports_sum() {
-        let bad = OpMix { read_pct: 50, update_pct: 10, rmw_pct: 10 };
+        let bad = OpMix {
+            read_pct: 50,
+            update_pct: 10,
+            rmw_pct: 10,
+        };
         assert_eq!(bad.validate(), Err(70));
     }
 
@@ -280,7 +304,11 @@ mod tests {
     #[should_panic(expected = "expected 100%")]
     fn generator_rejects_bad_mix() {
         let mut s = spec(OpMix::A);
-        s.mix = OpMix { read_pct: 10, update_pct: 10, rmw_pct: 10 };
+        s.mix = OpMix {
+            read_pct: 10,
+            update_pct: 10,
+            rmw_pct: 10,
+        };
         s.generator();
     }
 }

@@ -146,11 +146,7 @@ mod tests {
         for _ in 0..100_000 {
             counts[z.next_key(&mut rng) as usize] += 1;
         }
-        let (hot_key, &hot) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (hot_key, &hot) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
         assert_ne!(hot_key, 0, "scrambling relocates the hottest key");
         assert!(hot as f64 / 100_000.0 > 0.05, "skew preserved");
     }

@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Load and run a few thousand updates with periodic checkpoints.
     println!("loading {RECORDS} records...");
-    let records: Vec<(u64, u32)> = (0..RECORDS).map(|k| (k, 300 + (k % 7) as u32 * 300)).collect();
+    let records: Vec<(u64, u32)> = (0..RECORDS)
+        .map(|k| (k, 300 + (k % 7) as u32 * 300))
+        .collect();
     let mut t = engine.load(&mut ssd, &records, SimTime::ZERO)?;
     let mut expected: HashMap<u64, u64> = (0..RECORDS).map(|k| (k, 1)).collect();
 
@@ -77,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = report.finish;
     println!(
         "recovered {} keys in {} ({} journal entries replayed, {} device reads)",
-        report.keys_recovered, report.duration, report.journal_entries_replayed,
+        report.keys_recovered,
+        report.duration,
+        report.journal_entries_replayed,
         report.device_reads
     );
 
@@ -88,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     assert_eq!(mismatches, 0, "recovery lost committed updates");
-    println!("verified: all {} keys at their committed versions — zero loss", RECORDS);
+    println!(
+        "verified: all {} keys at their committed versions — zero loss",
+        RECORDS
+    );
 
     // And the recovered engine keeps working.
     let mut engine = recovered;

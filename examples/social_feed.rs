@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.workload.record_count = 8_000; // conversations
         config.workload.pattern = AccessPattern::Zipfian;
         config.workload.mix = OpMix::A; // read timeline, post message
-        // Message rows: 96 B reactions up to 1 KiB posts, mostly small.
+                                        // Message rows: 96 B reactions up to 1 KiB posts, mostly small.
         config.workload.sizes = RecordSizes::weighted(vec![
             (96, 25),
             (180, 25),

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# One-shot verification: build, test, quick perf suite, formatting, lints.
+# Everything runs offline (no network, empty registry cache).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== perfsuite --quick"
+cargo run --release -p checkin-bench --bin perfsuite -- --quick --out target/BENCH_perf.quick.json
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

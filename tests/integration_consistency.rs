@@ -153,12 +153,15 @@ fn consistency_holds_with_crash_recovery_interleaved() {
         }
         // Crash and recover; committed state must be intact.
         drop(engine);
-        let (rec, done) =
-            KvEngine::recover(strategy, layout, 0.7, &mut ssd, RECORDS, t).unwrap();
+        let (rec, done) = KvEngine::recover(strategy, layout, 0.7, &mut ssd, RECORDS, t).unwrap();
         engine = rec;
         t = done;
         for (&key, &version) in &shadow {
-            assert_eq!(engine.version_of(key), Some(version), "key {key} after crash");
+            assert_eq!(
+                engine.version_of(key),
+                Some(version),
+                "key {key} after crash"
+            );
         }
     }
 }

@@ -79,7 +79,10 @@ fn gc_preserves_remapped_aliases_end_to_end() {
     let mut system = KvSystem::new(c).unwrap();
     let report = system.run().unwrap();
     assert!(report.remapped_entries > 0);
-    assert!(report.flash.gc_units_moved > 0, "GC must have relocated units");
+    assert!(
+        report.flash.gc_units_moved > 0,
+        "GC must have relocated units"
+    );
     system.ssd().ftl().check_invariants().unwrap();
 }
 

@@ -36,7 +36,9 @@ fn load_and_update(
     updates_per_key: u64,
     checkpoint_every: u64,
 ) -> SimTime {
-    let records: Vec<(u64, u32)> = (0..RECORDS).map(|k| (k, 300 + (k as u32 % 8) * 250)).collect();
+    let records: Vec<(u64, u32)> = (0..RECORDS)
+        .map(|k| (k, 300 + (k as u32 % 8) * 250))
+        .collect();
     let mut t = engine.load(ssd, &records, SimTime::ZERO).unwrap();
     for round in 1..=updates_per_key {
         for k in 0..RECORDS {
@@ -53,7 +55,9 @@ fn load_and_update(
 fn recover_for(strategy: Strategy, mut pre_crash: impl FnMut(&mut Ssd, &mut KvEngine) -> SimTime) {
     let (mut ssd, mut engine, layout) = build(strategy);
     let t = pre_crash(&mut ssd, &mut engine);
-    let expected: Vec<u64> = (0..RECORDS).map(|k| engine.version_of(k).unwrap()).collect();
+    let expected: Vec<u64> = (0..RECORDS)
+        .map(|k| engine.version_of(k).unwrap())
+        .collect();
 
     // Crash: host memory (engine, JMT) vanishes; the device persists.
     drop(engine);
@@ -68,7 +72,10 @@ fn recover_for(strategy: Strategy, mut pre_crash: impl FnMut(&mut Ssd, &mut KvEn
             "{strategy}: key {k} lost its committed version"
         );
         let r = recovered.get(&mut ssd, k, t).unwrap();
-        assert_eq!(r.version, expected[k as usize], "{strategy}: readback of key {k}");
+        assert_eq!(
+            r.version, expected[k as usize],
+            "{strategy}: readback of key {k}"
+        );
         t = r.finish;
     }
     ssd.ftl().check_invariants().unwrap();
@@ -116,7 +123,10 @@ fn recovered_engine_accepts_new_work() {
     }
     let out = recovered.checkpoint(&mut ssd, t).unwrap();
     let r = recovered.get(&mut ssd, 0, out.finish).unwrap();
-    assert!(!r.from_journal, "post-checkpoint reads come from the data area");
+    assert!(
+        !r.from_journal,
+        "post-checkpoint reads come from the data area"
+    );
     ssd.ftl().check_invariants().unwrap();
 }
 
@@ -124,7 +134,9 @@ fn recovered_engine_accepts_new_work() {
 fn double_crash_recovers_twice() {
     let (mut ssd, mut engine, layout) = build(Strategy::CheckIn);
     let mut t = load_and_update(&mut ssd, &mut engine, 3, 2);
-    let expected: Vec<u64> = (0..RECORDS).map(|k| engine.version_of(k).unwrap()).collect();
+    let expected: Vec<u64> = (0..RECORDS)
+        .map(|k| engine.version_of(k).unwrap())
+        .collect();
     drop(engine);
     for _ in 0..2 {
         let (recovered, done) =

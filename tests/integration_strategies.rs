@@ -40,7 +40,12 @@ fn all_strategies_reach_identical_logical_state() {
     // Same workload seed -> same operation stream -> same final versions,
     // whatever the checkpointing mechanism.
     let (base_versions, _) = run_and_snapshot(Strategy::Baseline);
-    for strategy in [Strategy::IscA, Strategy::IscB, Strategy::IscC, Strategy::CheckIn] {
+    for strategy in [
+        Strategy::IscA,
+        Strategy::IscB,
+        Strategy::IscC,
+        Strategy::CheckIn,
+    ] {
         let (versions, _) = run_and_snapshot(strategy);
         assert_eq!(versions, base_versions, "{strategy} diverged");
     }

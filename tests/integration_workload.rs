@@ -69,8 +69,7 @@ fn uniform_checkpoints_move_more_data_than_zipfian() {
         .run()
         .unwrap();
     let uni_entries = uni.remapped_entries + uni.copied_entries + uni.checkpoint_flash_programs;
-    let zipf_entries =
-        zipf.remapped_entries + zipf.copied_entries + zipf.checkpoint_flash_programs;
+    let zipf_entries = zipf.remapped_entries + zipf.copied_entries + zipf.checkpoint_flash_programs;
     assert!(
         uni_entries > zipf_entries,
         "uniform cp work {uni_entries} !> zipfian {zipf_entries}"

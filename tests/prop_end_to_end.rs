@@ -1,57 +1,65 @@
 //! Property-based tests over the full stack and its core invariants.
+//! Randomized via `checkin-testkit` (deterministic seeds, offline-safe).
 
 use std::collections::HashMap;
 
 use checkin_core::{align_log, EngineError, KvEngine, Layout, LogClass, Strategy};
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
-use checkin_ftl::{Ftl, FtlConfig, Lpn, MappingTable, Location, Pun};
+use checkin_ftl::{Ftl, FtlConfig, Location, Lpn, MappingTable, Pun};
 use checkin_sim::SimTime;
 use checkin_ssd::{Ssd, SsdTiming, SECTOR_BYTES};
-use proptest::prelude::*;
-// `checkin_core::Strategy` shadows proptest's `Strategy` trait name; bring
-// the trait into scope under an alias so its methods resolve.
-use proptest::strategy::Strategy as PropStrategy;
+use checkin_testkit::{check, soup, TestRng};
 
 // ---------------------------------------------------------------------
 // Algorithm 2 (sector alignment) invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn aligned_logs_never_shrink_below_payload(bytes in 1u32..=4096, ratio in 0.3f64..=1.0) {
+#[test]
+fn aligned_logs_never_shrink_below_payload() {
+    check("aligned_logs_never_shrink_below_payload", 256, |rng| {
+        let bytes = rng.range_u32(1, 4096);
+        let ratio = rng.range_f64(0.3, 1.0);
         let log = align_log(bytes, ratio);
         let effective = if bytes > SECTOR_BYTES {
             (bytes as f64 * ratio).ceil() as u32
         } else {
             bytes
         };
-        prop_assert!(log.stored_bytes >= effective.min(log.sectors * SECTOR_BYTES));
-        prop_assert!(log.stored_bytes >= effective || bytes > SECTOR_BYTES);
-    }
+        assert!(log.stored_bytes >= effective.min(log.sectors * SECTOR_BYTES));
+        assert!(log.stored_bytes >= effective || bytes > SECTOR_BYTES);
+    });
+}
 
-    #[test]
-    fn aligned_full_logs_are_sector_multiples(bytes in 1u32..=4096, ratio in 0.3f64..=1.0) {
+#[test]
+fn aligned_full_logs_are_sector_multiples() {
+    check("aligned_full_logs_are_sector_multiples", 256, |rng| {
+        let bytes = rng.range_u32(1, 4096);
+        let ratio = rng.range_f64(0.3, 1.0);
         let log = align_log(bytes, ratio);
         match log.class {
             LogClass::Full => {
-                prop_assert_eq!(log.stored_bytes % SECTOR_BYTES, 0);
-                prop_assert_eq!(log.stored_bytes / SECTOR_BYTES, log.sectors);
+                assert_eq!(log.stored_bytes % SECTOR_BYTES, 0);
+                assert_eq!(log.stored_bytes / SECTOR_BYTES, log.sectors);
             }
             LogClass::Partial => {
-                prop_assert!(log.stored_bytes < SECTOR_BYTES);
-                prop_assert_eq!(log.stored_bytes % 128, 0);
-                prop_assert_eq!(log.sectors, 1);
+                assert!(log.stored_bytes < SECTOR_BYTES);
+                assert_eq!(log.stored_bytes % 128, 0);
+                assert_eq!(log.sectors, 1);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn alignment_is_monotone_in_value_size(a in 1u32..=512, b in 1u32..=512) {
+#[test]
+fn alignment_is_monotone_in_value_size() {
+    check("alignment_is_monotone_in_value_size", 256, |rng| {
         // Within the sub-sector classes, a bigger value never stores fewer
         // bytes.
+        let a = rng.range_u32(1, 512);
+        let b = rng.range_u32(1, 512);
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(align_log(small, 1.0).stored_bytes <= align_log(large, 1.0).stored_bytes);
-    }
+        assert!(align_log(small, 1.0).stored_bytes <= align_log(large, 1.0).stored_bytes);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -66,18 +74,20 @@ enum MapOp {
     Relocate(u8, u8),
 }
 
-fn map_op() -> impl PropStrategy<Value = MapOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(l, p)| MapOp::Map(l, p)),
-        (any::<u8>(), any::<u8>()).prop_map(|(d, s)| MapOp::Alias(d, s)),
-        any::<u8>().prop_map(MapOp::Unmap),
-        (any::<u8>(), any::<u8>()).prop_map(|(f, t)| MapOp::Relocate(f, t)),
-    ]
+fn map_op(rng: &mut TestRng) -> MapOp {
+    match rng.weighted(&[1, 1, 1, 1]) {
+        0 => MapOp::Map(rng.any_u8(), rng.any_u8()),
+        1 => MapOp::Alias(rng.any_u8(), rng.any_u8()),
+        2 => MapOp::Unmap(rng.any_u8()),
+        _ => MapOp::Relocate(rng.any_u8(), rng.any_u8()),
+    }
 }
 
-proptest! {
-    #[test]
-    fn mapping_table_stays_consistent(ops in proptest::collection::vec(map_op(), 1..200)) {
+#[test]
+fn mapping_table_stays_consistent() {
+    check("mapping_table_stays_consistent", 64, |rng| {
+        let len = rng.range_usize(1, 199);
+        let ops = soup(rng, len, map_op);
         let mut table = MappingTable::new();
         for op in ops {
             match op {
@@ -97,9 +107,9 @@ proptest! {
                     );
                 }
             }
-            prop_assert!(table.check_consistency().is_ok());
+            assert!(table.check_consistency().is_ok());
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -114,12 +124,15 @@ enum StackOp {
     Checkpoint,
 }
 
-fn stack_op() -> impl PropStrategy<Value = StackOp> {
-    prop_oneof![
-        4 => (any::<u8>(), 1u16..=4096).prop_map(|(key, bytes)| StackOp::Update { key, bytes }),
-        4 => any::<u8>().prop_map(|key| StackOp::Read { key }),
-        1 => Just(StackOp::Checkpoint),
-    ]
+fn stack_op(rng: &mut TestRng) -> StackOp {
+    match rng.weighted(&[4, 4, 1]) {
+        0 => StackOp::Update {
+            key: rng.any_u8(),
+            bytes: rng.range_u32(1, 4096) as u16,
+        },
+        1 => StackOp::Read { key: rng.any_u8() },
+        _ => StackOp::Checkpoint,
+    }
 }
 
 const RECORDS: u64 = 64;
@@ -143,7 +156,7 @@ fn build(strategy: Strategy) -> (Ssd, KvEngine) {
     (ssd, KvEngine::new(strategy, layout, 0.7))
 }
 
-fn run_stack_ops(strategy: Strategy, ops: &[StackOp]) -> Result<(), TestCaseError> {
+fn run_stack_ops(strategy: Strategy, ops: &[StackOp]) {
     let (mut ssd, mut engine) = build(strategy);
     let records: Vec<(u64, u32)> = (0..RECORDS).map(|k| (k, 256)).collect();
     let mut t = engine.load(&mut ssd, &records, SimTime::ZERO).unwrap();
@@ -159,7 +172,7 @@ fn run_stack_ops(strategy: Strategy, ops: &[StackOp]) -> Result<(), TestCaseErro
                         t = engine.checkpoint(&mut ssd, t).unwrap().finish;
                         t = engine.update(&mut ssd, key, *bytes as u32, t).unwrap();
                     }
-                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    Err(e) => panic!("{e}"),
                 }
                 *shadow.get_mut(&key).unwrap() += 1;
             }
@@ -167,7 +180,7 @@ fn run_stack_ops(strategy: Strategy, ops: &[StackOp]) -> Result<(), TestCaseErro
                 let key = *key as u64 % RECORDS;
                 let r = engine.get(&mut ssd, key, t).unwrap();
                 t = r.finish;
-                prop_assert_eq!(r.version, shadow[&key]);
+                assert_eq!(r.version, shadow[&key]);
             }
             StackOp::Checkpoint => {
                 t = engine.checkpoint(&mut ssd, t).unwrap().finish;
@@ -177,32 +190,44 @@ fn run_stack_ops(strategy: Strategy, ops: &[StackOp]) -> Result<(), TestCaseErro
     for (&key, &version) in &shadow {
         let r = engine.get(&mut ssd, key, t).unwrap();
         t = r.finish;
-        prop_assert_eq!(r.version, version, "final sweep key {}", key);
+        assert_eq!(r.version, version, "final sweep key {key}");
     }
-    prop_assert!(ssd.ftl().check_invariants().is_ok());
-    Ok(())
+    assert!(ssd.ftl().check_invariants().is_ok());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+fn stack_soup(rng: &mut TestRng) -> Vec<StackOp> {
+    let len = rng.range_usize(1, 119);
+    soup(rng, len, stack_op)
+}
 
-    #[test]
-    fn baseline_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
-        run_stack_ops(Strategy::Baseline, &ops)?;
-    }
+#[test]
+fn baseline_stack_preserves_shadow() {
+    check("baseline_stack_preserves_shadow", 16, |rng| {
+        let ops = stack_soup(rng);
+        run_stack_ops(Strategy::Baseline, &ops);
+    });
+}
 
-    #[test]
-    fn iscb_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
-        run_stack_ops(Strategy::IscB, &ops)?;
-    }
+#[test]
+fn iscb_stack_preserves_shadow() {
+    check("iscb_stack_preserves_shadow", 16, |rng| {
+        let ops = stack_soup(rng);
+        run_stack_ops(Strategy::IscB, &ops);
+    });
+}
 
-    #[test]
-    fn iscc_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
-        run_stack_ops(Strategy::IscC, &ops)?;
-    }
+#[test]
+fn iscc_stack_preserves_shadow() {
+    check("iscc_stack_preserves_shadow", 16, |rng| {
+        let ops = stack_soup(rng);
+        run_stack_ops(Strategy::IscC, &ops);
+    });
+}
 
-    #[test]
-    fn checkin_stack_preserves_shadow(ops in proptest::collection::vec(stack_op(), 1..120)) {
-        run_stack_ops(Strategy::CheckIn, &ops)?;
-    }
+#[test]
+fn checkin_stack_preserves_shadow() {
+    check("checkin_stack_preserves_shadow", 16, |rng| {
+        let ops = stack_soup(rng);
+        run_stack_ops(Strategy::CheckIn, &ops);
+    });
 }
