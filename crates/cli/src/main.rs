@@ -43,6 +43,13 @@ fn run_one(args: &RunArgs) {
         report.remapped_entries,
         report.copied_entries
     );
+    println!(
+        "  resilience    transient faults {} (retries {}), grown bad {}, blocks retired {}",
+        report.flash.transient_faults,
+        report.flash.media_retries,
+        report.flash.grown_bad_blocks,
+        report.flash.blocks_retired
+    );
 }
 
 fn table_row(r: &RunReport) -> String {

@@ -188,6 +188,7 @@ impl SystemConfig {
             map_cache_entries: self.map_cache_entries,
             write_buffer_units: self.write_buffer_units,
             wear_leveling_threshold: Some(64),
+            media_retry_limit: 4,
         }
     }
 

@@ -63,6 +63,14 @@ pub struct FlashStats {
     pub gc_units_moved: u64,
     /// Invalid (stale) units generated.
     pub invalid_units: u64,
+    /// Transient media failures injected by the fault plan.
+    pub transient_faults: u64,
+    /// Firmware retries spent absorbing transient failures.
+    pub media_retries: u64,
+    /// Blocks that developed a permanent (grown) defect.
+    pub grown_bad_blocks: u64,
+    /// Blocks retired (taken out of service) by the FTL.
+    pub blocks_retired: u64,
 }
 
 impl FlashStats {
@@ -176,6 +184,7 @@ impl RunReport {
         "strategy,threads,ops,elapsed_us,throughput,mean_us,p50_us,p99_us,p999_us,p9999_us,\
          checkpoints,cp_mean_us,cp_entries,remapped,copied,redundant_bytes,\
          flash_reads,flash_programs,flash_erases,gc,invalid_units,\
+         media_retries,blocks_retired,\
          io_amp,flash_amp,waf,space_overhead,lifetime"
     }
 
@@ -183,7 +192,7 @@ impl RunReport {
     /// [`RunReport::csv_header`] (machine-readable sweeps).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.0},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.1},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            "{},{},{},{:.0},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
             self.strategy.label(),
             self.threads,
             self.ops,
@@ -205,6 +214,8 @@ impl RunReport {
             self.flash.erases,
             self.flash.gc_invocations,
             self.flash.invalid_units,
+            self.flash.media_retries,
+            self.flash.blocks_retired,
             self.io_amplification,
             self.flash_amplification,
             self.waf,
@@ -243,6 +254,17 @@ impl std::fmt::Display for RunReport {
             self.flash.gc_invocations,
             self.waf
         )?;
+        if self.flash.transient_faults + self.flash.grown_bad_blocks + self.flash.blocks_retired > 0
+        {
+            writeln!(
+                f,
+                "  resilience    transient {} (retries {}), grown bad {}, retired {}",
+                self.flash.transient_faults,
+                self.flash.media_retries,
+                self.flash.grown_bad_blocks,
+                self.flash.blocks_retired
+            )?;
+        }
         write!(
             f,
             "  amplification io {:.2}x flash {:.2}x, space {:.2}x, lifetime score {:.3}",

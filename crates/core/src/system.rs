@@ -319,6 +319,10 @@ impl KvSystem {
             gc_invocations: tdelta.get("ftl.gc_invocations"),
             gc_units_moved: tdelta.get("ftl.gc_units_moved"),
             invalid_units: tdelta.get("ftl.invalid_units"),
+            transient_faults: fdelta.get("flash.transient_faults"),
+            media_retries: tdelta.get("ftl.media_retries"),
+            grown_bad_blocks: fdelta.get("flash.grown_bad_blocks"),
+            blocks_retired: tdelta.get("ftl.blocks_retired"),
         };
         let raw = edelta.get("engine.journal_raw_bytes");
         let stored = edelta.get("engine.journal_stored_bytes");

@@ -4,6 +4,7 @@ use checkin_sim::{CounterSet, Resource, SimTime, Window};
 
 use crate::content::PageContent;
 use crate::error::FlashError;
+use crate::fault::{FaultOp, FaultPhase, FaultPlan, TickOutcome};
 use crate::geometry::{BlockId, FlashGeometry, Ppn};
 use crate::timing::FlashTiming;
 
@@ -67,6 +68,16 @@ pub struct FlashArray {
     total_erases: u64,
     /// Optional P/E cycle budget; erases beyond it fail.
     pe_cycle_limit: Option<u64>,
+    /// Armed fault-injection schedule, if any.
+    faults: Option<FaultPlan>,
+    /// Firmware activity label for fault-trace targeting.
+    fault_phase: FaultPhase,
+    /// True after a power cut (scheduled or manual): every timed
+    /// operation fails with [`FlashError::PowerLoss`] until
+    /// [`FlashArray::power_on`].
+    powered_off: bool,
+    /// Blocks with grown permanent defects.
+    bad_blocks: Vec<bool>,
 }
 
 impl FlashArray {
@@ -97,6 +108,132 @@ impl FlashArray {
             max_erase: 0,
             total_erases: 0,
             pe_cycle_limit: None,
+            faults: None,
+            fault_phase: FaultPhase::Normal,
+            powered_off: false,
+            bad_blocks: vec![false; geometry.total_blocks() as usize],
+        }
+    }
+
+    /// Arms a fault-injection schedule. Subsequent operations consume
+    /// fault-clock ticks and may fail per the plan. Replaces any
+    /// previously armed plan.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// True when a fault plan is armed (layers above use this to gate
+    /// crash-consistency bookkeeping that normal runs don't need).
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The armed fault plan, if any (fault clock, recorded trace).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Sets the firmware activity label recorded with each fault-clock
+    /// tick and returns the previous one (so callers can nest/restore).
+    pub fn set_fault_phase(&mut self, phase: FaultPhase) -> FaultPhase {
+        std::mem::replace(&mut self.fault_phase, phase)
+    }
+
+    /// True after a power cut; timed operations fail until
+    /// [`FlashArray::power_on`].
+    pub fn powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Cuts power immediately (tests and harnesses; scheduled cuts use
+    /// [`FaultConfig::power_cut_after`](crate::FaultConfig::power_cut_after)).
+    pub fn cut_power(&mut self) {
+        if !self.powered_off {
+            self.powered_off = true;
+            self.counters.incr("flash.power_cuts");
+        }
+    }
+
+    /// Restores power after a cut so recovery can run. The fault plan
+    /// stays armed (a fired cut is one-shot and will not re-fire).
+    pub fn power_on(&mut self) {
+        self.powered_off = false;
+    }
+
+    /// A logical firmware step forwarded from an upper layer (buffered
+    /// write admission, remap, deallocate). Consumes one fault-clock tick
+    /// so power cuts can land *between* metadata mutations, not only at
+    /// media operations.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::PowerLoss`] when the cut fires on this tick or the
+    /// device is already off.
+    pub fn logical_tick(&mut self) -> Result<(), FlashError> {
+        self.fault_gate(FaultOp::Logical, None, None)
+    }
+
+    /// Next in-order page index of `block` (0 = fully erased). Recovery
+    /// uses the write cursors to reconstruct block occupancy after a cut.
+    pub fn write_cursor(&self, block: BlockId) -> u32 {
+        self.blocks
+            .get(block.0 as usize)
+            .map(|b| b.write_cursor)
+            .unwrap_or(0)
+    }
+
+    /// True when `block` has a grown permanent defect.
+    pub fn is_bad_block(&self, block: BlockId) -> bool {
+        self.bad_blocks
+            .get(block.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Runs the shared failure checks for one operation attempt: power
+    /// state, one fault-clock tick, and the plan's media-failure draws.
+    /// Must be called *before* the operation mutates anything.
+    fn fault_gate(
+        &mut self,
+        op: FaultOp,
+        ppn: Option<Ppn>,
+        block: Option<BlockId>,
+    ) -> Result<(), FlashError> {
+        if self.powered_off {
+            return Err(FlashError::PowerLoss);
+        }
+        let phase = self.fault_phase;
+        let Some(plan) = self.faults.as_mut() else {
+            return Ok(());
+        };
+        match plan.on_tick(op, phase) {
+            TickOutcome::Pass => Ok(()),
+            TickOutcome::PowerCut => {
+                self.powered_off = true;
+                self.counters.incr("flash.power_cuts");
+                Err(FlashError::PowerLoss)
+            }
+            TickOutcome::Transient => {
+                self.counters.incr("flash.transient_faults");
+                Err(match op {
+                    FaultOp::Read => {
+                        FlashError::TransientRead(ppn.expect("read faults carry a ppn"))
+                    }
+                    FaultOp::Program => {
+                        FlashError::TransientProgram(ppn.expect("program faults carry a ppn"))
+                    }
+                    FaultOp::Erase => {
+                        FlashError::TransientErase(block.expect("erase faults carry a block"))
+                    }
+                    FaultOp::Logical => unreachable!("logical ticks draw no media faults"),
+                })
+            }
+            TickOutcome::GrownBad => {
+                let b = block.expect("grown-bad outcomes only occur for program/erase");
+                self.bad_blocks[b.0 as usize] = true;
+                self.counters.incr("flash.grown_bad_blocks");
+                Err(FlashError::GrownBadBlock(b))
+            }
         }
     }
 
@@ -132,6 +269,7 @@ impl FlashArray {
     /// Returns [`FlashError::OutOfRange`] for addresses beyond the array.
     pub fn schedule_read(&mut self, ppn: Ppn, at: SimTime) -> Result<Window, FlashError> {
         self.check_range(ppn)?;
+        self.fault_gate(FaultOp::Read, Some(ppn), None)?;
         let (die, channel) = self.die_and_channel(ppn);
         let array = self.dies[die].schedule(at, self.timing.t_read);
         let xfer = self.channels[channel].schedule(
@@ -174,17 +312,26 @@ impl FlashArray {
         self.check_range(ppn)?;
         let block = self.geometry.block_of(ppn);
         let page = self.geometry.page_in_block(ppn);
+        if self.bad_blocks[block.0 as usize] {
+            return Err(FlashError::GrownBadBlock(block));
+        }
+        {
+            let state = &self.blocks[block.0 as usize];
+            match state.pages[page as usize] {
+                PageState::Programmed => return Err(FlashError::ProgramDirtyPage(ppn)),
+                PageState::Erased => {}
+            }
+            if page != state.write_cursor {
+                return Err(FlashError::ProgramOutOfOrder {
+                    requested: ppn,
+                    expected_page: state.write_cursor,
+                });
+            }
+        }
+        // Every failure path must run before any mutation so that a cut
+        // or media error leaves the array exactly as it was.
+        self.fault_gate(FaultOp::Program, Some(ppn), Some(block))?;
         let state = &mut self.blocks[block.0 as usize];
-        match state.pages[page as usize] {
-            PageState::Programmed => return Err(FlashError::ProgramDirtyPage(ppn)),
-            PageState::Erased => {}
-        }
-        if page != state.write_cursor {
-            return Err(FlashError::ProgramOutOfOrder {
-                requested: ppn,
-                expected_page: state.write_cursor,
-            });
-        }
         state.pages[page as usize] = PageState::Programmed;
         state.write_cursor += 1;
 
@@ -212,13 +359,18 @@ impl FlashArray {
         if block.0 >= self.geometry.total_blocks() {
             return Err(FlashError::BlockOutOfRange(block));
         }
-        let limit = self.pe_cycle_limit;
-        let state = &mut self.blocks[block.0 as usize];
-        if let Some(limit) = limit {
-            if state.erase_count >= limit {
+        if self.bad_blocks[block.0 as usize] {
+            return Err(FlashError::GrownBadBlock(block));
+        }
+        if let Some(limit) = self.pe_cycle_limit {
+            if self.blocks[block.0 as usize].erase_count >= limit {
                 return Err(FlashError::WornOut(block));
             }
         }
+        // As in `program`, fail before mutating: a cut or injected erase
+        // failure must leave the block's pages and counters untouched.
+        self.fault_gate(FaultOp::Erase, None, Some(block))?;
+        let state = &mut self.blocks[block.0 as usize];
         state.erase_count += 1;
         state.write_cursor = 0;
         for p in &mut state.pages {
@@ -417,6 +569,128 @@ mod tests {
             FlashError::WornOut(BlockId(0))
         );
         assert_eq!(f.max_erase_count(), 2);
+    }
+
+    #[test]
+    fn scheduled_power_cut_freezes_device_without_mutation() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        // Next fault-clock tick is the cut: the program must fail before
+        // touching page state.
+        f.arm_faults(FaultPlan::new(FaultConfig::power_cut(3, 1)));
+        let err = f
+            .program(Ppn(1), page_with(2, 1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FlashError::PowerLoss);
+        assert!(f.powered_off());
+        assert!(!f.is_programmed(Ppn(1)));
+        assert_eq!(f.write_cursor(BlockId(0)), 1, "cursor untouched by cut");
+        // Everything timed now fails; untimed content reads still work.
+        assert_eq!(
+            f.schedule_read(Ppn(0), SimTime::ZERO).unwrap_err(),
+            FlashError::PowerLoss
+        );
+        assert_eq!(
+            f.erase(BlockId(0), SimTime::ZERO).unwrap_err(),
+            FlashError::PowerLoss
+        );
+        assert_eq!(f.logical_tick().unwrap_err(), FlashError::PowerLoss);
+        assert!(f.read(Ppn(0)).is_some(), "recovery scans stay possible");
+        // Power back on: the cut was one-shot, operations succeed again.
+        f.power_on();
+        f.program(Ppn(1), page_with(2, 1), SimTime::ZERO).unwrap();
+        assert_eq!(f.counters().get("flash.power_cuts"), 1);
+    }
+
+    #[test]
+    fn cut_before_erase_preserves_block_content() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        f.program(Ppn(0), page_with(9, 1), SimTime::ZERO).unwrap();
+        f.arm_faults(FaultPlan::new(FaultConfig::power_cut(0, 1)));
+        assert_eq!(
+            f.erase(BlockId(0), SimTime::ZERO).unwrap_err(),
+            FlashError::PowerLoss
+        );
+        assert!(f.read(Ppn(0)).is_some(), "erase must not have started");
+        assert_eq!(f.erase_count(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn grown_bad_block_is_permanent() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        f.arm_faults(FaultPlan::new(FaultConfig {
+            seed: 11,
+            grown_bad_block: 1.0,
+            ..FaultConfig::default()
+        }));
+        let err = f
+            .program(Ppn(0), page_with(1, 1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FlashError::GrownBadBlock(BlockId(0)));
+        assert!(f.is_bad_block(BlockId(0)));
+        assert!(!f.is_programmed(Ppn(0)));
+        // Later attempts fail up front without consuming fault ticks.
+        let ticks = f.fault_plan().unwrap().ticks();
+        assert_eq!(
+            f.program(Ppn(0), page_with(1, 1), SimTime::ZERO)
+                .unwrap_err(),
+            FlashError::GrownBadBlock(BlockId(0))
+        );
+        assert_eq!(
+            f.erase(BlockId(0), SimTime::ZERO).unwrap_err(),
+            FlashError::GrownBadBlock(BlockId(0))
+        );
+        assert_eq!(f.fault_plan().unwrap().ticks(), ticks);
+        assert_eq!(f.counters().get("flash.grown_bad_blocks"), 1);
+    }
+
+    #[test]
+    fn transient_program_leaves_page_erased_and_retry_succeeds() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        f.arm_faults(FaultPlan::new(FaultConfig {
+            seed: 5,
+            transient_program: 0.5,
+            ..FaultConfig::default()
+        }));
+        // With a 50% rate some attempts fail; a failed attempt must leave
+        // the page erased so the retry targets the same address.
+        let mut failures = 0;
+        let mut page = 0u64;
+        while page < 8 {
+            match f.program(Ppn(page), page_with(page, 1), SimTime::ZERO) {
+                Ok(_) => page += 1,
+                Err(FlashError::TransientProgram(p)) => {
+                    assert_eq!(p, Ppn(page));
+                    assert!(!f.is_programmed(Ppn(page)));
+                    failures += 1;
+                    assert!(failures < 1000, "rate 0.5 cannot fail forever");
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(failures > 0, "seed 5 should produce at least one failure");
+        assert_eq!(f.counters().get("flash.transient_faults"), failures);
+        for p in 0..8u64 {
+            assert!(f.is_programmed(Ppn(p)));
+        }
+    }
+
+    #[test]
+    fn manual_cut_power_works_without_a_plan() {
+        let mut f = array();
+        f.cut_power();
+        assert!(f.powered_off());
+        assert_eq!(
+            f.program(Ppn(0), page_with(1, 1), SimTime::ZERO)
+                .unwrap_err(),
+            FlashError::PowerLoss
+        );
+        f.power_on();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
     }
 
     #[test]

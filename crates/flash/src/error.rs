@@ -1,14 +1,48 @@
-//! Error type for flash array misuse.
+//! Error type for flash array misuse and injected media failures.
+//!
+//! # Fatal vs. transient — the retry policy
+//!
+//! [`FlashError`] covers two very different families, distinguished by
+//! [`FlashError::classification`]:
+//!
+//! * **Fatal** ([`ErrorClass::Fatal`]) — NAND *rule violations*
+//!   (dirty-page program, out-of-order program, out-of-range addresses).
+//!   These indicate FTL bugs, not environmental failures, and retrying
+//!   them would repeat the bug; upper layers must treat them as fatal.
+//!   Also fatal are *permanent media conditions*: a grown bad block, an
+//!   exhausted P/E budget, and a power loss — none of which can succeed
+//!   on retry. The FTL answers a fatal program/erase media failure with
+//!   block retirement (see `checkin-ftl`), and a power loss with
+//!   sudden-power-off recovery.
+//! * **Transient** ([`ErrorClass::Transient`]) — injected one-shot media
+//!   failures (read/program/erase). The *device firmware* (the FTL layer)
+//!   retries these with exponential backoff, bounded by
+//!   `FtlConfig::media_retry_limit`; each attempt draws independently, so
+//!   bounded retries almost surely succeed. State is never mutated by a
+//!   failed attempt.
 
 use std::error::Error;
 use std::fmt;
 
 use crate::geometry::{BlockId, Ppn};
 
-/// Violations of NAND programming rules.
+/// Retry classification of a [`FlashError`] — see the module docs for
+/// the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying (injected one-shot media failure).
+    Transient,
+    /// Retrying cannot help: rule violation, permanent media condition,
+    /// or power loss.
+    Fatal,
+}
+
+/// Violations of NAND programming rules and injected media failures.
 ///
-/// These indicate FTL bugs, not environmental failures, so upper layers
-/// generally treat them as fatal.
+/// Rule violations indicate FTL bugs, not environmental failures, so
+/// upper layers generally treat them as fatal; media failures carry a
+/// [`FlashError::classification`] that tells the firmware whether a
+/// bounded retry is worthwhile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlashError {
     /// Attempt to program a page that is not in the erased state
@@ -27,6 +61,47 @@ pub enum FlashError {
     BlockOutOfRange(BlockId),
     /// Erase of a block whose P/E budget is exhausted.
     WornOut(BlockId),
+    /// Injected transient read failure (retryable).
+    TransientRead(Ppn),
+    /// Injected transient program failure (retryable; the page stays
+    /// erased).
+    TransientProgram(Ppn),
+    /// Injected transient erase failure (retryable; the block keeps its
+    /// content).
+    TransientErase(BlockId),
+    /// The block developed a permanent (grown) defect during a program or
+    /// erase. Every later program/erase of the block fails the same way;
+    /// the FTL must retire it.
+    GrownBadBlock(BlockId),
+    /// Power was cut before the operation touched any state. The device
+    /// stays frozen until `FlashArray::power_on`.
+    PowerLoss,
+}
+
+impl FlashError {
+    /// Whether this failure is worth retrying. See the module docs for
+    /// the full policy.
+    pub fn classification(&self) -> ErrorClass {
+        match self {
+            FlashError::TransientRead(_)
+            | FlashError::TransientProgram(_)
+            | FlashError::TransientErase(_) => ErrorClass::Transient,
+            FlashError::ProgramDirtyPage(_)
+            | FlashError::ProgramOutOfOrder { .. }
+            | FlashError::OutOfRange(_)
+            | FlashError::BlockOutOfRange(_)
+            | FlashError::WornOut(_)
+            | FlashError::GrownBadBlock(_)
+            | FlashError::PowerLoss => ErrorClass::Fatal,
+        }
+    }
+
+    /// True for [`FlashError::PowerLoss`] — the one fatal error that is
+    /// *expected* under fault injection and answered by recovery instead
+    /// of by failing the run.
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, FlashError::PowerLoss)
+    }
 }
 
 impl fmt::Display for FlashError {
@@ -45,6 +120,13 @@ impl fmt::Display for FlashError {
             FlashError::OutOfRange(ppn) => write!(f, "physical page {ppn} out of range"),
             FlashError::BlockOutOfRange(b) => write!(f, "block {b} out of range"),
             FlashError::WornOut(b) => write!(f, "block {b} exceeded its P/E cycle budget"),
+            FlashError::TransientRead(ppn) => write!(f, "transient read failure at {ppn}"),
+            FlashError::TransientProgram(ppn) => {
+                write!(f, "transient program failure at {ppn}")
+            }
+            FlashError::TransientErase(b) => write!(f, "transient erase failure on block {b}"),
+            FlashError::GrownBadBlock(b) => write!(f, "block {b} grew a permanent defect"),
+            FlashError::PowerLoss => write!(f, "power lost before the operation completed"),
         }
     }
 }
@@ -67,11 +149,43 @@ mod tests {
         .to_string()
         .contains("expects page 2"));
         assert!(FlashError::WornOut(BlockId(1)).to_string().contains("P/E"));
+        assert!(FlashError::PowerLoss.to_string().contains("power"));
+        assert!(FlashError::GrownBadBlock(BlockId(3))
+            .to_string()
+            .contains("permanent"));
     }
 
     #[test]
     fn error_trait_is_implemented() {
         let e: Box<dyn Error> = Box::new(FlashError::OutOfRange(Ppn(0)));
         assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn classification_splits_rule_violations_from_media_failures() {
+        assert_eq!(
+            FlashError::TransientRead(Ppn(0)).classification(),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            FlashError::TransientProgram(Ppn(0)).classification(),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            FlashError::TransientErase(BlockId(0)).classification(),
+            ErrorClass::Transient
+        );
+        for fatal in [
+            FlashError::ProgramDirtyPage(Ppn(0)),
+            FlashError::OutOfRange(Ppn(0)),
+            FlashError::BlockOutOfRange(BlockId(0)),
+            FlashError::WornOut(BlockId(0)),
+            FlashError::GrownBadBlock(BlockId(0)),
+            FlashError::PowerLoss,
+        ] {
+            assert_eq!(fatal.classification(), ErrorClass::Fatal, "{fatal}");
+        }
+        assert!(FlashError::PowerLoss.is_power_loss());
+        assert!(!FlashError::TransientRead(Ppn(0)).is_power_loss());
     }
 }

@@ -1,0 +1,318 @@
+//! Deterministic fault injection for the simulated NAND array.
+//!
+//! A [`FaultPlan`] is a *seeded schedule* of environmental failures that
+//! the array replays while it services operations:
+//!
+//! * **Power cuts** — a global *fault clock* counts every fallible
+//!   operation attempt (page reads, page programs, block erases, and
+//!   *logical* firmware steps forwarded by upper layers: buffered-write
+//!   admissions, remaps, deallocations). When the clock reaches
+//!   [`FaultConfig::power_cut_after`], the in-flight operation fails with
+//!   [`FlashError::PowerLoss`](crate::FlashError) *before any state mutation* and the array
+//!   freezes: all further timed operations fail until
+//!   [`FlashArray::power_on`](crate::FlashArray::power_on) is called.
+//!   Untimed content reads stay available so recovery code can scan OOB
+//!   metadata, modelling firmware reading NAND after a reboot.
+//! * **Transient media errors** — per-attempt Bernoulli draws make a
+//!   read/program/erase fail with a retryable error while leaving state
+//!   untouched. Independent draws per attempt mean bounded retries
+//!   (performed by the FTL) almost surely succeed.
+//! * **Grown bad blocks** — a per-attempt draw on programs and erases
+//!   permanently marks the target block bad; the operation fails fatally
+//!   and every later program/erase of that block fails too. The FTL
+//!   responds by retiring the block (salvaging still-valid units).
+//!
+//! Everything is derived from one `u64` seed with a private xoshiro256**
+//! generator, so a `(workload seed, fault seed, cut tick)` triple fully
+//! determines a simulated crash — the property the `crashmatrix` harness
+//! builds on: a *profiling* run with [`FaultConfig::record_trace`] logs
+//! `(operation, phase)` per tick, and targeted cut points (mid-GC,
+//! mid-remap-walk, mid-deallocation) are then chosen from that trace and
+//! replayed exactly.
+
+/// Operation classes that advance the fault clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A timed page read ([`FlashArray::schedule_read`](crate::FlashArray::schedule_read)).
+    Read,
+    /// A page program.
+    Program,
+    /// A block erase.
+    Erase,
+    /// A logical firmware step forwarded from an upper layer (buffered
+    /// write admission, mapping remap, deallocation). Logical steps can be
+    /// interrupted by a power cut but never suffer media errors.
+    Logical,
+}
+
+/// Firmware activity label, set by upper layers around interesting code
+/// regions so that recorded fault-clock traces can target cut points
+/// (e.g. "somewhere inside garbage collection").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPhase {
+    /// Ordinary foreground work.
+    #[default]
+    Normal,
+    /// Inside garbage collection or wear leveling.
+    Gc,
+    /// Inside the Algorithm-1 remap walk of a checkpoint.
+    CheckpointRemap,
+    /// Inside a host deallocate (trim) loop.
+    HostDeallocate,
+}
+
+/// Seeded fault schedule parameters.
+///
+/// The default is fully benign (no cut, zero failure rates); construct
+/// with struct-update syntax to enable individual hazards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for all probability draws.
+    pub seed: u64,
+    /// Power is cut when the fault clock reaches this tick (1-based):
+    /// the operation consuming that tick fails with
+    /// [`FlashError::PowerLoss`](crate::FlashError) before mutating anything. One-shot —
+    /// after firing, no further cut is scheduled.
+    pub power_cut_after: Option<u64>,
+    /// Per-attempt probability of a transient read failure.
+    pub transient_read: f64,
+    /// Per-attempt probability of a transient program failure.
+    pub transient_program: f64,
+    /// Per-attempt probability of a transient erase failure.
+    pub transient_erase: f64,
+    /// Per-attempt probability that a program/erase grows a bad block.
+    pub grown_bad_block: f64,
+    /// Record an `(op, phase)` trace entry per tick (profiling runs).
+    pub record_trace: bool,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            power_cut_after: None,
+            transient_read: 0.0,
+            transient_program: 0.0,
+            transient_erase: 0.0,
+            grown_bad_block: 0.0,
+            record_trace: false,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A schedule that only cuts power at `tick` (no media errors).
+    pub fn power_cut(seed: u64, tick: u64) -> Self {
+        FaultConfig {
+            seed,
+            power_cut_after: Some(tick),
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// What a fault-clock tick decided for the consuming operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TickOutcome {
+    /// Proceed normally.
+    Pass,
+    /// Power is cut: fail with [`FlashError::PowerLoss`](crate::FlashError), freeze device.
+    PowerCut,
+    /// Transient media failure: fail retryably, mutate nothing.
+    Transient,
+    /// The target block just went bad: fail fatally and mark it.
+    GrownBad,
+}
+
+/// Live fault-injection state: configuration, RNG, fault clock, and the
+/// optional per-tick trace.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    state: [u64; 4],
+    ticks: u64,
+    trace: Vec<(FaultOp, FaultPhase)>,
+}
+
+impl FaultPlan {
+    /// Instantiates the schedule described by `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        // splitmix64 expansion of the seed into xoshiro256** state.
+        let mut s = config.seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        FaultPlan {
+            config,
+            state,
+            ticks: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The schedule parameters.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Fault-clock ticks consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The recorded `(op, phase)` trace; entry `i` describes tick `i + 1`.
+    /// Empty unless [`FaultConfig::record_trace`] was set.
+    pub fn trace(&self) -> &[(FaultOp, FaultPhase)] {
+        &self.trace
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Advances the fault clock for one operation attempt and decides its
+    /// fate. Exactly one tick per attempt; a retried operation draws
+    /// independently on each attempt.
+    pub(crate) fn on_tick(&mut self, op: FaultOp, phase: FaultPhase) -> TickOutcome {
+        self.ticks += 1;
+        if self.config.record_trace {
+            self.trace.push((op, phase));
+        }
+        if self.config.power_cut_after == Some(self.ticks) {
+            return TickOutcome::PowerCut;
+        }
+        let (transient_rate, grown_rate) = match op {
+            FaultOp::Read => (self.config.transient_read, 0.0),
+            FaultOp::Program => (self.config.transient_program, self.config.grown_bad_block),
+            FaultOp::Erase => (self.config.transient_erase, self.config.grown_bad_block),
+            FaultOp::Logical => (0.0, 0.0),
+        };
+        let transient = self.chance(transient_rate);
+        let grown = self.chance(grown_rate);
+        if grown {
+            TickOutcome::GrownBad
+        } else if transient {
+            TickOutcome::Transient
+        } else {
+            TickOutcome::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_draws() {
+        let cfg = FaultConfig {
+            seed: 42,
+            transient_program: 0.5,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for _ in 0..1000 {
+            assert_eq!(
+                a.on_tick(FaultOp::Program, FaultPhase::Normal),
+                b.on_tick(FaultOp::Program, FaultPhase::Normal)
+            );
+        }
+    }
+
+    #[test]
+    fn cut_fires_exactly_once_at_the_scheduled_tick() {
+        let mut p = FaultPlan::new(FaultConfig::power_cut(1, 3));
+        assert_eq!(
+            p.on_tick(FaultOp::Read, FaultPhase::Normal),
+            TickOutcome::Pass
+        );
+        assert_eq!(
+            p.on_tick(FaultOp::Logical, FaultPhase::Normal),
+            TickOutcome::Pass
+        );
+        assert_eq!(
+            p.on_tick(FaultOp::Program, FaultPhase::Normal),
+            TickOutcome::PowerCut
+        );
+        // One-shot: the clock moves on.
+        assert_eq!(
+            p.on_tick(FaultOp::Program, FaultPhase::Normal),
+            TickOutcome::Pass
+        );
+        assert_eq!(p.ticks(), 4);
+    }
+
+    #[test]
+    fn transient_rate_roughly_respected() {
+        let mut p = FaultPlan::new(FaultConfig {
+            seed: 7,
+            transient_read: 0.25,
+            ..FaultConfig::default()
+        });
+        let n = 10_000;
+        let fails = (0..n)
+            .filter(|_| p.on_tick(FaultOp::Read, FaultPhase::Normal) == TickOutcome::Transient)
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn logical_ops_never_fail_without_a_cut() {
+        let mut p = FaultPlan::new(FaultConfig {
+            seed: 9,
+            transient_read: 1.0,
+            transient_program: 1.0,
+            transient_erase: 1.0,
+            grown_bad_block: 1.0,
+            ..FaultConfig::default()
+        });
+        for _ in 0..100 {
+            assert_eq!(
+                p.on_tick(FaultOp::Logical, FaultPhase::Normal),
+                TickOutcome::Pass
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_op_and_phase_per_tick() {
+        let mut p = FaultPlan::new(FaultConfig {
+            seed: 1,
+            record_trace: true,
+            ..FaultConfig::default()
+        });
+        p.on_tick(FaultOp::Read, FaultPhase::Normal);
+        p.on_tick(FaultOp::Erase, FaultPhase::Gc);
+        assert_eq!(
+            p.trace(),
+            &[
+                (FaultOp::Read, FaultPhase::Normal),
+                (FaultOp::Erase, FaultPhase::Gc)
+            ]
+        );
+    }
+}

@@ -35,11 +35,13 @@
 mod array;
 mod content;
 mod error;
+mod fault;
 mod geometry;
 mod timing;
 
 pub use array::FlashArray;
 pub use content::{Fragment, OobEntry, OobKind, PageContent, UnitPayload};
-pub use error::FlashError;
+pub use error::{ErrorClass, FlashError};
+pub use fault::{FaultConfig, FaultOp, FaultPhase, FaultPlan};
 pub use geometry::{BlockId, FlashGeometry, Ppa, Ppn};
 pub use timing::FlashTiming;

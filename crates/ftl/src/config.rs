@@ -34,6 +34,11 @@ pub struct FtlConfig {
     /// coldest block so its low-wear cells rejoin the pool. `None`
     /// disables static wear leveling.
     pub wear_leveling_threshold: Option<u64>,
+    /// Total attempts (first try + retries) the firmware makes for a
+    /// flash operation that fails with a *transient* media error, with
+    /// exponential backoff between attempts. Fatal errors (rule
+    /// violations, grown bad blocks, power loss) are never retried.
+    pub media_retry_limit: u32,
 }
 
 impl FtlConfig {
@@ -80,6 +85,9 @@ impl FtlConfig {
                 self.units_per_page(page_bytes)
             ));
         }
+        if self.media_retry_limit == 0 {
+            return Err("media_retry_limit must be at least 1 (the first attempt)".into());
+        }
         if self.write_points as u64 + self.gc_threshold_blocks as u64 >= total_blocks {
             return Err(format!(
                 "write_points + gc_threshold ({} + {}) must be far below total blocks ({total_blocks})",
@@ -102,6 +110,7 @@ impl Default for FtlConfig {
             map_cache_entries: None,
             write_buffer_units: 128,
             wear_leveling_threshold: Some(64),
+            media_retry_limit: 4,
         }
     }
 }
@@ -151,6 +160,11 @@ mod tests {
         assert!(bad.validate(4096, 1024).is_err());
         let bad = FtlConfig {
             write_points: 2000,
+            ..good
+        };
+        assert!(bad.validate(4096, 1024).is_err());
+        let bad = FtlConfig {
+            media_retry_limit: 0,
             ..good
         };
         assert!(bad.validate(4096, 1024).is_err());

@@ -1,4 +1,26 @@
 //! FTL error type.
+//!
+//! # How the FTL applies the flash retry policy
+//!
+//! The flash layer classifies its failures via
+//! [`checkin_flash::FlashError::classification`]; the FTL is the firmware
+//! that acts on that classification, so *transient* media failures are
+//! normally invisible above this crate:
+//!
+//! * **Transient read/program/erase** — retried internally with
+//!   exponential backoff, up to [`crate::FtlConfig::media_retry_limit`]
+//!   total attempts (counted in `ftl.media_retries`). Only when the
+//!   budget is exhausted does the error escape as [`FtlError::Flash`].
+//! * **Grown bad block on program** — the block is retired: still-valid
+//!   units are salvaged into the capacitor-backed write buffer and the
+//!   page-out simply moves to a healthy block (`ftl.blocks_retired`).
+//! * **Grown bad block / worn-out / exhausted retries on erase** — the
+//!   fully migrated victim is retired instead of recycled; capacity
+//!   shrinks but no data is affected.
+//! * **Power loss** — escapes as [`FtlError::Flash`] with
+//!   [`checkin_flash::FlashError::PowerLoss`]; the caller answers with
+//!   `Ftl::rebuild_after_power_loss`, not with a retry.
+//! * **Rule violations** — always escape; they indicate FTL bugs.
 
 use std::error::Error;
 use std::fmt;
@@ -12,8 +34,18 @@ pub enum FtlError {
     OutOfSpace,
     /// Read of a logical unit that has never been written (or was trimmed).
     Unmapped(Lpn),
-    /// A flash-level rule was violated (indicates an FTL bug).
+    /// A flash-level failure that the FTL could not absorb: a rule
+    /// violation (FTL bug), a power loss, or a media failure that survived
+    /// retry and retirement (see the module docs).
     Flash(checkin_flash::FlashError),
+}
+
+impl FtlError {
+    /// True when this error is a device power loss — the one failure a
+    /// fault-injection harness treats as expected (answered by recovery).
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, FtlError::Flash(e) if e.is_power_loss())
+    }
 }
 
 impl fmt::Display for FtlError {
@@ -63,5 +95,12 @@ mod tests {
     #[test]
     fn unmapped_names_lpn() {
         assert!(FtlError::Unmapped(Lpn(77)).to_string().contains("lpn:77"));
+    }
+
+    #[test]
+    fn power_loss_is_recognized() {
+        assert!(FtlError::Flash(FlashError::PowerLoss).is_power_loss());
+        assert!(!FtlError::OutOfSpace.is_power_loss());
+        assert!(!FtlError::Flash(FlashError::OutOfRange(Ppn(0))).is_power_loss());
     }
 }

@@ -13,10 +13,13 @@
 //! * account every statistic the paper's evaluation needs (host vs flash
 //!   bytes, invalid-unit generation, GC invocations, RMW operations).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use checkin_flash::{BlockId, FlashArray, OobEntry, OobKind, PageContent, UnitPayload};
-use checkin_sim::{CounterSet, SimTime};
+use checkin_flash::{
+    BlockId, ErrorClass, FaultPhase, FlashArray, FlashError, OobEntry, OobKind, PageContent, Ppn,
+    UnitPayload,
+};
+use checkin_sim::{CounterSet, SimTime, Window};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
@@ -42,12 +45,55 @@ enum BlockKind {
     Free,
     Active,
     Closed,
+    /// Permanently out of service (grown defect or failed erase). Never
+    /// selected as a GC or wear-leveling victim and never recycled into
+    /// the free pool.
+    Retired,
 }
 
 #[derive(Debug, Clone)]
 struct SlotData {
     payload: UnitPayload,
     oob: OobEntry,
+}
+
+/// Where a mapping entry pointed when the mapping log was persisted.
+#[derive(Debug, Clone, Copy)]
+enum SnapLoc {
+    /// Directly addressable flash copy.
+    Flash(Pun),
+    /// Capacitor-backed buffer copy, identified by its OOB sequence
+    /// number — stable across drains and slot-id recycling, unlike the
+    /// slot id itself.
+    Buffered {
+        /// OOB sequence the unit carried when snapshotted.
+        oob_seq: u64,
+    },
+}
+
+/// The persisted mapping log: the firmware state behind the periodic
+/// ISCE metadata writes (§III-F) and the pre-erase flush. Recovery
+/// resolves this first and replays only OOB records written after it.
+#[derive(Debug, Clone)]
+struct MappingSnapshot {
+    /// Global write-sequence value at persist time.
+    seq: u64,
+    /// Mapping entries in ascending-lpn order.
+    entries: Vec<(Lpn, SnapLoc)>,
+}
+
+/// Outcome counts of a post-power-loss FTL rebuild
+/// ([`Ftl::rebuild_after_power_loss`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Persisted-snapshot entries resolved into the fresh mapping table.
+    pub snapshot_entries_resolved: u64,
+    /// Persisted-snapshot entries dropped (target no longer readable).
+    pub snapshot_entries_dropped: u64,
+    /// Post-snapshot OOB records replayed (newest-wins per lpn).
+    pub oob_records_replayed: u64,
+    /// Capacitor-backed buffer slots re-linked into the table.
+    pub buffered_units_recovered: u64,
 }
 
 /// The flash translation layer over a [`FlashArray`].
@@ -99,6 +145,8 @@ pub struct Ftl {
     map_cache: MapCacheModel,
     seq: u64,
     in_gc: bool,
+    /// Last persisted mapping log (only maintained under fault injection).
+    persisted: Option<MappingSnapshot>,
 }
 
 impl Ftl {
@@ -136,6 +184,7 @@ impl Ftl {
             counters: CounterSet::new(),
             seq: 0,
             in_gc: false,
+            persisted: None,
         })
     }
 
@@ -264,6 +313,7 @@ impl Ftl {
     /// Propagates [`FtlError::OutOfSpace`] when a required program cannot
     /// allocate a block.
     pub fn write(&mut self, w: UnitWrite, kind: OobKind, at: SimTime) -> Result<SimTime, FtlError> {
+        self.flash.logical_tick()?;
         self.counters.incr("ftl.host_unit_writes");
         self.counters
             .add("ftl.host_bytes", w.payload.bytes() as u64);
@@ -281,7 +331,7 @@ impl Ftl {
                 }
                 Some(Location::Flash(pun)) => {
                     self.counters.incr("ftl.rmw_reads");
-                    let win = self.flash.schedule_read(pun.page(self.upp), at)?;
+                    let win = self.read_with_retry(pun.page(self.upp), at)?;
                     done = done.max(win.finish);
                     let old = self
                         .flash
@@ -314,7 +364,7 @@ impl Ftl {
             None => Err(FtlError::Unmapped(lpn)),
             Some(Location::Buffer(slot)) => Ok((self.slot_data(slot).payload.clone(), at)),
             Some(Location::Flash(pun)) => {
-                let win = self.flash.schedule_read(pun.page(self.upp), at)?;
+                let win = self.read_with_retry(pun.page(self.upp), at)?;
                 let payload = self
                     .flash
                     .read(pun.page(self.upp))
@@ -346,6 +396,7 @@ impl Ftl {
     ///
     /// [`FtlError::Unmapped`] when `src` has no mapping.
     pub fn remap(&mut self, dst: Lpn, src: Lpn) -> Result<(), FtlError> {
+        self.flash.logical_tick()?;
         let prev = self.table.alias(dst, src).map_err(FtlError::Unmapped)?;
         self.note_unlink(prev);
         self.counters.incr("ftl.remap_ops");
@@ -355,8 +406,24 @@ impl Ftl {
     /// Removes `lpn`'s mapping (deallocate/trim). Returns true when a
     /// mapping existed.
     pub fn deallocate(&mut self, lpn: Lpn) -> bool {
+        // A power cut on this tick silently drops the trim: the device is
+        // off and the caller observes the loss on its next fallible op.
+        if self.flash.logical_tick().is_err() {
+            return false;
+        }
         let u = self.table.unmap(lpn);
         let existed = u != Unlink::NotMapped;
+        if matches!(u, Unlink::Orphaned(Location::Buffer(_))) {
+            // Metadata-before-data-discard: a buffered unit never reached
+            // flash, so the capacitor-backed slot is its only copy and it
+            // has no OOB record. Persist the unmapping before the slot is
+            // destroyed — otherwise a post-cut rebuild resolves the stale
+            // mapping-log entry to nothing and leaves a one-unit hole in a
+            // zone whose neighbours all resurrect, which breaks the
+            // engine's journal-scan recovery (a trimmed tombstone vanishes
+            // while the older value it deleted survives).
+            self.persist_mapping_log();
+        }
         self.note_unlink(u);
         if existed {
             self.counters.incr("ftl.deallocations");
@@ -417,24 +484,57 @@ impl Ftl {
         let mut content = PageContent::empty(self.upp as usize);
         let mut placements = std::mem::take(&mut self.scratch_placements);
         placements.clear();
+        // Under fault injection the slots keep their data until the program
+        // succeeds, so a power cut or media failure loses nothing that was
+        // acknowledged. The fault-free hot path keeps its move-only,
+        // allocation-free behavior.
+        let faulting = self.flash.faults_armed();
         for (offset, &slot) in taken.iter().enumerate() {
-            let data = self.release_slot(slot);
-            content.units[offset] = Some(data.payload);
-            content.oob.push(data.oob);
+            if faulting {
+                let data = self.slot_data(slot);
+                content.units[offset] = Some(data.payload.clone());
+                content.oob.push(data.oob);
+            } else {
+                let data = self.release_slot(slot);
+                content.units[offset] = Some(data.payload);
+                content.oob.push(data.oob);
+            }
             placements.push((slot, offset as u32));
         }
 
-        let win = match self.flash.program(ppn, content, at) {
+        let win = match self.program_with_retry(ppn, content, at) {
             Ok(w) => w,
             Err(e) => {
+                if faulting {
+                    // The slots still hold every unit: re-queue the batch at
+                    // the head so nothing acknowledged is lost.
+                    for (i, &slot) in taken.iter().enumerate() {
+                        self.pending.insert(i, slot);
+                    }
+                }
                 self.scratch_batch = taken;
                 self.scratch_placements = placements;
+                if let FlashError::GrownBadBlock(bad) = e {
+                    // Graceful degradation: retire the block and report
+                    // success; the still-queued batch drains to a healthy
+                    // block on the caller's next loop iteration.
+                    if let Some((b, _)) = self.actives[wp] {
+                        if b == bad {
+                            self.actives[wp] = None;
+                        }
+                    }
+                    self.retire_block(bad);
+                    return Ok(at);
+                }
                 return Err(e.into());
             }
         };
         self.counters.incr("ftl.pages_programmed");
 
         for &(slot, offset) in &placements {
+            if faulting {
+                self.release_slot(slot);
+            }
             let pun = Pun::compose(ppn, offset, self.upp);
             let moved = self
                 .table
@@ -553,7 +653,9 @@ impl Ftl {
         };
         self.in_gc = true;
         self.counters.incr("ftl.wear_level_rounds");
+        let prev_phase = self.flash.set_fault_phase(FaultPhase::Gc);
         let result = self.migrate_and_erase(victim, at);
+        self.flash.set_fault_phase(prev_phase);
         self.in_gc = false;
         result.map(Some)
     }
@@ -571,7 +673,9 @@ impl Ftl {
             return Ok(None);
         };
         self.in_gc = true;
+        let prev_phase = self.flash.set_fault_phase(FaultPhase::Gc);
         let result = self.migrate_and_erase(victim, at);
+        self.flash.set_fault_phase(prev_phase);
         self.in_gc = false;
         result.map(Some)
     }
@@ -602,7 +706,7 @@ impl Ftl {
                 self.scratch_valid = valid;
                 continue;
             }
-            let win = match self.flash.schedule_read(ppn, at) {
+            let win = match self.read_with_retry(ppn, at) {
                 Ok(w) => w,
                 Err(e) => {
                     self.scratch_valid = valid;
@@ -635,10 +739,360 @@ impl Ftl {
             }
         }
         debug_assert_eq!(self.valid_units[victim.0 as usize], 0);
-        let win = self.flash.erase(victim, done)?;
-        self.block_kind[victim.0 as usize] = BlockKind::Free;
-        self.free_blocks.push_back(victim);
-        Ok(win.finish)
+        // Persist the mapping log before the erase so a later power cut
+        // never finds the persisted snapshot pointing into an erased block.
+        self.persist_mapping_log();
+        match self.erase_with_retry(victim, done) {
+            Ok(win) => {
+                self.block_kind[victim.0 as usize] = BlockKind::Free;
+                self.free_blocks.push_back(victim);
+                Ok(win.finish)
+            }
+            Err(FlashError::PowerLoss) => Err(FlashError::PowerLoss.into()),
+            Err(_) => {
+                // Grown defect, worn out, or retries exhausted: the block
+                // cannot be recycled. It holds no valid units any more, so
+                // retiring it is pure capacity loss, not data loss.
+                self.block_kind[victim.0 as usize] = BlockKind::Retired;
+                self.counters.incr("ftl.blocks_retired");
+                Ok(done)
+            }
+        }
+    }
+
+    /// Schedules a read, retrying transient media failures with
+    /// exponential backoff up to `media_retry_limit` total attempts.
+    fn read_with_retry(&mut self, ppn: Ppn, at: SimTime) -> Result<Window, FlashError> {
+        let limit = self.config.media_retry_limit;
+        let mut t = at;
+        let mut attempt = 0u32;
+        loop {
+            match self.flash.schedule_read(ppn, t) {
+                Ok(w) => return Ok(w),
+                Err(e) if e.classification() == ErrorClass::Transient && attempt + 1 < limit => {
+                    attempt += 1;
+                    self.counters.incr("ftl.media_retries");
+                    t += self.flash.timing().t_read * (1u64 << attempt.min(16));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Programs a page with the same bounded-backoff policy. The content
+    /// is cloned per attempt only while a retry is still possible, and the
+    /// whole wrapper collapses to a plain program when fault injection is
+    /// off, so the hot path stays allocation-free.
+    fn program_with_retry(
+        &mut self,
+        ppn: Ppn,
+        content: PageContent,
+        at: SimTime,
+    ) -> Result<Window, FlashError> {
+        let limit = self.config.media_retry_limit;
+        if limit <= 1 || !self.flash.faults_armed() {
+            return self.flash.program(ppn, content, at);
+        }
+        let mut t = at;
+        let mut attempt = 0u32;
+        let mut content = Some(content);
+        loop {
+            let retryable = attempt + 1 < limit;
+            let this_try = if retryable {
+                content
+                    .as_ref()
+                    .expect("content retained while retries remain")
+                    .clone()
+            } else {
+                content.take().expect("content available for final attempt")
+            };
+            match self.flash.program(ppn, this_try, t) {
+                Ok(w) => return Ok(w),
+                Err(e) if retryable && e.classification() == ErrorClass::Transient => {
+                    attempt += 1;
+                    self.counters.incr("ftl.media_retries");
+                    t += self.flash.timing().t_program * (1u64 << attempt.min(16));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Erases a block with the same bounded-backoff policy.
+    fn erase_with_retry(&mut self, block: BlockId, at: SimTime) -> Result<Window, FlashError> {
+        let limit = self.config.media_retry_limit;
+        let mut t = at;
+        let mut attempt = 0u32;
+        loop {
+            match self.flash.erase(block, t) {
+                Ok(w) => return Ok(w),
+                Err(e) if e.classification() == ErrorClass::Transient && attempt + 1 < limit => {
+                    attempt += 1;
+                    self.counters.incr("ftl.media_retries");
+                    t += self.flash.timing().t_erase * (1u64 << attempt.min(16));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Takes a block with a grown defect out of service: every unit still
+    /// referenced by the table is salvaged back into the capacitor-backed
+    /// write buffer (from where it re-drains to a healthy block), then the
+    /// block is marked retired and counted in `ftl.blocks_retired`.
+    fn retire_block(&mut self, block: BlockId) {
+        let g = *self.flash.geometry();
+        for page in 0..self.flash.write_cursor(block) {
+            let ppn = g.ppn_in_block(block, page);
+            let mut valid = std::mem::take(&mut self.scratch_valid);
+            valid.clear();
+            for offset in 0..self.upp {
+                let pun = Pun::compose(ppn, offset, self.upp);
+                let refs = self.table.referrers(Location::Flash(pun));
+                if let Some(&primary) = refs.first() {
+                    let payload = self
+                        .flash
+                        .read(ppn)
+                        .and_then(|pc| pc.units[offset as usize].clone())
+                        .unwrap_or_default();
+                    valid.push((offset, payload, primary));
+                }
+            }
+            for (offset, payload, primary) in valid.drain(..) {
+                let pun = Pun::compose(ppn, offset, self.upp);
+                let slot = self.new_slot(payload, primary, OobKind::GcCopy);
+                let moved = self
+                    .table
+                    .relocate(Location::Flash(pun), Location::Buffer(slot));
+                debug_assert!(moved > 0);
+                self.valid_units[block.0 as usize] -= 1;
+                self.pending.push_back(slot);
+            }
+            self.scratch_valid = valid;
+        }
+        debug_assert_eq!(self.valid_units[block.0 as usize], 0);
+        self.block_kind[block.0 as usize] = BlockKind::Retired;
+        self.counters.incr("ftl.blocks_retired");
+    }
+
+    /// Persists the mapping log — the firmware action behind the periodic
+    /// ISCE metadata writes (§III-F) and the pre-erase flush. Recovery
+    /// resolves this snapshot first and replays only OOB records written
+    /// after it, which is what makes *unmappings* (journal trims, tombstone
+    /// trims) and remap aliases durable: both are pure metadata changes
+    /// invisible to the OOB stream.
+    ///
+    /// Gated on fault injection being armed, so normal runs never pay for
+    /// it.
+    pub fn persist_mapping_log(&mut self) {
+        if !self.flash.faults_armed() {
+            return;
+        }
+        let mut entries = Vec::with_capacity(self.table.live_entries());
+        for (lpn, loc) in self.table.iter() {
+            let snap = match loc {
+                Location::Flash(pun) => SnapLoc::Flash(pun),
+                Location::Buffer(slot) => SnapLoc::Buffered {
+                    oob_seq: self.slot_data(slot).oob.sequence,
+                },
+            };
+            entries.push((lpn, snap));
+        }
+        self.persisted = Some(MappingSnapshot {
+            seq: self.seq,
+            entries,
+        });
+        self.counters.incr("ftl.mapping_log_persists");
+    }
+
+    /// Rebuilds the whole FTL state after a power cut from what survives:
+    /// flash contents and their OOB stream, per-block write cursors and
+    /// bad-block marks, the capacitor-backed write buffer, and the last
+    /// persisted mapping log.
+    ///
+    /// Algorithm (the paper's §III-G SPOR, extended with the mapping log):
+    ///
+    /// 1. resolve the persisted snapshot — flash entries directly, buffered
+    ///    entries via a live slot with the recorded OOB sequence or, if the
+    ///    unit drained before the cut, via the OOB record carrying that
+    ///    sequence on flash (matched by sequence alone, since remap aliases
+    ///    reference a unit under an lpn other than the one it was written
+    ///    under);
+    /// 2. replay OOB records *newer than the snapshot* in sequence order,
+    ///    newest winning per lpn;
+    /// 3. overlay live buffer slots newer than the snapshot — a live slot
+    ///    is always the newest copy of its lpn;
+    /// 4. reconstruct block lifecycle from write cursors and bad-block
+    ///    marks, and recompute per-block valid-unit counts from the fresh
+    ///    table. Live buffer slots re-queue for page-out in write order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is still powered off — call
+    /// [`FlashArray::power_on`] first.
+    pub fn rebuild_after_power_loss(&mut self) -> RebuildStats {
+        assert!(
+            !self.flash.powered_off(),
+            "power the array on before rebuilding"
+        );
+        let g = *self.flash.geometry();
+        let upp = self.upp;
+        let mut stats = RebuildStats::default();
+        let snap = self.persisted.take();
+        let snap_seq = snap.as_ref().map(|s| s.seq).unwrap_or(0);
+
+        // Live buffer slots indexed by their OOB sequence number.
+        let mut slot_by_seq: HashMap<u64, BufSlot> = HashMap::new();
+        for (id, data) in self.slots.iter().enumerate() {
+            if let Some(d) = data {
+                slot_by_seq.insert(d.oob.sequence, BufSlot(id as u64));
+            }
+        }
+
+        // One full OOB scan. Post-snapshot records become the replay list;
+        // older records go into an exact (lpn, seq) index used to resolve
+        // snapshot entries whose buffered unit drained before the cut.
+        let mut replay: Vec<(u64, Lpn, Pun)> = Vec::new();
+        // Keyed by OOB sequence alone: a sequence number identifies one
+        // written unit, while the record's lpn is only the lpn the unit
+        // was *written* under — remap aliases (checkpointed home lpns)
+        // reference the same unit under a different lpn and must still
+        // resolve after the slot drains.
+        let mut pre_snap: HashMap<u64, Pun> = HashMap::new();
+        let mut max_seq = snap_seq;
+        for raw in 0..g.total_pages() {
+            let ppn = Ppn(raw);
+            let Some(content) = self.flash.read(ppn) else {
+                continue;
+            };
+            for (offset, oob) in content.oob.iter().enumerate() {
+                let pun = Pun::compose(ppn, offset as u32, upp);
+                max_seq = max_seq.max(oob.sequence);
+                if oob.sequence > snap_seq {
+                    replay.push((oob.sequence, Lpn(oob.lpn), pun));
+                } else {
+                    pre_snap.insert(oob.sequence, pun);
+                }
+            }
+        }
+        replay.sort_unstable_by_key(|&(seq, _, _)| seq);
+
+        let mut table = MappingTable::with_capacity((g.total_pages() * upp as u64) as usize);
+        if let Some(snap) = &snap {
+            for &(lpn, loc) in &snap.entries {
+                let resolved = match loc {
+                    SnapLoc::Flash(pun) => self
+                        .flash
+                        .read(pun.page(upp))
+                        .is_some()
+                        .then_some(Location::Flash(pun)),
+                    SnapLoc::Buffered { oob_seq } => slot_by_seq
+                        .get(&oob_seq)
+                        .map(|&s| Location::Buffer(s))
+                        .or_else(|| pre_snap.get(&oob_seq).map(|&p| Location::Flash(p))),
+                };
+                match resolved {
+                    Some(l) => {
+                        let _ = table.map(lpn, l);
+                        stats.snapshot_entries_resolved += 1;
+                    }
+                    None => stats.snapshot_entries_dropped += 1,
+                }
+            }
+        }
+        for &(_, lpn, pun) in &replay {
+            let _ = table.map(lpn, Location::Flash(pun));
+            stats.oob_records_replayed += 1;
+        }
+        for (id, data) in self.slots.iter().enumerate() {
+            if let Some(d) = data {
+                max_seq = max_seq.max(d.oob.sequence);
+                if d.oob.sequence > snap_seq {
+                    let _ = table.map(Lpn(d.oob.lpn), Location::Buffer(BufSlot(id as u64)));
+                    stats.buffered_units_recovered += 1;
+                }
+            }
+        }
+        self.table = table;
+
+        // Block lifecycle from what the flash itself knows.
+        self.free_blocks.clear();
+        for b in 0..g.total_blocks() {
+            let id = BlockId(b);
+            let kind = if self.flash.is_bad_block(id) {
+                BlockKind::Retired
+            } else if self.flash.write_cursor(id) > 0 {
+                BlockKind::Closed
+            } else {
+                BlockKind::Free
+            };
+            self.block_kind[b as usize] = kind;
+            if kind == BlockKind::Free {
+                self.free_blocks.push_back(id);
+            }
+        }
+        for v in &mut self.valid_units {
+            *v = 0;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (_, loc) in self.table.iter() {
+            if let Location::Flash(pun) = loc {
+                if seen.insert(pun) {
+                    let b = g.block_of(pun.page(upp));
+                    self.valid_units[b.0 as usize] += 1;
+                }
+            }
+        }
+
+        // Fresh runtime state: no active blocks, no GC in flight; the
+        // whole surviving buffer re-queues for page-out in write order.
+        for a in &mut self.actives {
+            *a = None;
+        }
+        self.next_wp = 0;
+        self.in_gc = false;
+        self.pending.clear();
+        let mut live: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, d)| d.as_ref().map(|d| (d.oob.sequence, id as u64)))
+            .collect();
+        live.sort_unstable();
+        for &(_, id) in &live {
+            self.pending.push_back(BufSlot(id));
+        }
+        self.free_slot_ids.clear();
+        for (id, d) in self.slots.iter().enumerate() {
+            if d.is_none() {
+                self.free_slot_ids.push(id as u64);
+            }
+        }
+        self.seq = self.seq.max(max_seq);
+        self.counters.incr("ftl.power_loss_rebuilds");
+        // Re-persist immediately: the recovered table is the new floor.
+        self.persist_mapping_log();
+        stats
+    }
+
+    /// Test-only sabotage: throws away the capacitor-backed write buffer
+    /// (slots, pending queue, and their mappings), deliberately breaking
+    /// the acked-write durability contract. Harnesses call this to prove
+    /// their verifier actually detects a broken recovery; never call it
+    /// anywhere else.
+    pub fn sabotage_drop_write_buffer(&mut self) {
+        let buffered: Vec<Lpn> = self
+            .table
+            .iter()
+            .filter_map(|(lpn, loc)| matches!(loc, Location::Buffer(_)).then_some(lpn))
+            .collect();
+        for lpn in buffered {
+            let _ = self.table.unmap(lpn);
+        }
+        self.slots.clear();
+        self.free_slot_ids.clear();
+        self.next_slot = 0;
+        self.pending.clear();
     }
 
     /// Mutable access to the flash array (power-fail injection in tests).
@@ -695,6 +1149,14 @@ impl Ftl {
                 && !self.pending.contains(&slot)
             {
                 return Err(format!("orphaned buffer slot {slot}"));
+            }
+        }
+        for (_, loc) in self.table.iter() {
+            if let Location::Flash(pun) = loc {
+                let b = g.block_of(pun.page(self.upp));
+                if self.block_kind[b.0 as usize] == BlockKind::Retired {
+                    return Err(format!("mapping references retired block {b}"));
+                }
             }
         }
         Ok(())
@@ -1199,5 +1661,203 @@ mod wear_leveling_tests {
             }
         }
         assert_eq!(f.run_wear_leveling_round(SimTime::ZERO).unwrap(), None);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use checkin_flash::{FaultConfig, FaultPlan, FlashArray, FlashGeometry, FlashTiming};
+    use std::collections::HashMap as Shadow;
+
+    fn fault_ftl(retry_limit: u32) -> Ftl {
+        let flash = FlashArray::new(
+            FlashGeometry {
+                channels: 1,
+                dies_per_channel: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 16,
+                pages_per_block: 8,
+                page_bytes: 4096,
+            },
+            FlashTiming::mlc(),
+        );
+        Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 4096,
+                write_points: 1,
+                gc_threshold_blocks: 2,
+                gc_soft_threshold_blocks: 4,
+                write_buffer_units: 4,
+                wear_leveling_threshold: None,
+                media_retry_limit: retry_limit,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn put(f: &mut Ftl, lpn: u64, version: u64) -> Result<SimTime, FtlError> {
+        f.write(
+            UnitWrite {
+                lpn: Lpn(lpn),
+                payload: UnitPayload::single(lpn, version, 4096),
+                whole_unit: true,
+            },
+            OobKind::Data,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn transient_media_failures_are_absorbed_by_retries() {
+        let mut f = fault_ftl(8);
+        f.flash_mut().arm_faults(FaultPlan::new(FaultConfig {
+            seed: 7,
+            transient_read: 0.2,
+            transient_program: 0.2,
+            transient_erase: 0.2,
+            ..FaultConfig::default()
+        }));
+        let mut shadow: Shadow<u64, u64> = Shadow::new();
+        for i in 0..400u64 {
+            let lpn = i % 24;
+            put(&mut f, lpn, i).unwrap();
+            shadow.insert(lpn, i);
+        }
+        assert!(
+            f.counters().get("ftl.media_retries") > 0,
+            "retries must have happened at a 20% fault rate"
+        );
+        for (&lpn, &version) in &shadow {
+            let (p, _) = f.read(Lpn(lpn), SimTime::ZERO).unwrap();
+            assert_eq!(p.fragments[0].version, version, "lpn {lpn}");
+        }
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grown_bad_blocks_are_retired_without_data_loss() {
+        let mut f = fault_ftl(4);
+        f.flash_mut().arm_faults(FaultPlan::new(FaultConfig {
+            seed: 11,
+            grown_bad_block: 0.004,
+            ..FaultConfig::default()
+        }));
+        let mut shadow: Shadow<u64, u64> = Shadow::new();
+        for i in 0..500u64 {
+            let lpn = i % 24;
+            put(&mut f, lpn, i).unwrap();
+            shadow.insert(lpn, i);
+        }
+        assert!(
+            f.counters().get("ftl.blocks_retired") > 0,
+            "expected at least one retirement at this seed and rate"
+        );
+        for (&lpn, &version) in &shadow {
+            let (p, _) = f.read(Lpn(lpn), SimTime::ZERO).unwrap();
+            assert_eq!(p.fragments[0].version, version, "lpn {lpn}");
+        }
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn power_cut_then_rebuild_preserves_every_acked_write() {
+        for cut_tick in [5u64, 17, 33, 71, 120, 250, 400, 900] {
+            let mut f = fault_ftl(4);
+            f.flash_mut()
+                .arm_faults(FaultPlan::new(FaultConfig::power_cut(3, cut_tick)));
+            let mut shadow: Shadow<u64, u64> = Shadow::new();
+            let mut cut = false;
+            // The one write that observes the cut is not acknowledged; the
+            // durability contract allows it to be either absent or present.
+            let mut inflight: Option<(u64, u64)> = None;
+            for i in 0..600u64 {
+                let lpn = i % 24;
+                match put(&mut f, lpn, i) {
+                    Ok(_) => {
+                        shadow.insert(lpn, i);
+                    }
+                    Err(e) => {
+                        assert!(e.is_power_loss(), "cut {cut_tick}: unexpected {e}");
+                        inflight = Some((lpn, i));
+                        cut = true;
+                        break;
+                    }
+                }
+            }
+            assert!(cut, "cut {cut_tick} never fired");
+            f.flash_mut().power_on();
+            let stats = f.rebuild_after_power_loss();
+            assert!(
+                stats.snapshot_entries_resolved
+                    + stats.oob_records_replayed
+                    + stats.buffered_units_recovered
+                    > 0
+                    || shadow.is_empty(),
+                "cut {cut_tick}: rebuild recovered nothing"
+            );
+            for (&lpn, &version) in &shadow {
+                let (p, _) = f.read(Lpn(lpn), SimTime::ZERO).unwrap();
+                let got = p.fragments[0].version;
+                let acceptable =
+                    got == version || matches!(inflight, Some((l, v)) if l == lpn && got == v);
+                assert!(
+                    acceptable,
+                    "cut {cut_tick}: lpn {lpn} has version {got}, acked {version}"
+                );
+            }
+            f.check_invariants().unwrap();
+            // The device keeps working after recovery.
+            put(&mut f, 0, 10_000).unwrap();
+            assert_eq!(
+                f.read(Lpn(0), SimTime::ZERO).unwrap().0.fragments[0].version,
+                10_000
+            );
+        }
+    }
+
+    #[test]
+    fn sabotaged_buffer_loses_acked_writes_visibly() {
+        let mut f = fault_ftl(4);
+        f.flash_mut()
+            .arm_faults(FaultPlan::new(FaultConfig::power_cut(5, 1_000_000)));
+        // Three acked writes that stay buffered (watermark is 4).
+        for lpn in 0..3u64 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flash_mut().cut_power();
+        f.flash_mut().power_on();
+        // A failed capacitor: the buffer is gone before recovery runs.
+        f.sabotage_drop_write_buffer();
+        f.rebuild_after_power_loss();
+        let lost = (0..3u64)
+            .filter(|&lpn| f.read(Lpn(lpn), SimTime::ZERO).is_err())
+            .count();
+        assert!(lost > 0, "sabotage must cause detectable loss");
+    }
+
+    #[test]
+    fn rebuild_restores_mapping_log_unmappings() {
+        let mut f = fault_ftl(4);
+        f.flash_mut()
+            .arm_faults(FaultPlan::new(FaultConfig::power_cut(9, 1_000_000)));
+        put(&mut f, 0, 1).unwrap();
+        put(&mut f, 1, 1).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        assert!(f.deallocate(Lpn(0)));
+        // The trim is metadata only; persisting the mapping log is what
+        // makes it durable across a cut.
+        f.persist_mapping_log();
+        f.flash_mut().cut_power();
+        f.flash_mut().power_on();
+        f.rebuild_after_power_loss();
+        assert!(
+            !f.is_mapped(Lpn(0)),
+            "persisted trim must not be resurrected by OOB replay"
+        );
+        assert!(f.is_mapped(Lpn(1)));
+        f.check_invariants().unwrap();
     }
 }

@@ -1,7 +1,7 @@
 //! The SSD device: host interface, firmware timing, ISCE execution.
 
-use checkin_flash::{Fragment, OobKind, UnitPayload};
-use checkin_ftl::{Ftl, FtlError, Lpn, UnitWrite};
+use checkin_flash::{FaultPhase, Fragment, OobKind, UnitPayload};
+use checkin_ftl::{Ftl, FtlError, Lpn, RebuildStats, UnitWrite};
 use checkin_sim::{CounterSet, Resource, SimTime};
 
 use crate::command::{
@@ -269,6 +269,12 @@ impl Ssd {
         if kind == OobKind::Journal {
             done = done.max(self.log_manager_tick(cpu.finish)?);
         }
+        if kind == OobKind::Meta {
+            // A host metadata write (the engine's superblock) is the
+            // durability point for the mapping changes that preceded it:
+            // persist the mapping log with it.
+            self.ftl.persist_mapping_log();
+        }
         self.queue.complete(done);
         Ok(done)
     }
@@ -298,6 +304,9 @@ impl Ssd {
             OobKind::Meta,
             at,
         )?;
+        // The recovery-log write doubles as the mapping-log persistence
+        // point (§III-F): trims and remap aliases become durable here.
+        self.ftl.persist_mapping_log();
         Ok(finish)
     }
 
@@ -325,6 +334,10 @@ impl Ssd {
             cmd.finish,
             self.timing.cpu_cmd_cost + self.ftl.map_access_cost() * segments.len() as u64,
         );
+        let prev_phase = self
+            .ftl
+            .flash_mut()
+            .set_fault_phase(FaultPhase::HostDeallocate);
         for (lpn, _seg, whole) in segments {
             // Partial-unit trims are ignored (conservative, like real
             // devices which round trims inward).
@@ -332,6 +345,7 @@ impl Ssd {
                 self.ftl.deallocate(lpn);
             }
         }
+        self.ftl.flash_mut().set_fault_phase(prev_phase);
         self.queue.complete(cpu.finish);
         cpu.finish
     }
@@ -412,7 +426,12 @@ impl Ssd {
             let cpu = self
                 .cpu
                 .schedule(at, self.ftl.map_access_cost() * unit_count * 2);
-            for e in &remaps {
+            let prev_phase = self
+                .ftl
+                .flash_mut()
+                .set_fault_phase(FaultPhase::CheckpointRemap);
+            let mut remap_err = None;
+            'remap: for e in &remaps {
                 let units = (e.sectors / us).max(1) as u64;
                 for k in 0..units {
                     let src = Lpn(e.src_lba / us as u64 + k);
@@ -424,10 +443,17 @@ impl Ssd {
                         Err(FtlError::Unmapped(_)) => {
                             self.counters.incr("ssd.cow_missing_src");
                         }
-                        Err(err) => return Err(err.into()),
+                        Err(err) => {
+                            remap_err = Some(err);
+                            break 'remap;
+                        }
                     }
                 }
                 self.counters.incr("ssd.remap_entries");
+            }
+            self.ftl.flash_mut().set_fault_phase(prev_phase);
+            if let Some(err) = remap_err {
+                return Err(err.into());
             }
             done = done.max(cpu.finish);
         }
@@ -539,6 +565,23 @@ impl Ssd {
             }
         }
         Ok((rounds, done))
+    }
+
+    /// True while the simulated device is frozen by an injected power cut.
+    pub fn powered_off(&self) -> bool {
+        self.ftl.flash().powered_off()
+    }
+
+    /// Sudden-power-off recovery (§III-G): powers the array back on,
+    /// rebuilds the whole FTL from the OOB stream, the persisted mapping
+    /// log, and the capacitor-backed write buffer, and resets the device
+    /// log-manager state. Counted in `ssd.spor_recoveries`.
+    pub fn recover_power_loss(&mut self) -> RebuildStats {
+        self.ftl.flash_mut().power_on();
+        let stats = self.ftl.rebuild_after_power_loss();
+        self.journal_units_since_meta = 0;
+        self.counters.incr("ssd.spor_recoveries");
+        stats
     }
 }
 

@@ -13,14 +13,18 @@
 //! flash-resident write must be discoverable from OOB alone — and is
 //! exercised by the recovery test suite.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use checkin_flash::{OobKind, Ppn};
 
 /// Newest OOB record per logical unit, as found by a full-device scan.
+///
+/// Entries are kept in a sorted map so iteration order is deterministic
+/// (ascending lpn) — recovery walks, harness comparisons, and golden
+/// outputs must not depend on hash-map ordering.
 #[derive(Debug, Clone, Default)]
 pub struct OobSnapshot {
-    entries: HashMap<u64, OobRecord>,
+    entries: BTreeMap<u64, OobRecord>,
     pages_scanned: u64,
 }
 
@@ -56,7 +60,8 @@ impl OobSnapshot {
         self.pages_scanned
     }
 
-    /// Iterates `(lpn, record)` pairs in arbitrary order.
+    /// Iterates `(lpn, record)` pairs in deterministic ascending-lpn
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &OobRecord)> + '_ {
         self.entries.iter().map(|(&l, r)| (l, r))
     }

@@ -14,6 +14,12 @@ cargo test --workspace -q
 echo "== perfsuite --quick"
 cargo run --release -p checkin-bench --bin perfsuite -- --quick --out target/BENCH_perf.quick.json
 
+echo "== crashmatrix --quick"
+# Power-cut recovery sweep (DESIGN.md §9): cuts inside checkpoint
+# remapping and GC, shadow-model durability verification, sabotage
+# self-test. Exits non-zero on any acked-write loss or resurrection.
+cargo run --release -p checkin-bench --bin crashmatrix -- --quick
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
