@@ -10,8 +10,10 @@
 //!    with the double-buffered zone swap on overflow.
 //! 3. **Checkpoint remap** — a 64-entry in-storage checkpoint command
 //!    against a fully modelled SSD.
-//! 4. **Full system run** — a 50k-query Check-In run (10k under `--quick`).
-//! 5. **Parallel sweep** — the five-strategy comparison batch, serial vs.
+//! 4. **Trace emit** — the disabled-tracer hot-path cost (one branch)
+//!    against the ring-buffered sink, guarding the zero-overhead claim.
+//! 5. **Full system run** — a 50k-query Check-In run (10k under `--quick`).
+//! 6. **Parallel sweep** — the five-strategy comparison batch, serial vs.
 //!    `run_configs` across all cores.
 //!
 //! Results land in `BENCH_perf.json` (override with `--out PATH`) so later
@@ -25,7 +27,7 @@ use checkin_bench::harness::{bench, compare, BenchOpts, BenchResult, Comparison}
 use checkin_core::{default_jobs, run_configs, JournalManager, Layout, Strategy, SystemConfig};
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
 use checkin_ftl::{BufSlot, Ftl, FtlConfig, Location, Lpn, MappingTable, Pun, UnitWrite};
-use checkin_sim::{SimRng, SimTime};
+use checkin_sim::{SimRng, SimTime, TraceEvent, TraceLayer, Tracer};
 use checkin_ssd::{CheckpointMode, CowEntry, Ssd, SsdTiming};
 
 /// Mapped LPNs in the L2P benches — the paper-default device has ~400k
@@ -218,6 +220,34 @@ fn bench_ftl_write(opts: BenchOpts, results: &mut Vec<BenchResult>) {
     }));
 }
 
+fn bench_tracer(
+    opts: BenchOpts,
+    results: &mut Vec<BenchResult>,
+    comparisons: &mut Vec<Comparison>,
+) {
+    section("Trace emit: disabled (hot-path cost) vs ring-buffered");
+    let disabled = Tracer::disabled();
+    let mut x = 0u64;
+    let off = bench("trace/emit_disabled", opts, || {
+        x += 1;
+        disabled.emit(|| {
+            TraceEvent::new(SimTime::from_nanos(x), TraceLayer::Flash, "program").with("ppn", x)
+        });
+        x
+    });
+    let ring = Tracer::ring_buffered(4_096);
+    let mut y = 0u64;
+    let on = bench("trace/emit_ring_buffered", opts, || {
+        y += 1;
+        ring.emit(|| {
+            TraceEvent::new(SimTime::from_nanos(y), TraceLayer::Flash, "program").with("ppn", y)
+        });
+        y
+    });
+    comparisons.push(compare("trace_disabled_speedup", &on, &off));
+    results.extend([off, on]);
+}
+
 /// Wraps a one-shot measurement in a [`BenchResult`]: `units` is the work
 /// count (queries, configs) so `ns_per_op` reads as time per unit.
 fn one_shot(name: &str, units: u64, run: impl FnOnce()) -> BenchResult {
@@ -330,6 +360,7 @@ fn main() {
     bench_journal_append(opts, &mut results);
     bench_ftl_write(opts, &mut results);
     bench_checkpoint_remap(opts, &mut results);
+    bench_tracer(opts, &mut results, &mut comparisons);
     bench_full_run(quick, &mut results);
     bench_parallel_sweep(quick, &mut results, &mut comparisons);
 

@@ -32,6 +32,14 @@ pub enum Command {
         /// Base configuration.
         base: RunArgs,
     },
+    /// Run one configuration with cross-layer tracing enabled and emit
+    /// the captured events as JSON lines on stdout.
+    Trace {
+        /// Run configuration.
+        args: RunArgs,
+        /// Ring capacity: at most this many most-recent events are kept.
+        events: usize,
+    },
     /// Print usage.
     Help,
 }
@@ -281,9 +289,30 @@ pub fn parse(argv: &[&str]) -> Result<Command, ParseError> {
             let base = parse_run_args(passthrough.into_iter())?;
             Ok(Command::Sweep { axis, values, base })
         }
+        "trace" => {
+            // Extract --events, pass the rest to the common parser.
+            let mut events = 100_000usize;
+            let mut passthrough = Vec::new();
+            let mut it = rest.iter().copied();
+            while let Some(tok) = it.next() {
+                if tok == "--events" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ParseError("--events expects a count".into()))?;
+                    events = parse_num("--events", v)?;
+                    if events == 0 {
+                        return Err(ParseError("--events must be at least 1".into()));
+                    }
+                } else {
+                    passthrough.push(tok);
+                }
+            }
+            let args = parse_run_args(passthrough.into_iter())?;
+            Ok(Command::Trace { args, events })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!(
-            "unknown command '{other}' (run|compare|sweep|help)"
+            "unknown command '{other}' (run|compare|sweep|trace|help)"
         ))),
     }
 }
@@ -297,6 +326,9 @@ USAGE:
   checkin compare  [flags]             all five strategies, same workload
   checkin sweep <axis> --values a,b,c [flags]
                                        sweep threads | interval-ms | unit
+  checkin trace    [flags]             run with cross-layer tracing; emits
+                                       one JSON event per line on stdout
+                                       (--events N caps the ring, def. 100000)
 
 FLAGS (all optional):
   --strategy  baseline|isc-a|isc-b|isc-c|check-in   (default check-in)
@@ -390,6 +422,34 @@ mod tests {
         assert_eq!(a.jobs, Some(3));
         assert_eq!(RunArgs::default().jobs, None);
         assert!(parse(&["compare", "--jobs", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace() {
+        let Command::Trace { args, events } = parse(&[
+            "trace",
+            "--events",
+            "500",
+            "--strategy",
+            "baseline",
+            "--queries",
+            "100",
+        ])
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(events, 500);
+        assert_eq!(args.strategy, Strategy::Baseline);
+        assert_eq!(args.queries, 100);
+
+        // Default capacity, flags still honoured.
+        let Command::Trace { events, .. } = parse(&["trace"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(events, 100_000);
+        assert!(parse(&["trace", "--events"]).is_err());
+        assert!(parse(&["trace", "--events", "0"]).is_err());
+        assert!(parse(&["trace", "--events", "x"]).is_err());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! `checkin` — command-line experiment runner for the Check-In
 //! reproduction. See `checkin help` for usage.
 
+use std::io::Write;
+
 use checkin_cli::{parse, Command, RunArgs, SweepAxis, USAGE};
 use checkin_core::{KvSystem, RunReport, Strategy, SystemConfig};
+use checkin_sim::Tracer;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -12,12 +15,49 @@ fn main() {
         Ok(Command::Run(args)) => run_one(&args),
         Ok(Command::Compare(args)) => compare(&args),
         Ok(Command::Sweep { axis, values, base }) => sweep(axis, &values, &base),
+        Ok(Command::Trace { args, events }) => trace(&args, events),
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{USAGE}");
             std::process::exit(2);
         }
     }
+}
+
+/// Runs one configuration with the ring-buffered tracer installed across
+/// every layer, then streams the captured events as JSON lines on stdout
+/// (summary and report go to stderr so the event stream stays parseable).
+fn trace(args: &RunArgs, events: usize) {
+    let config = args.to_config();
+    let mut system = KvSystem::new(config).unwrap_or_else(|e| {
+        eprintln!("error: invalid configuration: {e}");
+        std::process::exit(2);
+    });
+    let tracer = Tracer::ring_buffered(events);
+    system.set_tracer(tracer.clone());
+    let report = system.run().unwrap_or_else(|e| {
+        eprintln!("error: run failed: {e}");
+        std::process::exit(1);
+    });
+
+    let captured = tracer.drain();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for event in &captured {
+        if writeln!(out, "{}", event.to_json_line()).is_err() {
+            // Downstream closed the pipe (e.g. `| head`): stop quietly.
+            return;
+        }
+    }
+    let _ = out.flush();
+    eprintln!(
+        "trace: {} events captured ({} emitted, {} dropped by the {}-event ring)",
+        captured.len(),
+        tracer.emitted(),
+        tracer.dropped(),
+        events
+    );
+    eprintln!("{report}");
 }
 
 fn execute(args: &RunArgs) -> RunReport {

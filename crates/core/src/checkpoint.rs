@@ -18,13 +18,14 @@
 //!   remap, sub-sector values merge into shared units (checkpointed by
 //!   buffered copies), large values compress.
 
-use checkin_flash::OobKind;
-use checkin_sim::SimTime;
+use checkin_flash::{OobKind, OpPhase};
+use checkin_sim::{CounterSet, SimDuration, SimTime};
 use checkin_ssd::{CowEntry, ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES};
 
 use crate::config::Strategy;
 use crate::journal::RetiringZone;
 use crate::layout::Layout;
+use crate::metrics::{CheckpointPhases, PhaseOps};
 
 /// Engine-metadata pseudo-key used for superblock writes.
 pub const SUPERBLOCK_KEY: u64 = u64::MAX - 1;
@@ -57,6 +58,23 @@ pub struct CheckpointOutcome {
     pub redundant_bytes: u64,
     /// Host-interface bytes moved for this checkpoint (baseline only).
     pub host_bytes: u64,
+    /// Entries whose live payload vanished before the checkpoint (e.g.
+    /// fully superseded merged fragments): neither remapped nor copied.
+    pub skipped: u64,
+    /// Per-phase breakdown of this checkpoint (Algorithm 1 stages), with
+    /// flash-op attribution per phase. Invariant (checked in debug
+    /// builds): the per-phase flash ops sum to `flash_programs` /
+    /// `flash_reads`, and the run-phase bucket stays empty.
+    pub phases: CheckpointPhases,
+}
+
+/// Flash-op delta for one attribution phase between two counter snapshots.
+fn phase_delta(now: &CounterSet, before: &CounterSet, phase: OpPhase) -> PhaseOps {
+    PhaseOps {
+        reads: now.get(phase.read_key()) - before.get(phase.read_key()),
+        programs: now.get(phase.program_key()) - before.get(phase.program_key()),
+        erases: now.get(phase.erase_key()) - before.get(phase.erase_key()),
+    }
 }
 
 /// Executes one checkpoint of `zone` with `strategy`, starting at `at`.
@@ -73,12 +91,17 @@ pub fn run_checkpoint(
     checkpoint_seq: u64,
     at: SimTime,
 ) -> Result<CheckpointOutcome, SsdError> {
+    let flash_before = ssd.ftl().flash().counters().clone();
+    // Reset the device's accumulated remap/copy stopwatches so this
+    // checkpoint's take below reflects only its own work.
+    let _ = ssd.take_cp_phase_times();
     let unit_writes_before = ssd.ftl().counters().get("ftl.host_unit_writes");
     let bytes_before = ssd.ftl().counters().get("ftl.host_bytes");
     let remap_before = ssd.counters().get("ssd.remap_entries");
     let copy_before = ssd.counters().get("ssd.copy_entries");
-    let programs_before = ssd.ftl().flash().counters().get("flash.program");
-    let reads_before = ssd.ftl().flash().counters().get("flash.read");
+    let skipped_before = ssd.counters().get("ssd.cow_skipped_entries");
+    let programs_before = flash_before.get("flash.program");
+    let reads_before = flash_before.get("flash.read");
     let host_before =
         ssd.counters().get("ssd.host_read_bytes") + ssd.counters().get("ssd.host_write_bytes");
 
@@ -94,9 +117,27 @@ pub fn run_checkpoint(
             tombstoned += 1;
         }
     }
+    let drain_done = done;
 
+    let mut host_copied = 0u64;
+    let mut host_skipped = 0u64;
+    let mut host_copy_time = SimDuration::ZERO;
     done = done.max(match strategy.checkpoint_mode() {
-        None => host_checkpoint(ssd, layout, zone, at)?,
+        None => {
+            // The baseline's read-back-and-rewrite loop is its copy
+            // fallback; attribute its flash ops accordingly.
+            let prev = ssd
+                .ftl_mut()
+                .flash_mut()
+                .set_op_phase(OpPhase::CheckpointCopy);
+            let moved = host_checkpoint(ssd, layout, zone, at);
+            ssd.ftl_mut().flash_mut().set_op_phase(prev);
+            let (finish, copied, skipped) = moved?;
+            host_copied = copied;
+            host_skipped = skipped;
+            host_copy_time = finish.saturating_duration_since(at);
+            finish
+        }
         Some(mode) => {
             let entries = build_entries(layout, zone);
             if entries.is_empty() {
@@ -112,6 +153,8 @@ pub fn run_checkpoint(
             }
         }
     });
+    let movement_done = done;
+    let cp_times = ssd.take_cp_phase_times();
 
     // Data movement is complete; everything after this line (metadata,
     // trim) is bookkeeping, not redundant data writes.
@@ -130,6 +173,7 @@ pub fn run_checkpoint(
         },
     };
     done = done.max(ssd.write(&meta, OobKind::Meta, done)?);
+    let meta_done = done;
 
     // Deallocate the retired journal logs ("used journal data are flushed
     // because they are no longer needed").
@@ -139,19 +183,65 @@ pub fn run_checkpoint(
         done = done.max(ssd.deallocate(zone.base_lba, trim_sectors as u32, done));
     }
 
+    let flash_now = ssd.ftl().flash().counters();
+    let phases = CheckpointPhases {
+        drain_time: drain_done.saturating_duration_since(at),
+        remap: phase_delta(flash_now, &flash_before, OpPhase::CheckpointRemap),
+        remap_time: cp_times.remap,
+        copy: phase_delta(flash_now, &flash_before, OpPhase::CheckpointCopy),
+        copy_time: cp_times.copy + host_copy_time,
+        meta: phase_delta(flash_now, &flash_before, OpPhase::Meta),
+        meta_time: meta_done.saturating_duration_since(movement_done),
+        trim: phase_delta(flash_now, &flash_before, OpPhase::Dealloc),
+        trim_time: done.saturating_duration_since(meta_done),
+        gc: phase_delta(flash_now, &flash_before, OpPhase::Gc),
+        other: phase_delta(flash_now, &flash_before, OpPhase::Run),
+    };
+    let flash_programs = flash_now.get("flash.program") - programs_before;
+    let flash_reads = flash_now.get("flash.read") - reads_before;
+    // Reconciliation invariants: the per-phase attribution was counted
+    // at the flash array independently of the aggregate counters, so any
+    // divergence is an accounting bug, not workload variance.
+    debug_assert_eq!(
+        phases.flash_programs(),
+        flash_programs,
+        "per-phase program attribution must sum to the checkpoint total"
+    );
+    debug_assert_eq!(
+        phases.flash_reads(),
+        flash_reads,
+        "per-phase read attribution must sum to the checkpoint total"
+    );
+    debug_assert_eq!(
+        phases.other.total(),
+        0,
+        "no run-phase flash ops may occur inside a checkpoint window"
+    );
+
+    let remapped = ssd.counters().get("ssd.remap_entries") - remap_before;
+    let copied = ssd.counters().get("ssd.copy_entries") - copy_before + host_copied;
+    let skipped = ssd.counters().get("ssd.cow_skipped_entries") - skipped_before + host_skipped;
+    debug_assert_eq!(
+        remapped + copied + skipped + tombstoned,
+        zone.entries.len() as u64,
+        "every zone entry must be remapped, copied, skipped, or tombstoned"
+    );
+
     Ok(CheckpointOutcome {
         finish: done,
         entries: zone.entries.len() as u64,
-        remapped: ssd.counters().get("ssd.remap_entries") - remap_before,
-        copied: ssd.counters().get("ssd.copy_entries") - copy_before,
+        remapped,
+        copied,
         deleted: tombstoned,
-        flash_programs: ssd.ftl().flash().counters().get("flash.program") - programs_before,
-        flash_reads: ssd.ftl().flash().counters().get("flash.read") - reads_before,
+        flash_programs,
+        flash_reads,
         redundant_units,
         redundant_bytes,
         host_bytes: ssd.counters().get("ssd.host_read_bytes")
             + ssd.counters().get("ssd.host_write_bytes")
             - host_before,
+        skipped,
+        phases,
     })
 }
 
@@ -180,13 +270,17 @@ fn build_entries(layout: &Layout, zone: &RetiringZone) -> Vec<CowEntry> {
 /// Baseline: host reads every journal log back and rewrites it home.
 /// Reads are issued as a batch (bounded by queue depth), then writes, then
 /// metadata — matching Figure 4(a)'s ordering.
+///
+/// Returns `(finish, copied, skipped)`: entries rewritten home vs entries
+/// whose journal payload read back empty (fully superseded).
 fn host_checkpoint(
     ssd: &mut Ssd,
     layout: &Layout,
     zone: &RetiringZone,
     at: SimTime,
-) -> Result<SimTime, SsdError> {
+) -> Result<(SimTime, u64, u64), SsdError> {
     let mut reads_done = at;
+    let mut skipped = 0u64;
     let mut staged = Vec::with_capacity(zone.entries.len());
     for (key, e) in &zone.entries {
         if e.tombstone {
@@ -205,8 +299,11 @@ fn host_checkpoint(
         let version = frags.iter().map(|f| f.version).max().unwrap_or(e.version);
         if bytes > 0 {
             staged.push((*key, version, bytes));
+        } else {
+            skipped += 1;
         }
     }
+    let copied = staged.len() as u64;
     let mut writes_done = reads_done;
     for (key, version, bytes) in staged {
         let sectors = bytes.div_ceil(SECTOR_BYTES).max(1);
@@ -225,7 +322,7 @@ fn host_checkpoint(
         )?;
         writes_done = writes_done.max(t);
     }
-    Ok(writes_done)
+    Ok((writes_done, copied, skipped))
 }
 
 #[cfg(test)]

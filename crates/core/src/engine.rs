@@ -3,7 +3,7 @@
 //! engine also behaves as the conventional baseline).
 
 use checkin_flash::OobKind;
-use checkin_sim::{CounterSet, SimTime};
+use checkin_sim::{CounterSet, SimTime, TraceEvent, TraceLayer, Tracer};
 use checkin_ssd::{ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES};
 
 use crate::checkpoint::{run_checkpoint, CheckpointOutcome};
@@ -103,6 +103,7 @@ pub struct KvEngine {
     loaded: usize,
     checkpoint_seq: u64,
     counters: CounterSet,
+    tracer: Tracer,
 }
 
 /// Committed per-key engine state (one flat-array slot).
@@ -142,7 +143,14 @@ impl KvEngine {
             loaded: 0,
             checkpoint_seq: 0,
             counters: CounterSet::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace sink for engine- and journal-level events
+    /// (queries, journal appends, checkpoint spans).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// State of `key` when it has ever been committed.
@@ -276,6 +284,12 @@ impl KvEngine {
             version, expected,
             "read of key {key} returned stale version (strategy={:?}, from_journal={from_journal}, lba={lba}, sectors={sectors}, frags={frags:?})", self.strategy
         );
+        self.tracer.emit(|| {
+            TraceEvent::new(finish, TraceLayer::Engine, "get")
+                .with("key", key)
+                .with("from_journal", u64::from(from_journal))
+                .with("latency_ns", finish.duration_since(at).as_nanos())
+        });
         Ok(ReadResult {
             version,
             from_journal,
@@ -307,10 +321,25 @@ impl KvEngine {
         }
         let version = current + 1;
         let req = self.journal.append(key, version, value_bytes)?;
+        let sectors = req.sectors;
         let t = ssd.write(&req, OobKind::Journal, at)?;
         self.commit(key, version, value_bytes, false);
         self.counters.incr("engine.updates");
         self.counters.add("engine.update_bytes", value_bytes as u64);
+        // The journal manager has no clock, so the engine emits the
+        // journal-layer event on its behalf at the commit instant.
+        self.tracer.emit(|| {
+            TraceEvent::new(t, TraceLayer::Journal, "append")
+                .with("key", key)
+                .with("version", version)
+                .with("sectors", u64::from(sectors))
+        });
+        self.tracer.emit(|| {
+            TraceEvent::new(t, TraceLayer::Engine, "update")
+                .with("key", key)
+                .with("bytes", u64::from(value_bytes))
+                .with("latency_ns", t.duration_since(at).as_nanos())
+        });
         Ok(t)
     }
 
@@ -383,6 +412,12 @@ impl KvEngine {
             .add("engine.journal_raw_bytes", zone.raw_bytes);
         self.counters
             .add("engine.journal_stored_bytes", zone.stored_bytes);
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Journal, "retire_zone")
+                .with("entries", zone.entries.len() as u64)
+                .with("used_sectors", zone.used_sectors)
+                .with("superseded", zone.superseded)
+        });
         let outcome = run_checkpoint(
             ssd,
             self.strategy,
@@ -393,6 +428,13 @@ impl KvEngine {
         )?;
         self.journal.recycle_zone(zone);
         self.counters.incr("engine.checkpoints");
+        self.tracer.emit(|| {
+            TraceEvent::new(outcome.finish, TraceLayer::Engine, "checkpoint")
+                .with("seq", self.checkpoint_seq)
+                .with("remapped", outcome.remapped)
+                .with("copied", outcome.copied)
+                .with("duration_ns", outcome.finish.duration_since(at).as_nanos())
+        });
         Ok(outcome)
     }
 

@@ -81,14 +81,138 @@ impl FlashStats {
 }
 
 /// One bucket of the latency-over-time series (the paper's Fig. 9 view).
+///
+/// The series is **contiguous**: buckets cover the measured phase from
+/// its start through the bucket containing the last completion, with no
+/// gaps. A bucket in which no query completed has `count == 0` and
+/// `worst == 0` — that is what a checkpoint- or GC-induced stall looks
+/// like (a flat-line, not a missing sample).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimelinePoint {
     /// Bucket start, relative to the measured phase.
     pub at: SimDuration,
-    /// Worst query latency completed in the bucket.
+    /// Worst query latency completed in the bucket (zero when none).
     pub worst: SimDuration,
     /// Queries completed in the bucket.
     pub count: u64,
+}
+
+/// Flash operations attributed to one checkpoint phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseOps {
+    /// Page reads.
+    pub reads: u64,
+    /// Page programs.
+    pub programs: u64,
+    /// Block erases.
+    pub erases: u64,
+}
+
+impl PhaseOps {
+    /// Total flash operations in this phase.
+    pub fn total(&self) -> u64 {
+        self.reads + self.programs + self.erases
+    }
+
+    /// Adds another phase's counts into this one.
+    pub fn accumulate(&mut self, other: &PhaseOps) {
+        self.reads += other.reads;
+        self.programs += other.programs;
+        self.erases += other.erases;
+    }
+}
+
+/// Per-phase breakdown of checkpoint work, following Algorithm 1's
+/// steps: drain (tombstone walk and entry build), remap walk, copy
+/// fallback, metadata persistence, journal trim, and any garbage
+/// collection the checkpoint itself triggered.
+///
+/// Flash-op attribution is exact: the flash array counts every
+/// program/read/erase under the firmware phase active when it was
+/// issued, at the same site as the aggregate counter, so the per-phase
+/// counts here always sum to the aggregate checkpoint totals
+/// ([`RunReport::checkpoint_flash_programs`] /
+/// [`RunReport::checkpoint_flash_reads`]). Durations are wall-clock
+/// spans of each stage on the simulated clock; stages overlap device
+/// resources, so they are a breakdown, not an exact partition of the
+/// checkpoint's duration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointPhases {
+    /// Time draining the retiring zone: applying deletion tombstones
+    /// and building the entry batch (no data movement yet).
+    pub drain_time: SimDuration,
+    /// Flash ops of the ISCE remap walk (mapping updates; normally 0).
+    pub remap: PhaseOps,
+    /// Firmware time spent in the remap walk.
+    pub remap_time: SimDuration,
+    /// Flash ops of the copy fallback (in-storage or host-driven).
+    pub copy: PhaseOps,
+    /// Time spent in the copy fallback.
+    pub copy_time: SimDuration,
+    /// Flash ops persisting metadata (device recovery log + engine
+    /// superblock).
+    pub meta: PhaseOps,
+    /// Time spent persisting metadata.
+    pub meta_time: SimDuration,
+    /// Flash ops of the retired-zone deallocation (normally 0 — trims
+    /// are mapping operations).
+    pub trim: PhaseOps,
+    /// Time spent trimming the retired journal zone.
+    pub trim_time: SimDuration,
+    /// Flash ops of garbage collection triggered inside the checkpoint
+    /// window (foreground GC behind copy or metadata writes).
+    pub gc: PhaseOps,
+    /// Flash ops inside the window not attributed to any phase above.
+    /// Zero by construction; a non-zero value means an accounting bug
+    /// (debug builds assert on it).
+    pub other: PhaseOps,
+}
+
+impl CheckpointPhases {
+    /// Per-phase flash reads, summed.
+    pub fn flash_reads(&self) -> u64 {
+        self.remap.reads
+            + self.copy.reads
+            + self.meta.reads
+            + self.trim.reads
+            + self.gc.reads
+            + self.other.reads
+    }
+
+    /// Per-phase flash programs, summed.
+    pub fn flash_programs(&self) -> u64 {
+        self.remap.programs
+            + self.copy.programs
+            + self.meta.programs
+            + self.trim.programs
+            + self.gc.programs
+            + self.other.programs
+    }
+
+    /// Per-phase flash erases, summed.
+    pub fn flash_erases(&self) -> u64 {
+        self.remap.erases
+            + self.copy.erases
+            + self.meta.erases
+            + self.trim.erases
+            + self.gc.erases
+            + self.other.erases
+    }
+
+    /// Adds another breakdown (one more checkpoint) into this one.
+    pub fn accumulate(&mut self, other: &CheckpointPhases) {
+        self.drain_time += other.drain_time;
+        self.remap.accumulate(&other.remap);
+        self.remap_time += other.remap_time;
+        self.copy.accumulate(&other.copy);
+        self.copy_time += other.copy_time;
+        self.meta.accumulate(&other.meta);
+        self.meta_time += other.meta_time;
+        self.trim.accumulate(&other.trim);
+        self.trim_time += other.trim_time;
+        self.gc.accumulate(&other.gc);
+        self.other.accumulate(&other.other);
+    }
 }
 
 /// Everything measured over one simulated run.
@@ -150,12 +274,15 @@ pub struct RunReport {
     /// Total host-interface bytes moved (journals + checkpoints + meta).
     pub host_io_bytes: u64,
     /// Host I/O amplification: `host_io_bytes / write_query_bytes`
-    /// (Fig. 3a's I/O row).
+    /// (Fig. 3a's I/O row). `NaN` for write-free runs — a read-only
+    /// workload has no write bytes to amplify, so no ratio exists.
     pub io_amplification: f64,
     /// Flash-operation amplification: flash ops per write-query page
-    /// (Fig. 3a's flash row).
+    /// (Fig. 3a's flash row). `NaN` for write-free runs, like
+    /// [`RunReport::io_amplification`].
     pub flash_amplification: f64,
-    /// Write-amplification factor at the FTL.
+    /// Write-amplification factor at the FTL. `NaN` when the device saw
+    /// no host write bytes at all.
     pub waf: f64,
     /// Journal space overhead: stored/raw bytes (Fig. 13b).
     pub journal_space_overhead: f64,
@@ -166,16 +293,24 @@ pub struct RunReport {
     /// `PEC_max` and equal work. Compare across strategies as a ratio;
     /// infinite when the run triggered no erases at all.
     pub lifetime_score: f64,
-    /// Worst-latency-over-time series (fixed-width buckets) — the view
-    /// behind the paper's Fig. 9 plots, where checkpoint windows appear
-    /// as spikes.
+    /// Aggregated per-phase breakdown over every checkpoint in the run
+    /// (sums of each checkpoint's [`CheckpointPhases`]).
+    pub checkpoint_phases: CheckpointPhases,
+    /// Worst-latency-over-time series (fixed-width, contiguous buckets;
+    /// see [`TimelinePoint`]) — the view behind the paper's Fig. 9
+    /// plots, where checkpoint windows appear as spikes and stalls as
+    /// zero-count flat-lines.
     pub timeline: Vec<TimelinePoint>,
 }
 
 impl RunReport {
     /// Lifetime of this run relative to `baseline` (Equation 1 ratio).
-    /// Returns `NaN` when neither run wore the flash (no erases).
+    /// Returns `NaN` when either run wore the flash not at all (its
+    /// score is infinite) — no finite ratio exists in that case.
     pub fn lifetime_vs(&self, baseline: &RunReport) -> f64 {
+        if !self.lifetime_score.is_finite() || !baseline.lifetime_score.is_finite() {
+            return f64::NAN;
+        }
         self.lifetime_score / baseline.lifetime_score
     }
 
@@ -185,14 +320,19 @@ impl RunReport {
          checkpoints,cp_mean_us,cp_entries,remapped,copied,redundant_bytes,\
          flash_reads,flash_programs,flash_erases,gc,invalid_units,\
          media_retries,blocks_retired,\
-         io_amp,flash_amp,waf,space_overhead,lifetime"
+         io_amp,flash_amp,waf,space_overhead,lifetime,\
+         cp_drain_us,cp_remap_us,cp_copy_us,cp_meta_us,cp_trim_us,\
+         cp_copy_programs,cp_gc_programs"
     }
 
     /// Serialises the report as one CSV row matching
-    /// [`RunReport::csv_header`] (machine-readable sweeps).
+    /// [`RunReport::csv_header`] (machine-readable sweeps). Non-finite
+    /// ratio metrics (e.g. amplification of a write-free run, lifetime
+    /// of an erase-free run) serialise as an **empty field** so
+    /// downstream parsers never see `inf`/`NaN` tokens.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.0},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            "{},{},{},{:.0},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
             self.strategy.label(),
             self.threads,
             self.ops,
@@ -216,12 +356,39 @@ impl RunReport {
             self.flash.invalid_units,
             self.flash.media_retries,
             self.flash.blocks_retired,
-            self.io_amplification,
-            self.flash_amplification,
-            self.waf,
-            self.journal_space_overhead,
-            self.lifetime_score,
+            csv_metric(self.io_amplification),
+            csv_metric(self.flash_amplification),
+            csv_metric(self.waf),
+            csv_metric(self.journal_space_overhead),
+            csv_metric(self.lifetime_score),
+            self.checkpoint_phases.drain_time.as_micros_f64(),
+            self.checkpoint_phases.remap_time.as_micros_f64(),
+            self.checkpoint_phases.copy_time.as_micros_f64(),
+            self.checkpoint_phases.meta_time.as_micros_f64(),
+            self.checkpoint_phases.trim_time.as_micros_f64(),
+            self.checkpoint_phases.copy.programs,
+            self.checkpoint_phases.gc.programs,
         )
+    }
+}
+
+/// Formats a ratio metric for CSV: fixed precision when finite, an
+/// empty field otherwise (never `inf`/`NaN` tokens).
+fn csv_metric(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        String::new()
+    }
+}
+
+/// Formats a ratio metric for human-readable output: `n/a` when no
+/// finite value exists (write-free or erase-free runs).
+fn display_metric(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "n/a".to_string()
     }
 }
 
@@ -246,14 +413,23 @@ impl std::fmt::Display for RunReport {
         )?;
         writeln!(
             f,
-            "  flash         r {} / p {} / e {} (cp programs {}), gc {}, waf {:.2}",
+            "  flash         r {} / p {} / e {} (cp programs {}), gc {}, waf {}",
             self.flash.reads,
             self.flash.programs,
             self.flash.erases,
             self.checkpoint_flash_programs,
             self.flash.gc_invocations,
-            self.waf
+            display_metric(self.waf, 2)
         )?;
+        if self.checkpoints > 0 {
+            let p = &self.checkpoint_phases;
+            writeln!(
+                f,
+                "  cp phases     drain {} remap {} copy {} meta {} trim {}; programs copy {} / meta {} / gc {}",
+                p.drain_time, p.remap_time, p.copy_time, p.meta_time, p.trim_time,
+                p.copy.programs, p.meta.programs, p.gc.programs
+            )?;
+        }
         if self.flash.transient_faults + self.flash.grown_bad_blocks + self.flash.blocks_retired > 0
         {
             writeln!(
@@ -267,11 +443,11 @@ impl std::fmt::Display for RunReport {
         }
         write!(
             f,
-            "  amplification io {:.2}x flash {:.2}x, space {:.2}x, lifetime score {:.3}",
-            self.io_amplification,
-            self.flash_amplification,
-            self.journal_space_overhead,
-            self.lifetime_score
+            "  amplification io {}x flash {}x, space {}x, lifetime score {}",
+            display_metric(self.io_amplification, 2),
+            display_metric(self.flash_amplification, 2),
+            display_metric(self.journal_space_overhead, 2),
+            display_metric(self.lifetime_score, 3)
         )
     }
 }
@@ -315,6 +491,59 @@ mod tests {
         let row_cols = report.to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
         assert!(report.to_csv_row().starts_with("Check-In,4,200,"));
+    }
+
+    #[test]
+    fn non_finite_metrics_serialize_safely() {
+        let mut config = crate::SystemConfig::for_strategy(crate::Strategy::CheckIn);
+        config.total_queries = 200;
+        config.threads = 4;
+        config.workload.record_count = 100;
+        let mut report = crate::KvSystem::new(config).unwrap().run().unwrap();
+        report.io_amplification = f64::NAN;
+        report.flash_amplification = f64::INFINITY;
+        report.waf = f64::NEG_INFINITY;
+        report.lifetime_score = f64::INFINITY;
+
+        let row = report.to_csv_row();
+        assert!(!row.contains("inf"), "row leaks inf: {row}");
+        assert!(!row.contains("NaN"), "row leaks NaN: {row}");
+        // Non-finite fields are empty, and the arity still matches.
+        assert_eq!(
+            row.split(',').count(),
+            RunReport::csv_header().split(',').count()
+        );
+        let cols: Vec<&str> = row.split(',').collect();
+        let header: Vec<&str> = RunReport::csv_header().split(',').collect();
+        for name in ["io_amp", "flash_amp", "waf", "lifetime"] {
+            let idx = header.iter().position(|h| h.trim() == name).unwrap();
+            assert_eq!(cols[idx], "", "{name} should serialize empty");
+        }
+
+        let text = report.to_string();
+        assert!(text.contains("n/a"), "display should show n/a: {text}");
+        assert!(!text.contains("inf"), "display leaks inf: {text}");
+    }
+
+    #[test]
+    fn lifetime_vs_never_returns_inf() {
+        let mut config = crate::SystemConfig::for_strategy(crate::Strategy::CheckIn);
+        config.total_queries = 200;
+        config.threads = 4;
+        config.workload.record_count = 100;
+        let mut a = crate::KvSystem::new(config).unwrap().run().unwrap();
+        let mut b = a.clone();
+        // An erase-free run has an infinite score; a ratio against a
+        // worn run must not leak that infinity.
+        a.lifetime_score = f64::INFINITY;
+        b.lifetime_score = 2.0;
+        assert!(a.lifetime_vs(&b).is_nan());
+        assert!(b.lifetime_vs(&a).is_nan());
+        assert!(a.lifetime_vs(&a).is_nan());
+        b.lifetime_score = 4.0;
+        let mut c = b.clone();
+        c.lifetime_score = 2.0;
+        assert!((b.lifetime_vs(&c) - 2.0).abs() < 1e-12);
     }
 
     #[test]

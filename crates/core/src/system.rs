@@ -8,19 +8,80 @@
 //! while it drains queue behind it — the interference the paper measures
 //! in Figures 3(c) and 9.
 
-use checkin_sim::{EventQueue, LatencyRecorder, ResourcePool, SimDuration, SimRng, SimTime};
+use checkin_sim::{
+    EventQueue, LatencyRecorder, ResourcePool, SimDuration, SimRng, SimTime, Tracer,
+};
 use checkin_ssd::Ssd;
 use checkin_workload::{OpGenerator, Operation};
 
+use crate::checkpoint::CheckpointOutcome;
 use crate::config::SystemConfig;
 use crate::engine::{EngineError, KvEngine};
 use crate::layout::Layout;
-use crate::metrics::{FlashStats, LatencyStats, RunReport, TimelinePoint};
+use crate::metrics::{CheckpointPhases, FlashStats, LatencyStats, RunReport, TimelinePoint};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Client(u32),
     CheckpointTick,
+}
+
+/// Accumulates checkpoint outcomes across every trigger path (periodic
+/// tick, journal-size trigger, and forced journal-full checkpoints inside
+/// an update retry), so no checkpoint's work escapes the report.
+#[derive(Debug)]
+struct CpAccum {
+    count: u64,
+    entries: u64,
+    remapped: u64,
+    copied: u64,
+    programs: u64,
+    reads: u64,
+    redundant_units: u64,
+    redundant_bytes: u64,
+    durations: LatencyRecorder,
+    phases: CheckpointPhases,
+}
+
+impl CpAccum {
+    fn new() -> Self {
+        CpAccum {
+            count: 0,
+            entries: 0,
+            remapped: 0,
+            copied: 0,
+            programs: 0,
+            reads: 0,
+            redundant_units: 0,
+            redundant_bytes: 0,
+            durations: LatencyRecorder::new(),
+            phases: CheckpointPhases::default(),
+        }
+    }
+
+    fn absorb(&mut self, out: &CheckpointOutcome, started: SimTime) {
+        self.count += 1;
+        self.entries += out.entries;
+        self.remapped += out.remapped;
+        self.copied += out.copied;
+        self.programs += out.flash_programs;
+        self.reads += out.flash_reads;
+        self.redundant_units += out.redundant_units;
+        self.redundant_bytes += out.redundant_bytes;
+        self.durations.record(out.finish.duration_since(started));
+        self.phases.accumulate(&out.phases);
+    }
+}
+
+/// `num / den`, or NaN when `den` is zero — a run with no writes has no
+/// meaningful amplification, and fabricating a denominator would report
+/// a finite but false ratio.
+fn ratio_or_nan(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        f64::NAN
+    }
 }
 
 /// The assembled system: engine + device + clients.
@@ -128,6 +189,15 @@ impl KvSystem {
         (&mut self.engine, &mut self.ssd)
     }
 
+    /// Installs a trace sink across every layer of the stack: engine,
+    /// journal manager, SSD command queue, ISCE, FTL, and flash array
+    /// all emit into the same ring. Pass [`Tracer::disabled`] (the
+    /// default) for zero-overhead operation.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer.clone());
+        self.ssd.set_tracer(tracer);
+    }
+
     /// Loads all records, runs the configured number of queries, and
     /// reports.
     ///
@@ -180,16 +250,8 @@ impl KvSystem {
         let mut lat_write = LatencyRecorder::new();
         let mut lat_read_cp = LatencyRecorder::new();
         let mut lat_write_cp = LatencyRecorder::new();
-        let mut cp_durations = LatencyRecorder::new();
         let mut cp_active_until = SimTime::ZERO;
-        let mut cp_count = 0u64;
-        let mut cp_entries = 0u64;
-        let mut cp_remapped = 0u64;
-        let mut cp_copied = 0u64;
-        let mut cp_programs = 0u64;
-        let mut cp_reads = 0u64;
-        let mut cp_redundant_units = 0u64;
-        let mut cp_redundant_bytes = 0u64;
+        let mut cp = CpAccum::new();
         // Worst-latency-over-time buckets (20 ms wide).
         let bucket_width = SimDuration::from_millis(20);
         let mut timeline: Vec<TimelinePoint> = Vec::new();
@@ -203,15 +265,7 @@ impl KvSystem {
                     if now >= cp_active_until && !self.engine.journal().jmt().is_empty() {
                         let out = self.engine.checkpoint(&mut self.ssd, now)?;
                         cp_active_until = out.finish;
-                        cp_count += 1;
-                        cp_entries += out.entries;
-                        cp_durations.record(out.finish.duration_since(now));
-                        cp_remapped += out.remapped;
-                        cp_copied += out.copied;
-                        cp_programs += out.flash_programs;
-                        cp_reads += out.flash_reads;
-                        cp_redundant_units += out.redundant_units;
-                        cp_redundant_bytes += out.redundant_bytes;
+                        cp.absorb(&out, now);
                         let (_, gc_done) = self
                             .ssd
                             .background_gc(out.finish, self.config.background_gc_rounds)
@@ -231,7 +285,7 @@ impl KvSystem {
                     let during_cp = now < cp_active_until;
                     let op = self.generators[thread as usize].next_op();
                     let cpu = host.schedule(now, self.config.host_cpu_per_op).1;
-                    let finish = self.execute_op(op, cpu.finish, &mut events)?;
+                    let finish = self.execute_op(op, cpu.finish, &mut cp)?;
                     let latency = finish.duration_since(now);
                     lat_all.record(latency);
                     match op {
@@ -276,15 +330,7 @@ impl KvSystem {
                     {
                         let out = self.engine.checkpoint(&mut self.ssd, finish)?;
                         cp_active_until = out.finish;
-                        cp_count += 1;
-                        cp_entries += out.entries;
-                        cp_durations.record(out.finish.duration_since(finish));
-                        cp_remapped += out.remapped;
-                        cp_copied += out.copied;
-                        cp_programs += out.flash_programs;
-                        cp_reads += out.flash_reads;
-                        cp_redundant_units += out.redundant_units;
-                        cp_redundant_bytes += out.redundant_bytes;
+                        cp.absorb(&out, finish);
                         let (_, gc_done) = self
                             .ssd
                             .background_gc(out.finish, self.config.background_gc_rounds)
@@ -300,6 +346,23 @@ impl KvSystem {
 
         // ---- Report ---------------------------------------------------
         let elapsed = last_finish.duration_since(start);
+        // Extend the timeline through the bucket containing the last
+        // completion (including post-checkpoint GC): a stall at the end
+        // of the run must appear as trailing zero-count buckets, not as
+        // a series that simply stops early.
+        if completed > 0 {
+            let final_bucket = (elapsed.as_nanos() / bucket_width.as_nanos().max(1)) as usize;
+            if timeline.len() <= final_bucket {
+                timeline.resize(
+                    final_bucket + 1,
+                    TimelinePoint {
+                        at: SimDuration::ZERO,
+                        worst: SimDuration::ZERO,
+                        count: 0,
+                    },
+                );
+            }
+        }
         let flash1 = self.ssd.ftl().flash().counters().clone();
         let ftl1 = self.ssd.ftl().counters().clone();
         let ssd1 = self.ssd.counters().clone();
@@ -310,7 +373,7 @@ impl KvSystem {
         let edelta = engine1.delta_since(&engine0);
 
         let page_bytes = self.config.geometry.page_bytes as u64;
-        let write_query_bytes = edelta.get("engine.update_bytes").max(1);
+        let write_query_bytes = edelta.get("engine.update_bytes");
         let host_io_bytes = sdelta.get("ssd.host_read_bytes") + sdelta.get("ssd.host_write_bytes");
         let flash = FlashStats {
             reads: fdelta.get("flash.read"),
@@ -349,23 +412,29 @@ impl KvSystem {
             latency_write: LatencyStats::from_recorder(&lat_write),
             latency_read_during_cp: LatencyStats::from_recorder(&lat_read_cp),
             latency_write_during_cp: LatencyStats::from_recorder(&lat_write_cp),
-            checkpoints: cp_count,
-            checkpoint_entries: cp_entries,
-            checkpoint_mean: cp_durations.mean(),
-            checkpoint_max: cp_durations.max(),
-            remapped_entries: cp_remapped,
-            copied_entries: cp_copied,
-            checkpoint_flash_programs: cp_programs,
-            checkpoint_flash_reads: cp_reads,
-            redundant_write_units: cp_redundant_units,
-            redundant_write_bytes: cp_redundant_bytes,
+            checkpoints: cp.count,
+            checkpoint_entries: cp.entries,
+            checkpoint_mean: cp.durations.mean(),
+            checkpoint_max: cp.durations.max(),
+            remapped_entries: cp.remapped,
+            copied_entries: cp.copied,
+            checkpoint_flash_programs: cp.programs,
+            checkpoint_flash_reads: cp.reads,
+            redundant_write_units: cp.redundant_units,
+            redundant_write_bytes: cp.redundant_bytes,
+            checkpoint_phases: cp.phases,
             flash,
             write_query_bytes,
             host_io_bytes,
-            io_amplification: host_io_bytes as f64 / write_query_bytes as f64,
-            flash_amplification: (flash.total_ops() * page_bytes) as f64 / write_query_bytes as f64,
-            waf: (flash.programs * page_bytes) as f64
-                / sdelta.get("ssd.host_write_bytes").max(1) as f64,
+            io_amplification: ratio_or_nan(host_io_bytes as f64, write_query_bytes as f64),
+            flash_amplification: ratio_or_nan(
+                (flash.total_ops() * page_bytes) as f64,
+                write_query_bytes as f64,
+            ),
+            waf: ratio_or_nan(
+                (flash.programs * page_bytes) as f64,
+                sdelta.get("ssd.host_write_bytes") as f64,
+            ),
             journal_space_overhead: if raw == 0 {
                 1.0
             } else {
@@ -393,29 +462,33 @@ impl KvSystem {
         &mut self,
         op: Operation,
         at: SimTime,
-        _events: &mut EventQueue<Event>,
+        cp: &mut CpAccum,
     ) -> Result<SimTime, EngineError> {
         match op {
             Operation::Read { key } => Ok(self.engine.get(&mut self.ssd, key, at)?.finish),
-            Operation::Update { key, bytes } => self.update_with_retry(key, bytes, at),
+            Operation::Update { key, bytes } => self.update_with_retry(key, bytes, at, cp),
             Operation::ReadModifyWrite { key, bytes } => {
                 let read = self.engine.get(&mut self.ssd, key, at)?;
-                self.update_with_retry(key, bytes, read.finish)
+                self.update_with_retry(key, bytes, read.finish, cp)
             }
         }
     }
 
-    /// Update, forcing a checkpoint when the journal zone fills.
+    /// Update, forcing a checkpoint when the journal zone fills. The
+    /// forced checkpoint's outcome is absorbed into `cp` like any other
+    /// trigger path — previously its work vanished from the report.
     fn update_with_retry(
         &mut self,
         key: u64,
         bytes: u32,
         at: SimTime,
+        cp: &mut CpAccum,
     ) -> Result<SimTime, EngineError> {
         match self.engine.update(&mut self.ssd, key, bytes, at) {
             Ok(t) => Ok(t),
             Err(EngineError::JournalFull) => {
                 let out = self.engine.checkpoint(&mut self.ssd, at)?;
+                cp.absorb(&out, at);
                 self.engine.update(&mut self.ssd, key, bytes, out.finish)
             }
             Err(e) => Err(e),

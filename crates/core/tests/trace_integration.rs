@@ -1,0 +1,183 @@
+//! Cross-layer tracing and metrics-accounting integration tests.
+//!
+//! These exercise the observability subsystem end to end (engine →
+//! journal → queue → ISCE → FTL → flash) and pin the accounting fixes:
+//! quota-remainder distribution, NaN amplification on read-only runs,
+//! per-phase checkpoint attribution, and timeline contiguity.
+
+use checkin_core::{KvSystem, RunReport, Strategy, SystemConfig};
+use checkin_flash::FlashGeometry;
+use checkin_sim::{SimDuration, TraceLayer, Tracer};
+use checkin_workload::OpMix;
+
+fn quick_config(strategy: Strategy) -> SystemConfig {
+    let mut c = SystemConfig::for_strategy(strategy);
+    c.total_queries = 3_000;
+    c.threads = 8;
+    c.workload.record_count = 400;
+    c.journal_trigger_sectors = 1_024;
+    c.geometry = FlashGeometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 64,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    };
+    c.gc_threshold_blocks = 4;
+    c.gc_soft_threshold_blocks = 16;
+    c
+}
+
+#[test]
+fn traced_run_covers_all_six_layers() {
+    let mut system = KvSystem::new(quick_config(Strategy::CheckIn)).unwrap();
+    let tracer = Tracer::ring_buffered(200_000);
+    system.set_tracer(tracer.clone());
+    let report = system.run().unwrap();
+    assert!(report.checkpoints > 0, "run must checkpoint to cover ISCE");
+
+    let events = tracer.drain();
+    assert!(!events.is_empty());
+    for layer in TraceLayer::all() {
+        assert!(
+            events.iter().any(|e| e.layer == layer),
+            "no event from layer {:?}",
+            layer
+        );
+    }
+    // Sequence numbers are strictly increasing in drain order (single
+    // ring, stamped at push).
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    // Every event renders as a well-formed JSON object line.
+    for e in events.iter().take(500) {
+        let line = e.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"layer\":"), "{line}");
+    }
+}
+
+#[test]
+fn disabled_tracer_emits_nothing_and_changes_nothing() {
+    let with_tracer = {
+        let mut system = KvSystem::new(quick_config(Strategy::IscB)).unwrap();
+        system.set_tracer(Tracer::ring_buffered(100_000));
+        system.run().unwrap()
+    };
+    let without = KvSystem::new(quick_config(Strategy::IscB))
+        .unwrap()
+        .run()
+        .unwrap();
+    // Tracing must be observer-only: identical simulated results.
+    assert_eq!(with_tracer.elapsed, without.elapsed);
+    assert_eq!(with_tracer.flash.programs, without.flash.programs);
+    assert_eq!(with_tracer.checkpoints, without.checkpoints);
+
+    let tracer = Tracer::disabled();
+    assert!(!tracer.is_enabled());
+    assert!(tracer.drain().is_empty());
+}
+
+#[test]
+fn phase_attribution_reconciles_for_every_strategy() {
+    for strategy in Strategy::all() {
+        let report = KvSystem::new(quick_config(strategy))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.checkpoints > 0, "{strategy}");
+        let p = &report.checkpoint_phases;
+        assert_eq!(
+            p.flash_programs(),
+            report.checkpoint_flash_programs,
+            "{strategy}: per-phase programs must sum to the aggregate"
+        );
+        assert_eq!(
+            p.flash_reads(),
+            report.checkpoint_flash_reads,
+            "{strategy}: per-phase reads must sum to the aggregate"
+        );
+        assert_eq!(
+            p.other.total(),
+            0,
+            "{strategy}: no checkpoint flash op may be unattributed"
+        );
+        // Data movement happened somewhere: remap, copy, or meta.
+        assert!(
+            p.remap.programs + p.copy.programs + p.meta.programs > 0,
+            "{strategy}"
+        );
+        // Remapping strategies do their movement in the remap phase.
+        if matches!(strategy, Strategy::IscC | Strategy::CheckIn) {
+            assert!(report.remapped_entries > 0, "{strategy}");
+        }
+    }
+}
+
+#[test]
+fn quota_remainder_is_not_lost() {
+    // 1001 queries over 8 threads: 125 each plus a remainder of 1. The
+    // report must account for every requested query.
+    let mut c = quick_config(Strategy::CheckIn);
+    c.total_queries = 1_001;
+    c.threads = 8;
+    let report = KvSystem::new(c).unwrap().run().unwrap();
+    assert_eq!(report.ops, 1_001);
+    let counted: u64 = report.timeline.iter().map(|p| p.count).sum();
+    assert_eq!(counted, 1_001, "timeline buckets must cover every query");
+}
+
+#[test]
+fn read_only_run_reports_nan_amplification_not_fabricated_ratios() {
+    let mut c = quick_config(Strategy::CheckIn);
+    c.workload.mix = OpMix::C; // 100% reads
+    c.total_queries = 1_000;
+    let report = KvSystem::new(c).unwrap().run().unwrap();
+    assert_eq!(report.write_query_bytes, 0);
+    assert!(
+        report.io_amplification.is_nan(),
+        "no writes -> amplification undefined, got {}",
+        report.io_amplification
+    );
+    assert!(report.flash_amplification.is_nan());
+    assert!(report.waf.is_nan());
+
+    // Serialized forms stay well-formed: empty CSV fields, "n/a" display.
+    let row = report.to_csv_row();
+    assert_eq!(
+        row.split(',').count(),
+        RunReport::csv_header().split(',').count()
+    );
+    assert!(!row.contains("NaN") && !row.contains("inf"), "{row}");
+    let text = report.to_string();
+    assert!(text.contains("n/a"), "{text}");
+}
+
+#[test]
+fn timeline_is_contiguous_with_flat_line_stalls() {
+    let mut c = quick_config(Strategy::Baseline);
+    c.lock_queries_during_checkpoint = true;
+    c.threads = 2;
+    let report = KvSystem::new(c).unwrap().run().unwrap();
+    assert!(report.checkpoints > 0);
+
+    let bucket = SimDuration::from_millis(20);
+    assert!(!report.timeline.is_empty());
+    // Contiguous: bucket i starts exactly at i * width — no gaps.
+    for (i, p) in report.timeline.iter().enumerate() {
+        assert_eq!(p.at, bucket * i as u64, "bucket {i} misplaced");
+        if p.count == 0 {
+            assert_eq!(p.worst, SimDuration::ZERO);
+        }
+    }
+    // The series covers the whole measured window, including any
+    // trailing checkpoint/GC tail with no completions.
+    let covered = bucket * report.timeline.len() as u64;
+    assert!(
+        covered >= report.elapsed,
+        "timeline ({covered:?}) must reach elapsed ({:?})",
+        report.elapsed
+    );
+    let counted: u64 = report.timeline.iter().map(|p| p.count).sum();
+    assert_eq!(counted, report.ops);
+}

@@ -1,11 +1,12 @@
 //! The NAND flash array: state, rule enforcement, and operation timing.
 
-use checkin_sim::{CounterSet, Resource, SimTime, Window};
+use checkin_sim::{CounterSet, Resource, SimTime, TraceEvent, TraceLayer, Tracer, Window};
 
 use crate::content::PageContent;
 use crate::error::FlashError;
 use crate::fault::{FaultOp, FaultPhase, FaultPlan, TickOutcome};
 use crate::geometry::{BlockId, FlashGeometry, Ppn};
+use crate::phase::OpPhase;
 use crate::timing::FlashTiming;
 
 /// Lifecycle of a physical page.
@@ -72,6 +73,13 @@ pub struct FlashArray {
     faults: Option<FaultPlan>,
     /// Firmware activity label for fault-trace targeting.
     fault_phase: FaultPhase,
+    /// Firmware activity label for per-phase op attribution: every
+    /// program/read/erase is counted under both the plain total and the
+    /// current phase's key at the same site, so phase keys always sum
+    /// to the totals.
+    op_phase: OpPhase,
+    /// Structured trace sink (no-op unless enabled).
+    tracer: Tracer,
     /// True after a power cut (scheduled or manual): every timed
     /// operation fails with [`FlashError::PowerLoss`] until
     /// [`FlashArray::power_on`].
@@ -110,6 +118,8 @@ impl FlashArray {
             pe_cycle_limit: None,
             faults: None,
             fault_phase: FaultPhase::Normal,
+            op_phase: OpPhase::Run,
+            tracer: Tracer::disabled(),
             powered_off: false,
             bad_blocks: vec![false; geometry.total_blocks() as usize],
         }
@@ -137,6 +147,25 @@ impl FlashArray {
     /// tick and returns the previous one (so callers can nest/restore).
     pub fn set_fault_phase(&mut self, phase: FaultPhase) -> FaultPhase {
         std::mem::replace(&mut self.fault_phase, phase)
+    }
+
+    /// Sets the firmware activity label under which subsequent flash
+    /// operations are attributed and returns the previous one (so
+    /// callers can nest/restore, e.g. GC triggered inside a checkpoint
+    /// copy).
+    pub fn set_op_phase(&mut self, phase: OpPhase) -> OpPhase {
+        std::mem::replace(&mut self.op_phase, phase)
+    }
+
+    /// The current op-attribution phase.
+    pub fn op_phase(&self) -> OpPhase {
+        self.op_phase
+    }
+
+    /// Installs a trace sink; pass [`Tracer::disabled`] to turn tracing
+    /// off again.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// True after a power cut; timed operations fail until
@@ -277,6 +306,13 @@ impl FlashArray {
             self.timing.transfer_time(self.geometry.page_bytes as u64),
         );
         self.counters.incr("flash.read");
+        self.counters.incr(self.op_phase.read_key());
+        let phase = self.op_phase;
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Flash, "read")
+                .tag(phase.label())
+                .with("ppn", ppn.0)
+        });
         Ok(Window {
             start: array.start,
             finish: xfer.finish,
@@ -343,6 +379,14 @@ impl FlashArray {
         let array = self.dies[die].schedule(xfer.finish, self.timing.t_program);
         self.store[ppn.0 as usize] = Some(content);
         self.counters.incr("flash.program");
+        self.counters.incr(self.op_phase.program_key());
+        let phase = self.op_phase;
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Flash, "program")
+                .tag(phase.label())
+                .with("ppn", ppn.0)
+                .with("block", block.0)
+        });
         Ok(Window {
             start: xfer.start,
             finish: array.finish,
@@ -384,6 +428,14 @@ impl FlashArray {
         let die = self.geometry.die_of_block(block) as usize;
         let window = self.dies[die].schedule(at, self.timing.t_erase);
         self.counters.incr("flash.erase");
+        self.counters.incr(self.op_phase.erase_key());
+        let phase = self.op_phase;
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Flash, "erase")
+                .tag(phase.label())
+                .with("block", block.0)
+                .with("pe_count", erase_count)
+        });
         self.total_erases += 1;
         self.max_erase = self.max_erase.max(erase_count);
         Ok(window)
@@ -691,6 +743,53 @@ mod tests {
         );
         f.power_on();
         f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn phase_attribution_sums_to_totals() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        let prev = f.set_op_phase(OpPhase::CheckpointCopy);
+        assert_eq!(prev, OpPhase::Run);
+        f.schedule_read(Ppn(0), SimTime::ZERO).unwrap();
+        f.program(Ppn(1), page_with(2, 1), SimTime::ZERO).unwrap();
+        // Nested phase change (GC inside a copy) restores cleanly.
+        let prev = f.set_op_phase(OpPhase::Gc);
+        assert_eq!(prev, OpPhase::CheckpointCopy);
+        f.erase(BlockId(1), SimTime::ZERO).unwrap();
+        f.set_op_phase(prev);
+        f.set_op_phase(OpPhase::Run);
+        f.program(Ppn(2), page_with(3, 1), SimTime::ZERO).unwrap();
+
+        let c = f.counters();
+        for (total, key_of) in [
+            (
+                "flash.program",
+                OpPhase::program_key as fn(OpPhase) -> &'static str,
+            ),
+            ("flash.read", OpPhase::read_key),
+            ("flash.erase", OpPhase::erase_key),
+        ] {
+            let by_phase: u64 = OpPhase::ALL.iter().map(|&p| c.get(key_of(p))).sum();
+            assert_eq!(by_phase, c.get(total), "{total} attribution mismatch");
+        }
+        assert_eq!(c.get("flash.program.run"), 2);
+        assert_eq!(c.get("flash.program.cp_copy"), 1);
+        assert_eq!(c.get("flash.read.cp_copy"), 1);
+        assert_eq!(c.get("flash.erase.gc"), 1);
+    }
+
+    #[test]
+    fn traced_array_emits_flash_events() {
+        use checkin_sim::Tracer;
+        let mut f = array();
+        let t = Tracer::ring_buffered(16);
+        f.set_tracer(t.clone());
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        f.schedule_read(Ppn(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        let ops: Vec<&str> = t.drain().iter().map(|e| e.op).collect();
+        assert_eq!(ops, vec!["program", "read", "erase"]);
     }
 
     #[test]

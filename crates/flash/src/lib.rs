@@ -37,6 +37,7 @@ mod content;
 mod error;
 mod fault;
 mod geometry;
+mod phase;
 mod timing;
 
 pub use array::FlashArray;
@@ -44,4 +45,5 @@ pub use content::{Fragment, OobEntry, OobKind, PageContent, UnitPayload};
 pub use error::{ErrorClass, FlashError};
 pub use fault::{FaultConfig, FaultOp, FaultPhase, FaultPlan};
 pub use geometry::{BlockId, FlashGeometry, Ppa, Ppn};
+pub use phase::OpPhase;
 pub use timing::FlashTiming;

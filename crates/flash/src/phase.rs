@@ -1,0 +1,92 @@
+//! Firmware-activity attribution for flash operations.
+//!
+//! Layers above the array label what the firmware is currently doing
+//! with an [`OpPhase`]; the array then counts every program/read/erase
+//! under both the plain total (`flash.program`, …) and a per-phase key
+//! (`flash.program.cp_copy`, …) **at the same increment site**. Because
+//! the two increments are inseparable, the per-phase keys always sum to
+//! the totals over any counter-snapshot window — this is the invariant
+//! the checkpoint phase breakdown and its reconciliation tests rely on.
+
+/// What the firmware is doing while it issues flash operations.
+///
+/// Set via [`FlashArray::set_op_phase`](crate::FlashArray::set_op_phase),
+/// which returns the previous phase so callers can nest and restore
+/// (e.g. a foreground GC triggered inside a checkpoint copy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpPhase {
+    /// Normal foreground work: host writes, reads, buffer page-out.
+    #[default]
+    Run,
+    /// Checkpoint remap walk (ISCE mapping-table updates).
+    CheckpointRemap,
+    /// Checkpoint copy fallback (read-merge-write of sub-unit entries),
+    /// including the host-driven copy path of the Baseline strategy.
+    CheckpointCopy,
+    /// Metadata persistence: mapping-log pages and meta superblocks.
+    Meta,
+    /// Host or checkpoint deallocation (tombstones, journal trim).
+    Dealloc,
+    /// Garbage collection and wear-leveling migration.
+    Gc,
+}
+
+impl OpPhase {
+    /// Every phase, in a stable order (for reports and reconciliation).
+    pub const ALL: [OpPhase; 6] = [
+        OpPhase::Run,
+        OpPhase::CheckpointRemap,
+        OpPhase::CheckpointCopy,
+        OpPhase::Meta,
+        OpPhase::Dealloc,
+        OpPhase::Gc,
+    ];
+
+    /// Stable lowercase label (used in trace output and counter keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpPhase::Run => "run",
+            OpPhase::CheckpointRemap => "cp_remap",
+            OpPhase::CheckpointCopy => "cp_copy",
+            OpPhase::Meta => "meta",
+            OpPhase::Dealloc => "dealloc",
+            OpPhase::Gc => "gc",
+        }
+    }
+
+    /// Counter key for reads attributed to this phase.
+    pub fn read_key(self) -> &'static str {
+        match self {
+            OpPhase::Run => "flash.read.run",
+            OpPhase::CheckpointRemap => "flash.read.cp_remap",
+            OpPhase::CheckpointCopy => "flash.read.cp_copy",
+            OpPhase::Meta => "flash.read.meta",
+            OpPhase::Dealloc => "flash.read.dealloc",
+            OpPhase::Gc => "flash.read.gc",
+        }
+    }
+
+    /// Counter key for programs attributed to this phase.
+    pub fn program_key(self) -> &'static str {
+        match self {
+            OpPhase::Run => "flash.program.run",
+            OpPhase::CheckpointRemap => "flash.program.cp_remap",
+            OpPhase::CheckpointCopy => "flash.program.cp_copy",
+            OpPhase::Meta => "flash.program.meta",
+            OpPhase::Dealloc => "flash.program.dealloc",
+            OpPhase::Gc => "flash.program.gc",
+        }
+    }
+
+    /// Counter key for erases attributed to this phase.
+    pub fn erase_key(self) -> &'static str {
+        match self {
+            OpPhase::Run => "flash.erase.run",
+            OpPhase::CheckpointRemap => "flash.erase.cp_remap",
+            OpPhase::CheckpointCopy => "flash.erase.cp_copy",
+            OpPhase::Meta => "flash.erase.meta",
+            OpPhase::Dealloc => "flash.erase.dealloc",
+            OpPhase::Gc => "flash.erase.gc",
+        }
+    }
+}

@@ -16,16 +16,51 @@
 use std::collections::{HashMap, VecDeque};
 
 use checkin_flash::{
-    BlockId, ErrorClass, FaultPhase, FlashArray, FlashError, OobEntry, OobKind, PageContent, Ppn,
-    UnitPayload,
+    BlockId, ErrorClass, FaultPhase, FlashArray, FlashError, OobEntry, OobKind, OpPhase,
+    PageContent, Ppn, UnitPayload,
 };
-use checkin_sim::{CounterSet, SimTime, Window};
+use checkin_sim::{CounterSet, SimTime, TraceEvent, TraceLayer, Tracer, Window};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
 use crate::location::{BufSlot, Location, Lpn, Pun};
 use crate::map_cache::MapCacheModel;
 use crate::mapping::{MappingTable, Unlink};
+
+/// Why a garbage-collection round was started. Each invocation is
+/// counted under a per-trigger key and recorded in the trace, which is
+/// what makes GC cost attributable (foreground GC stalls host writes;
+/// background and wear-leveling rounds run in idle windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcTrigger {
+    /// Free-block headroom ran out during allocation; the host write
+    /// path is stalled behind this round.
+    Foreground,
+    /// Idle-window collection requested by the device front end.
+    Background,
+    /// Static wear-leveling migration of a cold block.
+    WearLevel,
+}
+
+impl GcTrigger {
+    /// Stable lowercase label (trace annotation).
+    pub fn label(self) -> &'static str {
+        match self {
+            GcTrigger::Foreground => "foreground",
+            GcTrigger::Background => "background",
+            GcTrigger::WearLevel => "wear_level",
+        }
+    }
+
+    /// Counter key for rounds started by this trigger.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            GcTrigger::Foreground => "ftl.gc_foreground",
+            GcTrigger::Background => "ftl.gc_background",
+            GcTrigger::WearLevel => "ftl.gc_wear_level",
+        }
+    }
+}
 
 /// One logical-unit write request.
 #[derive(Debug, Clone)]
@@ -147,6 +182,8 @@ pub struct Ftl {
     in_gc: bool,
     /// Last persisted mapping log (only maintained under fault injection).
     persisted: Option<MappingSnapshot>,
+    /// Structured trace sink (no-op unless enabled).
+    tracer: Tracer,
 }
 
 impl Ftl {
@@ -185,7 +222,14 @@ impl Ftl {
             seq: 0,
             in_gc: false,
             persisted: None,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a trace sink on this layer and the flash array below it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.flash.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Mapping unit size in bytes.
@@ -530,6 +574,13 @@ impl Ftl {
             }
         };
         self.counters.incr("ftl.pages_programmed");
+        let units = placements.len() as u64;
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Ftl, "page_out")
+                .with("block", block.0)
+                .with("page", u64::from(page))
+                .with("units", units)
+        });
 
         for &(slot, offset) in &placements {
             if faulting {
@@ -584,7 +635,7 @@ impl Ftl {
 
     fn collect_until_headroom(&mut self, at: SimTime) -> Result<(), FtlError> {
         while self.free_blocks.len() <= self.config.gc_threshold_blocks as usize {
-            if self.run_gc_round(at)?.is_none() {
+            if self.run_gc_round(at, GcTrigger::Foreground)?.is_none() {
                 // No reclaimable victim. Not fatal yet: the caller may
                 // still have free blocks to use.
                 break;
@@ -654,7 +705,7 @@ impl Ftl {
         self.in_gc = true;
         self.counters.incr("ftl.wear_level_rounds");
         let prev_phase = self.flash.set_fault_phase(FaultPhase::Gc);
-        let result = self.migrate_and_erase(victim, at);
+        let result = self.migrate_and_erase(victim, at, GcTrigger::WearLevel);
         self.flash.set_fault_phase(prev_phase);
         self.in_gc = false;
         result.map(Some)
@@ -668,20 +719,53 @@ impl Ftl {
     ///
     /// Propagates flash errors (FTL bugs) and out-of-space conditions from
     /// the migration writes.
-    pub fn run_gc_round(&mut self, at: SimTime) -> Result<Option<SimTime>, FtlError> {
+    pub fn run_gc_round(
+        &mut self,
+        at: SimTime,
+        trigger: GcTrigger,
+    ) -> Result<Option<SimTime>, FtlError> {
         let Some(victim) = self.select_victim() else {
             return Ok(None);
         };
         self.in_gc = true;
         let prev_phase = self.flash.set_fault_phase(FaultPhase::Gc);
-        let result = self.migrate_and_erase(victim, at);
+        let result = self.migrate_and_erase(victim, at, trigger);
         self.flash.set_fault_phase(prev_phase);
         self.in_gc = false;
         result.map(Some)
     }
 
-    fn migrate_and_erase(&mut self, victim: BlockId, at: SimTime) -> Result<SimTime, FtlError> {
+    fn migrate_and_erase(
+        &mut self,
+        victim: BlockId,
+        at: SimTime,
+        trigger: GcTrigger,
+    ) -> Result<SimTime, FtlError> {
         self.counters.incr("ftl.gc_invocations");
+        self.counters.incr(trigger.counter_key());
+        let moved_before = self.counters.get("ftl.gc_units_moved");
+        // All flash traffic below (migration reads, page-out programs,
+        // the victim erase) is attributed to the GC phase; the previous
+        // phase is restored on every exit path.
+        let prev_op_phase = self.flash.set_op_phase(OpPhase::Gc);
+        let result = self.migrate_and_erase_inner(victim, at);
+        self.flash.set_op_phase(prev_op_phase);
+        let moved = self.counters.get("ftl.gc_units_moved") - moved_before;
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Ftl, "gc")
+                .tag(trigger.label())
+                .with("victim", victim.0)
+                .with("units_moved", moved)
+                .with("ok", u64::from(result.is_ok()))
+        });
+        result
+    }
+
+    fn migrate_and_erase_inner(
+        &mut self,
+        victim: BlockId,
+        at: SimTime,
+    ) -> Result<SimTime, FtlError> {
         let g = *self.flash.geometry();
         let mut done = at;
         for page in 0..g.pages_per_block {

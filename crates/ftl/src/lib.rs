@@ -54,7 +54,7 @@ mod mapping;
 
 pub use config::FtlConfig;
 pub use error::FtlError;
-pub use ftl::{Ftl, RebuildStats, UnitWrite};
+pub use ftl::{Ftl, GcTrigger, RebuildStats, UnitWrite};
 pub use location::{BufSlot, Location, Lpn, Pun};
 pub use map_cache::MapCacheModel;
 pub use mapping::{MappingTable, Unlink};

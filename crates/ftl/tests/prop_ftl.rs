@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
-use checkin_ftl::{Ftl, FtlConfig, FtlError, Lpn, UnitWrite};
+use checkin_ftl::{Ftl, FtlConfig, FtlError, GcTrigger, Lpn, UnitWrite};
 use checkin_sim::SimTime;
 use checkin_testkit::{check, soup, TestRng};
 
@@ -107,7 +107,7 @@ fn run_ops(ops: &[Op]) {
                 ftl.flush(t).unwrap();
             }
             Op::Gc => {
-                ftl.run_gc_round(t).unwrap();
+                ftl.run_gc_round(t, GcTrigger::Background).unwrap();
             }
             Op::WearLevel => {
                 ftl.run_wear_leveling_round(t).unwrap();

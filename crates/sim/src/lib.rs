@@ -9,7 +9,9 @@
 //! * [`Resource`] / [`ResourcePool`] — busy-until FIFO servers used to model
 //!   contention on flash dies, channels, the PCIe link and firmware CPUs;
 //! * [`LatencyRecorder`], [`ThroughputMeter`], [`CounterSet`] — measurement;
-//! * [`SimRng`] — a self-contained, seedable xoshiro256** generator.
+//! * [`SimRng`] — a self-contained, seedable xoshiro256** generator;
+//! * [`Tracer`] / [`TraceRing`] — ring-buffered structured trace events
+//!   on the logical clock, zero-overhead when disabled.
 //!
 //! Everything is deterministic: two runs with the same seed produce the
 //! same event order, the same statistics and the same figures.
@@ -45,9 +47,11 @@ mod resource;
 mod rng;
 mod stats;
 mod time;
+mod trace;
 
 pub use event::EventQueue;
 pub use resource::{Resource, ResourcePool, Window};
 pub use rng::SimRng;
 pub use stats::{CounterSet, LatencyRecorder, ThroughputMeter};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceLayer, TraceRing, Tracer, MAX_TRACE_FIELDS};

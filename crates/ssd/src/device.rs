@@ -1,8 +1,8 @@
 //! The SSD device: host interface, firmware timing, ISCE execution.
 
-use checkin_flash::{FaultPhase, Fragment, OobKind, UnitPayload};
-use checkin_ftl::{Ftl, FtlError, Lpn, RebuildStats, UnitWrite};
-use checkin_sim::{CounterSet, Resource, SimTime};
+use checkin_flash::{FaultPhase, Fragment, OobKind, OpPhase, UnitPayload};
+use checkin_ftl::{Ftl, FtlError, GcTrigger, Lpn, RebuildStats, UnitWrite};
+use checkin_sim::{CounterSet, Resource, SimDuration, SimTime, TraceEvent, TraceLayer, Tracer};
 
 use crate::command::{
     CheckpointMode, CowEntry, ReadRequest, WriteContent, WriteRequest, SECTOR_BYTES,
@@ -59,6 +59,23 @@ pub struct Ssd {
     counters: CounterSet,
     journal_units_since_meta: u64,
     meta_seq: u64,
+    /// Structured trace sink (no-op unless enabled).
+    tracer: Tracer,
+    /// ISCE phase time accumulated since the last
+    /// [`Ssd::take_cp_phase_times`] (remap walk vs copy fallback).
+    cp_phase_times: CpPhaseTimes,
+}
+
+/// Device-side time split of checkpoint execution, accumulated across
+/// the vendor commands issued since the last
+/// [`Ssd::take_cp_phase_times`] call: the ISCE remap walk (firmware
+/// mapping updates) vs the copy fallback (read-merge-write traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpPhaseTimes {
+    /// Firmware time spent walking and updating the mapping table.
+    pub remap: SimDuration,
+    /// Time spent in the copy fallback (gather reads + scatter writes).
+    pub copy: SimDuration,
 }
 
 impl Ssd {
@@ -73,7 +90,23 @@ impl Ssd {
             counters: CounterSet::new(),
             journal_units_since_meta: 0,
             meta_seq: 0,
+            tracer: Tracer::disabled(),
+            cp_phase_times: CpPhaseTimes::default(),
         }
+    }
+
+    /// Installs a trace sink on the device and every layer below it
+    /// (command queue, FTL, flash array).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.queue.set_tracer(tracer.clone());
+        self.ftl.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Returns and resets the ISCE phase times accumulated by checkpoint
+    /// vendor commands since the previous call.
+    pub fn take_cp_phase_times(&mut self) -> CpPhaseTimes {
+        std::mem::take(&mut self.cp_phase_times)
     }
 
     /// Sectors per mapping unit.
@@ -232,6 +265,12 @@ impl Ssd {
             WriteContent::Record { bytes, .. } => *bytes,
             WriteContent::Merged(_) | WriteContent::Tombstone { .. } => 0,
         };
+        // Host metadata writes (the engine superblock) are attributed to
+        // the meta phase so checkpoint-window flash ops never land in the
+        // run bucket.
+        let prev_phase =
+            (kind == OobKind::Meta).then(|| self.ftl.flash_mut().set_op_phase(OpPhase::Meta));
+        let mut loop_result = Ok(());
         for (lpn, seg, whole) in segments {
             let payload = match &req.content {
                 WriteContent::Record { key, version, .. } => {
@@ -254,7 +293,7 @@ impl Ssd {
             // whole-unit sector coverage implies the write may replace the
             // unit outright. Partial coverage merges (read-modify-write),
             // charged only when the old copy is flash resident.
-            let finish = self.ftl.write(
+            match self.ftl.write(
                 UnitWrite {
                     lpn,
                     payload,
@@ -262,9 +301,18 @@ impl Ssd {
                 },
                 kind,
                 cpu.finish,
-            )?;
-            done = done.max(finish);
+            ) {
+                Ok(finish) => done = done.max(finish),
+                Err(e) => {
+                    loop_result = Err(e);
+                    break;
+                }
+            }
         }
+        if let Some(prev) = prev_phase {
+            self.ftl.flash_mut().set_op_phase(prev);
+        }
+        loop_result?;
 
         if kind == OobKind::Journal {
             done = done.max(self.log_manager_tick(cpu.finish)?);
@@ -295,7 +343,8 @@ impl Ssd {
         self.meta_seq += 1;
         self.counters.incr("ssd.meta_writes");
         let lpn = Lpn(META_LPN_BASE + (self.meta_seq % 1024));
-        let finish = self.ftl.write(
+        let prev_phase = self.ftl.flash_mut().set_op_phase(OpPhase::Meta);
+        let result = self.ftl.write(
             UnitWrite {
                 lpn,
                 payload: UnitPayload::single(u64::MAX, self.meta_seq, self.ftl.unit_bytes()),
@@ -303,7 +352,9 @@ impl Ssd {
             },
             OobKind::Meta,
             at,
-        )?;
+        );
+        self.ftl.flash_mut().set_op_phase(prev_phase);
+        let finish = result?;
         // The recovery-log write doubles as the mapping-log persistence
         // point (§III-F): trims and remap aliases become durable here.
         self.ftl.persist_mapping_log();
@@ -338,6 +389,7 @@ impl Ssd {
             .ftl
             .flash_mut()
             .set_fault_phase(FaultPhase::HostDeallocate);
+        let prev_op_phase = self.ftl.flash_mut().set_op_phase(OpPhase::Dealloc);
         for (lpn, _seg, whole) in segments {
             // Partial-unit trims are ignored (conservative, like real
             // devices which round trims inward).
@@ -345,6 +397,7 @@ impl Ssd {
                 self.ftl.deallocate(lpn);
             }
         }
+        self.ftl.flash_mut().set_op_phase(prev_op_phase);
         self.ftl.flash_mut().set_fault_phase(prev_phase);
         self.queue.complete(cpu.finish);
         cpu.finish
@@ -430,6 +483,7 @@ impl Ssd {
                 .ftl
                 .flash_mut()
                 .set_fault_phase(FaultPhase::CheckpointRemap);
+            let prev_op_phase = self.ftl.flash_mut().set_op_phase(OpPhase::CheckpointRemap);
             let mut remap_err = None;
             'remap: for e in &remaps {
                 let units = (e.sectors / us).max(1) as u64;
@@ -451,82 +505,117 @@ impl Ssd {
                 }
                 self.counters.incr("ssd.remap_entries");
             }
+            self.ftl.flash_mut().set_op_phase(prev_op_phase);
             self.ftl.flash_mut().set_fault_phase(prev_phase);
             if let Some(err) = remap_err {
                 return Err(err.into());
             }
+            self.cp_phase_times.remap += cpu.finish.saturating_duration_since(at);
+            let entries = remaps.len() as u64;
+            self.tracer.emit(|| {
+                TraceEvent::new(at, TraceLayer::Isce, "remap_batch")
+                    .with("entries", entries)
+                    .with("units", unit_count)
+            });
             done = done.max(cpu.finish);
         }
 
         if !copies.is_empty() {
-            // Phase 1: consecutive reads gather each record's fragments
-            // from its journal units. Merged sectors are shared by many
-            // entries, so each physical unit is read once per batch and
-            // served from the device read buffer afterwards.
-            let mut read_cache: std::collections::HashMap<Lpn, Option<UnitPayload>> =
-                std::collections::HashMap::new();
-            let mut staged: Vec<(CowEntry, u32, u64)> = Vec::new();
-            let mut reads_done = at;
-            for e in &copies {
-                let mut total_bytes = 0u32;
-                let mut version = 0u64;
-                for (lpn, _seg, _whole) in self.unit_segments(e.src_lba, e.sectors.max(1)) {
-                    let cached = match read_cache.entry(lpn) {
-                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            match self.ftl.read(lpn, at) {
-                                Ok((payload, t)) => {
-                                    reads_done = reads_done.max(t);
-                                    v.insert(Some(payload))
-                                }
-                                Err(FtlError::Unmapped(_)) => {
-                                    self.counters.incr("ssd.cow_missing_src");
-                                    v.insert(None)
-                                }
-                                Err(err) => return Err(err.into()),
-                            }
-                        }
-                    };
-                    if let Some(payload) = cached {
-                        for f in payload.fragments.iter().filter(|f| f.key == e.key) {
-                            total_bytes += f.bytes;
-                            version = version.max(f.version);
-                        }
-                    }
-                }
-                staged.push((*e, total_bytes, version));
-            }
-            // Phase 2: consecutive writes scatter the gathered record over
-            // its destination extent.
-            let mut writes_done = reads_done;
-            for (e, total_bytes, version) in staged {
-                if total_bytes == 0 {
-                    continue;
-                }
-                let mut remaining = total_bytes;
-                for (dst_lpn, seg, whole) in self.unit_segments(e.dst_lba, e.dst_sectors.max(1)) {
-                    let take = remaining.min(seg * SECTOR_BYTES);
-                    if take == 0 {
-                        break;
-                    }
-                    remaining -= take;
-                    // Same ownership rule as host writes (see write()).
-                    let t = self.ftl.write(
-                        UnitWrite {
-                            lpn: dst_lpn,
-                            payload: UnitPayload::single(e.key, version, take),
-                            whole_unit: whole,
-                        },
-                        OobKind::Data,
-                        reads_done,
-                    )?;
-                    writes_done = writes_done.max(t);
-                }
-                self.counters.incr("ssd.copy_entries");
-            }
+            let copied_before = self.counters.get("ssd.copy_entries");
+            let prev_op_phase = self.ftl.flash_mut().set_op_phase(OpPhase::CheckpointCopy);
+            let result = self.execute_copies(&copies, at);
+            self.ftl.flash_mut().set_op_phase(prev_op_phase);
+            let (writes_done, skipped) = result?;
+            self.cp_phase_times.copy += writes_done.saturating_duration_since(at);
+            let entries = copies.len() as u64;
+            let copied = self.counters.get("ssd.copy_entries") - copied_before;
+            self.tracer.emit(|| {
+                TraceEvent::new(at, TraceLayer::Isce, "copy_batch")
+                    .with("entries", entries)
+                    .with("copied", copied)
+                    .with("skipped", skipped)
+            });
             done = done.max(writes_done);
         }
         Ok(done)
+    }
+
+    /// The copy fallback of [`Ssd::execute_entries`]: gather reads, then
+    /// scatter writes. Returns the completion instant and how many
+    /// entries were skipped because no source payload survived (already
+    /// superseded or never written).
+    fn execute_copies(
+        &mut self,
+        copies: &[CowEntry],
+        at: SimTime,
+    ) -> Result<(SimTime, u64), SsdError> {
+        // Phase 1: consecutive reads gather each record's fragments
+        // from its journal units. Merged sectors are shared by many
+        // entries, so each physical unit is read once per batch and
+        // served from the device read buffer afterwards.
+        let mut read_cache: std::collections::HashMap<Lpn, Option<UnitPayload>> =
+            std::collections::HashMap::new();
+        let mut staged: Vec<(CowEntry, u32, u64)> = Vec::new();
+        let mut reads_done = at;
+        for e in copies {
+            let mut total_bytes = 0u32;
+            let mut version = 0u64;
+            for (lpn, _seg, _whole) in self.unit_segments(e.src_lba, e.sectors.max(1)) {
+                let cached = match read_cache.entry(lpn) {
+                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => match self.ftl.read(lpn, at) {
+                        Ok((payload, t)) => {
+                            reads_done = reads_done.max(t);
+                            v.insert(Some(payload))
+                        }
+                        Err(FtlError::Unmapped(_)) => {
+                            self.counters.incr("ssd.cow_missing_src");
+                            v.insert(None)
+                        }
+                        Err(err) => return Err(err.into()),
+                    },
+                };
+                if let Some(payload) = cached {
+                    for f in payload.fragments.iter().filter(|f| f.key == e.key) {
+                        total_bytes += f.bytes;
+                        version = version.max(f.version);
+                    }
+                }
+            }
+            staged.push((*e, total_bytes, version));
+        }
+        // Phase 2: consecutive writes scatter the gathered record over
+        // its destination extent.
+        let mut writes_done = reads_done;
+        let mut skipped = 0u64;
+        for (e, total_bytes, version) in staged {
+            if total_bytes == 0 {
+                self.counters.incr("ssd.cow_skipped_entries");
+                skipped += 1;
+                continue;
+            }
+            let mut remaining = total_bytes;
+            for (dst_lpn, seg, whole) in self.unit_segments(e.dst_lba, e.dst_sectors.max(1)) {
+                let take = remaining.min(seg * SECTOR_BYTES);
+                if take == 0 {
+                    break;
+                }
+                remaining -= take;
+                // Same ownership rule as host writes (see write()).
+                let t = self.ftl.write(
+                    UnitWrite {
+                        lpn: dst_lpn,
+                        payload: UnitPayload::single(e.key, version, take),
+                        whole_unit: whole,
+                    },
+                    OobKind::Data,
+                    reads_done,
+                )?;
+                writes_done = writes_done.max(t);
+            }
+            self.counters.incr("ssd.copy_entries");
+        }
+        Ok((writes_done, skipped))
     }
 
     /// Deallocator: run background GC rounds at `at` if the FTL is under
@@ -548,7 +637,7 @@ impl Ssd {
             if !should_background_gc(self.ftl.wants_background_gc(), idle) {
                 break;
             }
-            match self.ftl.run_gc_round(done)? {
+            match self.ftl.run_gc_round(done, GcTrigger::Background)? {
                 Some(t) => {
                     done = t;
                     rounds += 1;

@@ -59,7 +59,7 @@ mod timing;
 pub use command::{
     CheckpointMode, CowEntry, ReadRequest, WriteContent, WriteRequest, SECTOR_BYTES,
 };
-pub use device::Ssd;
+pub use device::{CpPhaseTimes, Ssd};
 pub use error::SsdError;
 pub use isce::{classify_batch, plan_entry, should_background_gc, EntryPlan};
 pub use queue::CommandQueue;

@@ -9,7 +9,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use checkin_sim::SimTime;
+use checkin_sim::{SimTime, TraceEvent, TraceLayer, Tracer};
 
 /// A fixed-depth in-flight command window.
 ///
@@ -30,6 +30,7 @@ use checkin_sim::SimTime;
 pub struct CommandQueue {
     depth: usize,
     inflight: BinaryHeap<Reverse<SimTime>>,
+    tracer: Tracer,
 }
 
 impl CommandQueue {
@@ -43,7 +44,14 @@ impl CommandQueue {
         CommandQueue {
             depth,
             inflight: BinaryHeap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace sink; each admission then records its queue wait
+    /// and the in-flight depth at start.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Earliest instant a command arriving at `at` may start. Call
@@ -56,12 +64,19 @@ impl CommandQueue {
                 break;
             }
         }
-        if self.inflight.len() < self.depth {
+        let start = if self.inflight.len() < self.depth {
             at
         } else {
             let Reverse(t) = self.inflight.pop().expect("queue non-empty");
             t.max(at)
-        }
+        };
+        let depth_now = self.inflight.len() as u64;
+        self.tracer.emit(|| {
+            TraceEvent::new(start, TraceLayer::Queue, "admit")
+                .with("wait_ns", start.duration_since(at).as_nanos())
+                .with("inflight", depth_now)
+        });
+        start
     }
 
     /// Registers the completion time of an admitted command.

@@ -20,6 +20,19 @@ echo "== crashmatrix --quick"
 # self-test. Exits non-zero on any acked-write loss or resurrection.
 cargo run --release -p checkin-bench --bin crashmatrix -- --quick
 
+echo "== checkin trace smoke run"
+# Cross-layer tracing (DESIGN.md §10): a tiny checkpointing run must
+# emit JSON-lines events from all six layers.
+cargo run --release -p checkin-cli --bin checkin -- \
+    trace --queries 4000 --threads 8 --record-count 500 --mix WO \
+    --interval-ms 5 --events 200000 > target/trace_smoke.jsonl
+for layer in engine journal queue isce ftl flash; do
+    grep -q "\"layer\":\"$layer\"" target/trace_smoke.jsonl || {
+        echo "verify: FAIL — no trace events from layer '$layer'" >&2
+        exit 1
+    }
+done
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
