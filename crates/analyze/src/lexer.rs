@@ -1,0 +1,369 @@
+//! A lightweight, dependency-free Rust lexer.
+//!
+//! Produces a flat token stream with line/column spans. It understands
+//! exactly as much Rust as the rule engine needs: string/char/lifetime
+//! disambiguation, raw and byte strings, nested block comments, and
+//! numeric literals. Comments (including doc comments, and therefore
+//! doc-test code) and whitespace are skipped, so rules never fire on
+//! commented-out or documentation-only text.
+//!
+//! The lexer is intentionally *not* a parser: rules pattern-match on the
+//! token stream with small amounts of bracket matching. That keeps the
+//! checker fast, offline (no `syn`), and easy to extend.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// Numeric literal (`0`, `1_000`, `0xFF`, `1.5`).
+    Number,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`), with the
+    /// token text holding the *unquoted* content.
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `!`, `[`, `::` is two `:`).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (unquoted for strings).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the token start.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (string,
+/// block comment) consume the rest of the input rather than erroring:
+/// the checker's job is finding rule violations, not validating syntax.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.lex_string(line, col),
+                'r' | 'b' if self.starts_prefixed_string() => self.lex_prefixed_string(line, col),
+                '\'' => self.lex_quote(line, col),
+                c if c.is_ascii_digit() => self.lex_number(line, col),
+                c if c.is_alphabetic() || c == '_' => self.lex_ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume "/*"
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `b"`, `br"`, or `br#`.
+    fn starts_prefixed_string(&self) -> bool {
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (Some('r'), Some('"' | '#'), _)
+                | (Some('b'), Some('"'), _)
+                | (Some('b'), Some('r'), Some('"' | '#'))
+        )
+    }
+
+    fn lex_prefixed_string(&mut self, line: u32, col: u32) {
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            if c == 'r' {
+                raw = true;
+                self.bump();
+            } else if c == 'b' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let mut text = String::new();
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    // A raw string ends at `"` followed by `hashes` hashes.
+                    for ahead in 0..hashes {
+                        if self.peek(ahead) != Some('#') {
+                            text.push(c);
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokKind::Str, text, line, col);
+        } else {
+            self.lex_string(line, col);
+        }
+    }
+
+    fn lex_string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push(c);
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`).
+    fn lex_quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        if self.peek(0) == Some('\\') {
+            // Escaped char literal.
+            let mut text = String::new();
+            while let Some(c) = self.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokKind::Char, text, line, col);
+            return;
+        }
+        let is_ident_start = self.peek(0).is_some_and(|c| c.is_alphabetic() || c == '_');
+        if is_ident_start && self.peek(1) != Some('\'') {
+            // Lifetime: `'` + ident not closed by another quote.
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            // Char literal: one char then closing quote.
+            let mut text = String::new();
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+            if self.peek(0) == Some('\'') {
+                self.bump();
+            }
+            self.push(TokKind::Char, text, line, col);
+        }
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part, taking care not to eat the `..` of a range.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Number, text, line, col);
+    }
+
+    fn lex_ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds(
+            r#"
+            // unwrap() in a comment
+            /* panic! /* nested */ still comment */
+            let s = "unwrap()"; // and in a string
+            "#,
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "quote \" inside"));
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let toks = kinds("for i in 0..total {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "total"));
+    }
+}

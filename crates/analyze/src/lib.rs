@@ -1,0 +1,115 @@
+//! `checkin-analyze` — workspace-wide static invariant checker.
+//!
+//! The simulator's correctness claims (recoverability after power loss,
+//! bit-for-bit deterministic replay, phase-attributed flash accounting)
+//! rest on invariants the type system cannot express. This crate checks
+//! them offline, with zero dependencies, over the raw source of every
+//! crate in the workspace:
+//!
+//! * **A1-no-panic-in-recovery** — recovery paths must propagate typed
+//!   errors, never panic ([`rules::a1`]);
+//! * **A2-deterministic-sim** — no wall clock, ambient randomness, or
+//!   hash-ordered containers in result-affecting crates ([`rules::a2`]);
+//! * **A3-phase-tagged-counters** — flash op counters carry an `OpPhase`
+//!   tag at the increment site ([`rules::a3`]);
+//! * **A4-lpn-arithmetic** — no bare truncating casts on address
+//!   arithmetic ([`rules::a4`]);
+//! * **A5-lock-order** — locks acquired in the declared global order
+//!   ([`rules::a5`]).
+//!
+//! Scopes and documented exceptions live in `analyze.toml` at the
+//! workspace root ([`config`]). The checker is a gating tier in
+//! `scripts/verify.sh`; run it directly with
+//! `cargo run -p checkin-analyze`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+use config::{AllowEntry, AnalyzeConfig};
+use diag::Diagnostic;
+use scan::SourceFile;
+
+/// Result of one analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by location.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Allowlist entries that matched no finding (likely stale).
+    pub unused_allows: Vec<AllowEntry>,
+}
+
+/// Analyzes already-scanned sources under a config. This is the pure
+/// core: `analyze_workspace` wraps it with filesystem discovery, and
+/// tests feed it fixture sources directly.
+pub fn analyze_sources(files: &[SourceFile], cfg: &AnalyzeConfig) -> Report {
+    let mut raw = rules::run_all(files, cfg);
+    raw.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    raw.dedup();
+
+    let mut used = vec![false; cfg.allows.len()];
+    let diagnostics: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            let hit = cfg.allows.iter().position(|a| {
+                a.rule == d.rule && a.file == d.file && a.line.is_none_or(|l| l == d.line)
+            });
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        })
+        .collect();
+    let unused_allows = cfg
+        .allows
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(a, _)| a.clone())
+        .collect();
+
+    Report {
+        diagnostics,
+        files_scanned: files.len(),
+        unused_allows,
+    }
+}
+
+/// Loads `analyze.toml` from `root`, scans `crates/*/src`, and runs
+/// every rule.
+///
+/// # Errors
+///
+/// Returns a message when the config is missing/malformed or a source
+/// tree cannot be read.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let cfg_path = root.join("analyze.toml");
+    let cfg_src = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = AnalyzeConfig::parse(&cfg_src).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+
+    let mut files = Vec::new();
+    for path in scan::workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files.push(SourceFile::new(rel, &src));
+    }
+    Ok(analyze_sources(&files, &cfg))
+}

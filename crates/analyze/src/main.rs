@@ -1,0 +1,84 @@
+//! CLI for the workspace static invariant checker.
+//!
+//! ```text
+//! cargo run -p checkin-analyze [-- --root <workspace>]
+//! ```
+//!
+//! Prints rustc-style diagnostics and exits non-zero when any finding
+//! survives the `analyze.toml` allowlist (or an allowlist entry is
+//! stale), so `scripts/verify.sh` can use it as a gating tier.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("checkin-analyze: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "checkin-analyze: static invariant checker (rules A1-A5)\n\
+                     usage: checkin-analyze [--root <workspace-root>]\n\
+                     config: <root>/analyze.toml"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("checkin-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // When invoked via `cargo run -p checkin-analyze`, the cwd is already
+    // the workspace root; fall back to the crate's grandparent otherwise.
+    if !root.join("analyze.toml").exists() {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let candidate = PathBuf::from(manifest).join("../..");
+            if candidate.join("analyze.toml").exists() {
+                root = candidate;
+            }
+        }
+    }
+
+    let report = match checkin_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("checkin-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}\n");
+    }
+    for a in &report.unused_allows {
+        eprintln!(
+            "checkin-analyze: note: unused allowlist entry (rule {} in {}{}) — remove it or fix \
+             its scope",
+            a.rule,
+            a.file,
+            a.line.map(|l| format!(":{l}")).unwrap_or_default()
+        );
+    }
+    println!(
+        "checkin-analyze: {} finding(s) across {} file(s) scanned",
+        report.diagnostics.len(),
+        report.files_scanned
+    );
+    // Stale allowlist entries gate too: an exception that matches nothing
+    // is either rotted (the code moved) or was never needed, and both
+    // erode trust in the documented-exceptions discipline.
+    if report.diagnostics.is_empty() && report.unused_allows.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,176 @@
+//! A1-no-panic-in-recovery.
+//!
+//! Recovery code runs exactly when the system is least able to tolerate
+//! another failure: after a power cut, mid-rebuild, with the mapping
+//! tables half-reconstructed. A panic there turns a recoverable device
+//! into an unrecoverable one. This rule bans every lexical panic path —
+//! `.unwrap()`, `.expect()`, the `panic!` macro family, and
+//! bounds-checked indexing — in two scopes:
+//!
+//! 1. every non-test token of the files listed in `[a1] files`, and
+//! 2. every function lexically reachable (same-crate) from the entry
+//!    points listed in `[a1] entry_functions`.
+//!
+//! Reachability is resolved conservatively: a call `foo(...)` is
+//! followed only when exactly one non-test `fn foo` exists in the crate.
+//! Ambiguous names (`new`, `get`, ...) are skipped rather than guessed —
+//! the direct file scope plus typed error signatures cover the rest.
+//!
+//! `debug_assert!` is deliberately permitted: it documents invariants,
+//! costs nothing in release builds, and cannot panic in production.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::at;
+use crate::scan::SourceFile;
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Runs A1 over the workspace.
+pub fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Scope 1: whole files.
+    let mut whole: BTreeSet<usize> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        if cfg.a1_files.iter().any(|p| p == &f.rel) {
+            whole.insert(fi);
+            if !f.tokens.is_empty() {
+                check_range(
+                    f,
+                    0,
+                    f.tokens.len() - 1,
+                    "in recovery-critical file",
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // Scope 2: functions reachable from the entry points, same crate.
+    for (fi, fn_idx, via) in reachable_fns(files, cfg) {
+        if whole.contains(&fi) {
+            continue; // already checked wholesale
+        }
+        let f = &files[fi];
+        let span = &f.fns[fn_idx];
+        let ctx = format!("in `{}` (recovery-reachable via `{via}`)", span.name);
+        check_range(f, span.body.0, span.body.1, &ctx, &mut out);
+    }
+    out
+}
+
+/// BFS over the lexical call graph from the configured entry functions.
+/// Returns `(file_idx, fn_idx, entry_name)` for every reached function.
+fn reachable_fns(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<(usize, usize, String)> {
+    /// `fn name -> (file_idx, fn_idx)` definition sites within one crate.
+    type FnIndex<'a> = BTreeMap<&'a str, Vec<(usize, usize)>>;
+    // crate -> fn name -> sites (only non-test definitions).
+    let mut index: BTreeMap<&str, FnIndex> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (si, span) in f.fns.iter().enumerate() {
+            if f.in_test(span.decl_tok) {
+                continue;
+            }
+            index
+                .entry(f.crate_name.as_str())
+                .or_default()
+                .entry(span.name.as_str())
+                .or_default()
+                .push((fi, si));
+        }
+    }
+
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut queue: VecDeque<(usize, usize, String)> = VecDeque::new();
+    let mut out = Vec::new();
+    for entry in &cfg.a1_entry_functions {
+        for per_crate in index.values() {
+            for &(fi, si) in per_crate.get(entry.as_str()).into_iter().flatten() {
+                if seen.insert((fi, si)) {
+                    queue.push_back((fi, si, entry.clone()));
+                }
+            }
+        }
+    }
+    while let Some((fi, si, via)) = queue.pop_front() {
+        out.push((fi, si, via.clone()));
+        let f = &files[fi];
+        let span = &f.fns[si];
+        let Some(per_crate) = index.get(f.crate_name.as_str()) else {
+            continue;
+        };
+        for callee in f.calls_in(span.body.0, span.body.1) {
+            // Follow only unambiguous names: exactly one definition.
+            if let Some(sites) = per_crate.get(callee.as_str()) {
+                if sites.len() == 1 && seen.insert(sites[0]) {
+                    queue.push_back((sites[0].0, sites[0].1, via.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scans tokens `[start, end]` of `f` for panic paths, skipping test code.
+fn check_range(f: &SourceFile, start: usize, end: usize, ctx: &str, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in start..=end.min(toks.len() - 1) {
+        if f.in_test(i) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if toks[i].is_punct('.')
+            && i + 2 <= end
+            && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+            && toks[i + 2].is_punct('(')
+        {
+            out.push(at(
+                "A1",
+                f,
+                i + 1,
+                format!("`.{}()` {ctx}", toks[i + 1].text),
+                "propagate a typed error (`RecoveryError`) with `?` instead of panicking",
+            ));
+        }
+        // panic!-family macro invocation
+        if toks[i].kind == TokKind::Ident
+            && PANIC_MACROS.contains(&toks[i].text.as_str())
+            && i < end
+            && toks[i + 1].is_punct('!')
+        {
+            out.push(at(
+                "A1",
+                f,
+                i,
+                format!("`{}!` {ctx}", toks[i].text),
+                "return an error with context; `debug_assert!` is allowed for debug-only invariants",
+            ));
+        }
+        // indexing: `expr[` where expr ends in an identifier, `]`, or `)`
+        if toks[i].is_punct('[') && i > start {
+            let prev = &toks[i - 1];
+            if prev.kind == TokKind::Ident || prev.is_punct(']') || prev.is_punct(')') {
+                out.push(at(
+                    "A1",
+                    f,
+                    i,
+                    format!("indexing may panic {ctx}"),
+                    "use `.get()`/`.get_mut()` and handle `None`, or add a documented allowlist \
+                     entry when bounds are established at the same site",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! A3-phase-tagged-counters.
+//!
+//! The paper's evaluation hinges on attributing flash traffic to a
+//! phase: how many programs were checkpoint copies versus foreground
+//! writes versus GC relocation. The flash array therefore pairs every
+//! base op-counter increment with a phase-tagged one **at the same
+//! site**:
+//!
+//! ```text
+//! self.counters.incr("flash.read");
+//! self.counters.incr(self.op_phase.read_key());
+//! ```
+//!
+//! If the pair is split — a base increment with no adjacent phase
+//! increment — the per-phase keys stop summing to the base counter and
+//! every phase-attribution number in the report silently goes wrong.
+//! This rule finds `incr("flash.read"|"flash.program"|"flash.erase")`
+//! and requires the matching `read_key`/`program_key`/`erase_key` call
+//! within the next few tokens.
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::at;
+use crate::scan::SourceFile;
+
+/// How many tokens after the base increment the phase-key call must
+/// appear in. Generous enough for `self.counters.incr(self.op_phase
+/// .program_key());` plus formatting, tight enough that a tag in a
+/// different branch does not satisfy the rule.
+const WINDOW: usize = 16;
+
+const PAIRS: &[(&str, &str)] = &[
+    ("flash.read", "read_key"),
+    ("flash.program", "program_key"),
+    ("flash.erase", "erase_key"),
+];
+
+/// Runs A3 over the workspace.
+pub fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.a3_crates.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if f.in_test(i) {
+                continue;
+            }
+            // `incr ( "flash.xxx"`
+            if !(toks[i].is_ident("incr")
+                && i + 2 < toks.len()
+                && toks[i + 1].is_punct('(')
+                && toks[i + 2].kind == TokKind::Str)
+            {
+                continue;
+            }
+            let Some((_, phase_fn)) = PAIRS.iter().find(|(key, _)| toks[i + 2].text == *key) else {
+                continue;
+            };
+            let window_end = (i + 3 + WINDOW).min(toks.len());
+            let tagged = toks[i + 3..window_end].iter().any(|t| t.is_ident(phase_fn));
+            if !tagged {
+                out.push(at(
+                    "A3",
+                    f,
+                    i + 2,
+                    format!(
+                        "`{}` incremented without an `OpPhase` tag at the same site",
+                        toks[i + 2].text
+                    ),
+                    "pair it with `counters.incr(self.op_phase.<op>_key())` on the next line so \
+                     per-phase counters always sum to the base counter",
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,105 @@
+//! A4-lpn-arithmetic.
+//!
+//! Logical and physical page numbers are `u64` end to end; a bare
+//! `as u32`/`as u16`/`as u8` on an expression derived from one silently
+//! wraps once a device model crosses the corresponding size boundary
+//! (a 4 KiB-page device crosses the u32 page-number line at 16 TiB).
+//! This rule flags truncating `as` casts whose expression mentions an
+//! address-flavored identifier (`lpn`, `ppn`, `pun`, `lba`, `sector`,
+//! configurable), or `self.0` inside the newtype impl files listed in
+//! `[a4] self_files`.
+//!
+//! Casts that are provably in range (e.g. the value was just reduced
+//! with `% pages_per_block`) are accepted via documented allowlist
+//! entries rather than loosening the rule — the proof lives next to the
+//! exception.
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::at;
+use crate::scan::SourceFile;
+
+/// How far back (in tokens) the expression scan looks for an address
+/// identifier before giving up at a statement boundary.
+const LOOKBACK: usize = 16;
+
+/// Runs A4 over the workspace.
+pub fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.a4_crates.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        let self_is_address = cfg.a4_self_files.iter().any(|p| p == &f.rel);
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if f.in_test(i) {
+                continue;
+            }
+            // `as u8|u16|u32`
+            if !(toks[i].is_ident("as")
+                && i + 1 < toks.len()
+                && matches!(toks[i + 1].text.as_str(), "u8" | "u16" | "u32")
+                && toks[i + 1].kind == TokKind::Ident)
+            {
+                continue;
+            }
+            if let Some(witness) = address_witness(f, i, self_is_address, cfg) {
+                out.push(at(
+                    "A4",
+                    f,
+                    i,
+                    format!(
+                        "truncating cast `as {}` on address arithmetic involving `{witness}`",
+                        toks[i + 1].text
+                    ),
+                    "use `try_into()` (or widen the target type); if the value is provably in \
+                     range, add an allowlist entry whose reason states the bound",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Scans backward from the `as` at `idx` to the statement boundary,
+/// returning the first address-flavored identifier found (the witness
+/// that this is address arithmetic), if any.
+fn address_witness(
+    f: &SourceFile,
+    idx: usize,
+    self_is_address: bool,
+    cfg: &AnalyzeConfig,
+) -> Option<String> {
+    let toks = &f.tokens;
+    let start = idx.saturating_sub(LOOKBACK);
+    for j in (start..idx).rev() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}" | "," | "=") {
+            return None;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let lower = t.text.to_ascii_lowercase();
+        if cfg
+            .a4_identifiers
+            .iter()
+            .any(|id| lower.contains(id.as_str()))
+        {
+            return Some(t.text.clone());
+        }
+        // `self.0` in a newtype impl file: the receiver itself is an address.
+        if self_is_address
+            && t.text == "self"
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(j + 2)
+                .is_some_and(|t| t.kind == TokKind::Number && t.text == "0")
+        {
+            return Some("self.0".to_string());
+        }
+    }
+    None
+}

@@ -1,0 +1,86 @@
+//! A5-lock-order.
+//!
+//! Deadlock freedom by construction: every mutex in the workspace's
+//! threaded code has a position in one global acquisition order
+//! (`[a5] lock_order` in `analyze.toml`). Within a single function a
+//! lock may only be taken if every lock already taken sits at an equal
+//! or earlier position. Two findings:
+//!
+//! * a `.lock()` receiver that is not in the declared order at all
+//!   (new mutexes must be slotted into the order deliberately), and
+//! * a `.lock()` on an earlier-position receiver after a
+//!   later-position one (a cycle candidate).
+//!
+//! The check is lexical and per-function; it does not model guards
+//! dropped early. That is the conservative direction: a drop before the
+//! second acquisition would make a flagged pair safe, and the fix is an
+//! allowlist entry whose reason documents the drop.
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::at;
+use crate::scan::SourceFile;
+
+/// Runs A5 over the workspace.
+pub fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.a5_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        for span in &f.fns {
+            if f.in_test(span.decl_tok) {
+                continue;
+            }
+            check_fn(f, span.body, cfg, &mut out);
+        }
+    }
+    out
+}
+
+fn check_fn(f: &SourceFile, body: (usize, usize), cfg: &AnalyzeConfig, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    // (order position, receiver name) of the furthest lock taken so far.
+    let mut furthest: Option<(usize, String)> = None;
+    for i in body.0..=body.1.min(toks.len() - 1) {
+        // `recv . lock (`
+        if !(toks[i].is_ident("lock")
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let recv = toks[i - 2].text.clone();
+        let Some(pos) = cfg.a5_lock_order.iter().position(|l| l == &recv) else {
+            out.push(at(
+                "A5",
+                f,
+                i - 2,
+                format!("lock receiver `{recv}` is not in the declared lock order"),
+                "add it to `[a5] lock_order` in analyze.toml at its correct position (or rename \
+                 the binding to the mutex's canonical name)",
+            ));
+            continue;
+        };
+        if let Some((max_pos, ref max_name)) = furthest {
+            if pos < max_pos {
+                out.push(at(
+                    "A5",
+                    f,
+                    i - 2,
+                    format!(
+                        "lock `{recv}` acquired after `{max_name}`, violating the declared order"
+                    ),
+                    "acquire locks in `[a5] lock_order` order, or document an early guard drop \
+                     with an allowlist entry",
+                ));
+            }
+        }
+        if furthest.as_ref().is_none_or(|(p, _)| pos > *p) {
+            furthest = Some((pos, recv));
+        }
+    }
+}

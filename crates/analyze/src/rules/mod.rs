@@ -1,0 +1,50 @@
+//! The rule engine: each rule maps the scanned workspace to diagnostics.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | A1 | no panic paths (`unwrap`/`expect`/`panic!`-family/indexing) in recovery code |
+//! | A2 | no wall-clock, randomness, or hash-ordered containers in deterministic crates |
+//! | A3 | flash op-counter increments carry an `OpPhase` tag at the same site |
+//! | A4 | no bare truncating casts on LPN/PPN/sector arithmetic |
+//! | A5 | locks are acquired in the declared order |
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod a4;
+pub mod a5;
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::scan::SourceFile;
+
+/// Runs every rule over the scanned files.
+pub fn run_all(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(a1::run(files, cfg));
+    out.extend(a2::run(files, cfg));
+    out.extend(a3::run(files, cfg));
+    out.extend(a4::run(files, cfg));
+    out.extend(a5::run(files, cfg));
+    out
+}
+
+/// Builds a diagnostic anchored at token `idx` of `file`.
+pub(crate) fn at(
+    rule: &'static str,
+    file: &SourceFile,
+    idx: usize,
+    message: String,
+    help: &str,
+) -> Diagnostic {
+    let tok = &file.tokens[idx];
+    Diagnostic {
+        rule,
+        file: file.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        help: help.to_string(),
+        snippet: file.line_of(idx),
+    }
+}

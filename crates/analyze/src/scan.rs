@@ -1,0 +1,305 @@
+//! Workspace discovery and per-file structural analysis.
+//!
+//! [`SourceFile`] augments the raw token stream with just enough
+//! structure for the rules: which token ranges are test-only code
+//! (`#[cfg(test)]` items and `#[test]` functions), and where each
+//! function body starts and ends (for scoping and for the A1
+//! reachability walk).
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One function found in a file: its name and the token range of its
+/// body (inclusive of the braces).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub decl_tok: usize,
+    /// Token range `[start, end]` of the body braces.
+    pub body: (usize, usize),
+}
+
+/// A lexed and structurally annotated source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Crate name (`crates/<name>/...`), empty when not under `crates/`.
+    pub crate_name: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Source lines (for diagnostics).
+    pub lines: Vec<String>,
+    /// Token index ranges `[start, end]` that are test-only code.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// All function bodies, including test ones.
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Builds the analysis for one file's source text.
+    pub fn new(rel: String, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let lines = src.lines().map(str::to_string).collect();
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let test_ranges = find_test_ranges(&tokens);
+        let fns = find_fns(&tokens);
+        SourceFile {
+            rel,
+            crate_name,
+            tokens,
+            lines,
+            test_ranges,
+            fns,
+        }
+    }
+
+    /// True when token `idx` falls inside test-only code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| idx >= start && idx <= end)
+    }
+
+    /// The source line holding token `idx` (empty if out of range).
+    pub fn line_of(&self, idx: usize) -> String {
+        let line = self.tokens[idx].line as usize;
+        self.lines
+            .get(line.saturating_sub(1))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Names of functions/methods called inside token range `[start, end]`:
+    /// every identifier directly followed by `(`, minus control-flow
+    /// keywords and macro invocations.
+    pub fn calls_in(&self, start: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end {
+            let t = &self.tokens[i];
+            if t.kind == TokKind::Ident
+                && self.tokens[i + 1].is_punct('(')
+                && !matches!(
+                    t.text.as_str(),
+                    "if" | "while"
+                        | "for"
+                        | "match"
+                        | "return"
+                        | "loop"
+                        | "fn"
+                        | "Some"
+                        | "Ok"
+                        | "Err"
+                        | "None"
+                )
+            {
+                out.push(t.text.clone());
+            }
+            i += 1;
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Finds token ranges guarded by `#[cfg(test)]` (or `#[test]`): the next
+/// item's brace-matched body, so rules skip test code.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+            // Parse the attribute's bracket group.
+            let Some(attr_end) = match_bracket(tokens, i + 1, '[', ']') else {
+                break;
+            };
+            let is_test_attr = tokens[i + 2..attr_end].iter().any(|t| t.is_ident("test"));
+            if is_test_attr {
+                // Find the guarded item's body: the first `{` after the
+                // attribute (skipping any further attributes), or stop at
+                // `;` (e.g. `#[cfg(test)] use ...;`).
+                let mut j = attr_end + 1;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('#') && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        match match_bracket(tokens, j + 1, '[', ']') {
+                            Some(e) => j = e + 1,
+                            None => break,
+                        }
+                        continue;
+                    }
+                    if tokens[j].is_punct(';') {
+                        out.push((i, j));
+                        break;
+                    }
+                    if tokens[j].is_punct('{') {
+                        let end = match_bracket(tokens, j, '{', '}').unwrap_or(tokens.len() - 1);
+                        out.push((i, end));
+                        break;
+                    }
+                    j += 1;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds every `fn name ... { body }`, brace-matching the body.
+fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens[i + 1].kind == TokKind::Ident {
+            let name = tokens[i + 1].text.clone();
+            // Walk to the body `{`, stopping at `;` (trait method decls)
+            // while skipping balanced parens/brackets/angle groups in the
+            // signature (where-clauses can contain `{`-free bounds only).
+            let mut j = i + 2;
+            let mut body = None;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    j = match_bracket(tokens, j, '(', ')').map_or(tokens.len(), |e| e + 1);
+                    continue;
+                }
+                if tokens[j].is_punct(';') {
+                    break;
+                }
+                if tokens[j].is_punct('{') {
+                    let end = match_bracket(tokens, j, '{', '}').unwrap_or(tokens.len() - 1);
+                    body = Some((j, end));
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                out.push(FnSpan {
+                    name,
+                    decl_tok: i,
+                    body,
+                });
+                // Continue scanning *inside* the body too (nested fns);
+                // just move past the `fn name` pair.
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+pub fn match_bracket(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collects `.rs` files under `crates/*/src` (and the crate
+/// roots' `build.rs`, if any), returning workspace-relative paths in
+/// sorted order. `tests/`, `benches/`, and `target/` trees are skipped:
+/// the rules govern shipped code, not test harnesses.
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable directory.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mod_is_marked() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            r#"
+fn shipped() { let v = x[0]; }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+"#,
+        );
+        let unwrap_idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(f.in_test(unwrap_idx));
+        let shipped_idx = f.tokens.iter().position(|t| t.is_ident("shipped")).unwrap();
+        assert!(!f.in_test(shipped_idx));
+    }
+
+    #[test]
+    fn fn_bodies_and_calls() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "fn a() { b(); c.d(); if x { e(); } }\nfn b() {}",
+        );
+        assert_eq!(f.fns.len(), 2); // a and b
+        let a = f.fns.iter().find(|s| s.name == "a").unwrap();
+        let calls = f.calls_in(a.body.0, a.body.1);
+        assert!(calls.contains(&"b".to_string()));
+        assert!(calls.contains(&"d".to_string()));
+        assert!(calls.contains(&"e".to_string()));
+        assert!(!calls.contains(&"if".to_string()));
+    }
+
+    #[test]
+    fn crate_name_extraction() {
+        let f = SourceFile::new("crates/ftl/src/ftl.rs".into(), "");
+        assert_eq!(f.crate_name, "ftl");
+    }
+}

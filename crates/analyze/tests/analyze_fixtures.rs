@@ -1,0 +1,244 @@
+//! Rule-by-rule fixture tests: each fixture under `tests/fixtures/`
+//! seeds known violations (and near-misses that must NOT fire), and the
+//! assertions pin the exact (rule, line) set the analyzer reports.
+//! Fixture files are append-only — the line numbers are load-bearing.
+
+use checkin_analyze::analyze_sources;
+use checkin_analyze::config::{AllowEntry, AnalyzeConfig};
+use checkin_analyze::scan::SourceFile;
+
+fn fixture(rel: &str, src: &str) -> SourceFile {
+    SourceFile::new(rel.to_string(), src)
+}
+
+/// `(rule, line)` pairs, in report order.
+fn locations(report: &checkin_analyze::Report) -> Vec<(&'static str, u32)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn a1_whole_file_scope_flags_every_panic_path() {
+    let files = [fixture(
+        "crates/ssd/src/a1_recovery.rs",
+        include_str!("fixtures/a1_recovery.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a1_files: vec!["crates/ssd/src/a1_recovery.rs".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A1", 6), ("A1", 7), ("A1", 9), ("A1", 12), ("A1", 20)],
+        "unwrap, expect, panic!, and both index sites — nothing else \
+         (debug_assert!, unwrap_or, &[u32] slices, and test code are exempt)"
+    );
+    let msgs: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(msgs[0].contains(".unwrap()"), "{msgs:?}");
+    assert!(msgs[1].contains(".expect()"), "{msgs:?}");
+    assert!(msgs[2].contains("`panic!`"), "{msgs:?}");
+    assert!(msgs[3].contains("indexing"), "{msgs:?}");
+}
+
+#[test]
+fn a1_entry_function_reachability_follows_calls() {
+    let files = [fixture(
+        "crates/ssd/src/a1_recovery.rs",
+        include_str!("fixtures/a1_recovery.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a1_entry_functions: vec!["entry_point".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    // Only `helper` is reachable from `entry_point`; `rebuild`'s four
+    // violations are out of scope, as is the never-called `untouched`.
+    assert_eq!(locations(&report), vec![("A1", 20)]);
+    assert!(
+        report.diagnostics[0]
+            .message
+            .contains("recovery-reachable via `entry_point`"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+#[test]
+fn a2_flags_each_nondeterminism_source() {
+    let files = [fixture(
+        "crates/sim/src/a2_nondeterminism.rs",
+        include_str!("fixtures/a2_nondeterminism.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a2_crates: vec!["sim".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A2", 4), ("A2", 5), ("A2", 6), ("A2", 16), ("A2", 17)],
+        "each banned identifier token fires; the string literal \"HashMap\" \
+         and the comment mention must not"
+    );
+    assert!(report.diagnostics[0].message.contains("HashMap"));
+    assert!(report.diagnostics[2].message.contains("Instant"));
+}
+
+#[test]
+fn a2_out_of_scope_crate_is_ignored() {
+    let files = [fixture(
+        "crates/cli/src/a2_nondeterminism.rs",
+        include_str!("fixtures/a2_nondeterminism.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a2_crates: vec!["sim".into()],
+        ..AnalyzeConfig::default()
+    };
+    assert!(analyze_sources(&files, &cfg).diagnostics.is_empty());
+}
+
+#[test]
+fn a3_flags_only_the_split_pair() {
+    let files = [fixture(
+        "crates/flash/src/a3_counters.rs",
+        include_str!("fixtures/a3_counters.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a3_crates: vec!["flash".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A3", 10)],
+        "paired read/erase increments pass; the untracked power_cuts key is \
+         not A3's concern; only the untagged flash.program fires"
+    );
+    assert!(report.diagnostics[0].message.contains("flash.program"));
+}
+
+#[test]
+fn a4_flags_truncating_casts_with_address_witnesses() {
+    let files = [fixture(
+        "crates/ftl/src/a4_casts.rs",
+        include_str!("fixtures/a4_casts.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a4_crates: vec!["ftl".into()],
+        a4_self_files: vec!["crates/ftl/src/a4_casts.rs".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A4", 5), ("A4", 6), ("A4", 14)],
+        "lpn and ppn witnesses plus self.0 in a self_files impl; casts of \
+         plain counters and widening casts stay silent"
+    );
+    assert!(report.diagnostics[0].message.contains("`lpn`"));
+    assert!(report.diagnostics[1].message.contains("`ppn`"));
+    assert!(report.diagnostics[2].message.contains("`self.0`"));
+}
+
+#[test]
+fn a4_without_self_files_skips_the_newtype_cast() {
+    let files = [fixture(
+        "crates/ftl/src/a4_casts.rs",
+        include_str!("fixtures/a4_casts.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a4_crates: vec!["ftl".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(locations(&report), vec![("A4", 5), ("A4", 6)]);
+}
+
+#[test]
+fn a5_flags_order_violation_and_unknown_receiver() {
+    let files = [fixture(
+        "crates/sim/src/a5_locks.rs",
+        include_str!("fixtures/a5_locks.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a5_files: vec!["crates/sim/src/a5_locks.rs".into()],
+        a5_lock_order: vec!["stats".into(), "ring".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A5", 12), ("A5", 17)],
+        "in-order acquisition passes; stats-after-ring and the undeclared \
+         queue mutex fire"
+    );
+    assert!(report.diagnostics[0]
+        .message
+        .contains("violating the declared order"));
+    assert!(report.diagnostics[1]
+        .message
+        .contains("not in the declared lock order"));
+}
+
+#[test]
+fn allowlist_suppresses_exact_lines_and_reports_stale_entries() {
+    let files = [fixture(
+        "crates/sim/src/a2_nondeterminism.rs",
+        include_str!("fixtures/a2_nondeterminism.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a2_crates: vec!["sim".into()],
+        allows: vec![
+            AllowEntry {
+                rule: "A2".into(),
+                file: "crates/sim/src/a2_nondeterminism.rs".into(),
+                line: Some(4),
+                reason: "fixture: suppress the HashMap import".into(),
+            },
+            AllowEntry {
+                rule: "A2".into(),
+                file: "crates/sim/src/a2_nondeterminism.rs".into(),
+                line: Some(999),
+                reason: "fixture: stale entry that matches nothing".into(),
+            },
+        ],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A2", 5), ("A2", 6), ("A2", 16), ("A2", 17)],
+        "line 4 is allowlisted away"
+    );
+    assert_eq!(report.unused_allows.len(), 1);
+    assert_eq!(report.unused_allows[0].line, Some(999));
+}
+
+#[test]
+fn file_wide_allow_suppresses_every_line() {
+    let files = [fixture(
+        "crates/sim/src/a2_nondeterminism.rs",
+        include_str!("fixtures/a2_nondeterminism.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a2_crates: vec!["sim".into()],
+        allows: vec![AllowEntry {
+            rule: "A2".into(),
+            file: "crates/sim/src/a2_nondeterminism.rs".into(),
+            line: None,
+            reason: "fixture: whole-file exception".into(),
+        }],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert!(report.diagnostics.is_empty());
+    assert!(report.unused_allows.is_empty());
+}

@@ -1,0 +1,35 @@
+// A1 fixture: a whole-file recovery scope plus an entry-function
+// reachability chain. Line numbers are asserted exactly by
+// analyze_fixtures.rs — append only at the end.
+
+pub fn rebuild(state: Option<u32>, table: &[u32]) -> u32 {
+    let a = state.unwrap(); // line 6: .unwrap()
+    let b = state.expect("present"); // line 7: .expect()
+    if a == 0 {
+        panic!("zero"); // line 9: panic!
+    }
+    debug_assert!(b > 0, "allowed: debug-only invariant");
+    table[0] + a + b // line 12: indexing
+}
+
+pub fn entry_point(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    v[1] // line 20: indexing, reachable entry_point -> helper
+}
+
+fn untouched(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], super::untouched(&v)); // indexing + assert: exempt
+        let _ = Some(1).unwrap(); // exempt
+    }
+}

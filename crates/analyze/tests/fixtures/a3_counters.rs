@@ -1,0 +1,18 @@
+// A3 fixture: one base increment correctly paired with its phase tag,
+// one split pair. Line numbers are asserted exactly — append only.
+
+pub fn read_page(&mut self) {
+    self.counters.incr("flash.read");
+    self.counters.incr(self.op_phase.read_key()); // paired: ok
+}
+
+pub fn program_page(&mut self) {
+    self.counters.incr("flash.program"); // line 10: missing program_key
+    self.do_program();
+}
+
+pub fn erase_block(&mut self) {
+    self.counters.incr("flash.erase");
+    self.counters.incr(self.op_phase.erase_key()); // paired: ok
+    self.counters.incr("flash.power_cuts"); // untracked key: not A3's concern
+}

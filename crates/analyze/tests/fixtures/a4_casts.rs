@@ -1,0 +1,16 @@
+// A4 fixture: truncating casts on address arithmetic versus benign
+// casts. Line numbers are asserted exactly — append only at the end.
+
+pub fn offsets(lpn: u64, ppn: u64, count: u64, units_per_page: u32) -> u32 {
+    let a = lpn as u32; // line 5: lpn truncated
+    let b = (ppn % units_per_page as u64) as u16; // line 6: ppn truncated
+    let c = count as u32; // benign identifier: not flagged
+    let d = lpn as u64; // widening: not flagged
+    a + b as u32 + c + d as u32 // line 9: d is benign, b via `b` is benign
+}
+
+impl Pun {
+    pub fn offset(self, units_per_page: u32) -> u32 {
+        (self.0 % units_per_page as u64) as u32 // line 14: self.0 (self_files)
+    }
+}

@@ -1,0 +1,19 @@
+// A5 fixture: declared lock order is [stats, ring]. Line numbers are
+// asserted exactly — append only at the end.
+
+pub fn in_order(&self) {
+    let s = self.stats.lock().unwrap();
+    let r = self.ring.lock().unwrap(); // stats then ring: ok
+    drop((s, r));
+}
+
+pub fn reversed(&self) {
+    let r = self.ring.lock().unwrap();
+    let s = self.stats.lock().unwrap(); // line 12: stats after ring
+    drop((r, s));
+}
+
+pub fn unknown_mutex(&self) {
+    let q = self.queue.lock().unwrap(); // line 17: queue not declared
+    drop(q);
+}

@@ -1,0 +1,33 @@
+//! Self-check: the shipped workspace is clean under the shipped
+//! `analyze.toml` — zero findings AND zero stale allowlist entries.
+//! This is the same run `scripts/verify.sh` gates on; keeping it as a
+//! plain test means `cargo test` alone catches a reintroduced panic
+//! path or a rotted exception.
+
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_has_no_findings_and_no_stale_allows() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = checkin_analyze::analyze_workspace(&root).expect("analyze.toml parses");
+    assert!(
+        report.files_scanned > 50,
+        "expected to scan the whole workspace, got {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must be clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_allows
+    );
+}

@@ -394,7 +394,9 @@ fn run_cut(strategy: Strategy, seed: u64, cut_tick: u64, sabotage: bool) -> Verd
     if sabotage {
         d.ssd.ftl_mut().sabotage_drop_write_buffer();
     }
-    d.ssd.recover_power_loss();
+    d.ssd
+        .recover_power_loss()
+        .expect("SPOR recovery after an injected power cut");
     let (mut engine, t) = KvEngine::recover(
         strategy,
         layout_for(strategy),

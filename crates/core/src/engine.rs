@@ -167,7 +167,9 @@ impl KvEngine {
         if idx >= self.keys.len() {
             self.keys.resize(idx + 1, KeyState::default());
         }
-        let slot = &mut self.keys[idx];
+        let Some(slot) = self.keys.get_mut(idx) else {
+            return; // unreachable: resized above
+        };
         if slot.version == 0 {
             self.loaded += 1;
         }
@@ -523,7 +525,9 @@ impl KvEngine {
                         if f.key == u64::MAX || f.key >= record_count {
                             continue; // device/engine metadata
                         }
-                        let e = &mut newest[f.key as usize];
+                        let Some(e) = newest.get_mut(f.key as usize) else {
+                            continue; // unreachable: f.key < record_count checked above
+                        };
                         if f.version > e.0 {
                             // bytes == 0 marks a deletion tombstone.
                             *e = (f.version, f.bytes, f.bytes == 0);

@@ -116,7 +116,8 @@ impl Jmt {
             self.overflow
                 .binary_search_by_key(&key, |&(k, _)| k)
                 .ok()
-                .map(|pos| &self.overflow[pos].1)
+                .and_then(|pos| self.overflow.get(pos))
+                .map(|(_, entry)| entry)
         }
     }
 

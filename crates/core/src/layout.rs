@@ -94,9 +94,12 @@ impl Layout {
     ///
     /// # Panics
     ///
-    /// Panics if `zone >= JOURNAL_ZONES`.
+    /// Panics in debug builds when `zone >= JOURNAL_ZONES`. Like
+    /// [`StoreLayout::home_lba`], the bound is an internal invariant
+    /// (zones rotate modulo `JOURNAL_ZONES`), so release builds — and in
+    /// particular the recovery path — must not panic over it.
     pub fn journal_base(&self, zone: u32) -> u64 {
-        assert!(zone < JOURNAL_ZONES, "zone {zone} out of range");
+        debug_assert!(zone < JOURNAL_ZONES, "zone {zone} out of range");
         let journal_start = self.data_base() + self.record_count * self.slot_sectors;
         // Align zones to unit boundaries.
         let aligned = journal_start.div_ceil(self.unit_sectors) * self.unit_sectors;

@@ -38,6 +38,11 @@ pub enum FtlError {
     /// violation (FTL bug), a power loss, or a media failure that survived
     /// retry and retirement (see the module docs).
     Flash(checkin_flash::FlashError),
+    /// Internal state contradicted itself (e.g. a mapping pointing at an
+    /// empty buffer slot). Always indicates an FTL bug; surfaced as an
+    /// error instead of a panic so callers — recovery above all — can
+    /// fail the one operation rather than the whole process.
+    Inconsistent(&'static str),
 }
 
 impl FtlError {
@@ -54,9 +59,40 @@ impl fmt::Display for FtlError {
             FtlError::OutOfSpace => write!(f, "device out of space: no reclaimable blocks"),
             FtlError::Unmapped(lpn) => write!(f, "read of unmapped logical unit {lpn}"),
             FtlError::Flash(e) => write!(f, "flash error: {e}"),
+            FtlError::Inconsistent(what) => write!(f, "inconsistent FTL state: {what}"),
         }
     }
 }
+
+/// Failures during sudden-power-off recovery
+/// ([`crate::Ftl::rebuild_after_power_loss`]).
+///
+/// Recovery runs when the system is least able to tolerate a panic, so
+/// every impossible-state branch on that path reports through this type
+/// instead of `unwrap`/`assert` (checked by `checkin-analyze` rule A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Rebuild was requested while the flash array is still powered off;
+    /// call `FlashArray::power_on` first.
+    PoweredOff,
+    /// The surviving state contradicts itself (named invariant violated).
+    Inconsistent(&'static str),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::PoweredOff => {
+                write!(f, "recovery requested while the array is powered off")
+            }
+            RecoveryError::Inconsistent(what) => {
+                write!(f, "inconsistent recovered state: {what}")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {}
 
 impl Error for FtlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
@@ -95,6 +131,19 @@ mod tests {
     #[test]
     fn unmapped_names_lpn() {
         assert!(FtlError::Unmapped(Lpn(77)).to_string().contains("lpn:77"));
+    }
+
+    #[test]
+    fn inconsistent_and_recovery_display() {
+        assert!(FtlError::Inconsistent("slot empty")
+            .to_string()
+            .contains("slot empty"));
+        assert!(RecoveryError::PoweredOff
+            .to_string()
+            .contains("powered off"));
+        assert!(RecoveryError::Inconsistent("bad block ref")
+            .to_string()
+            .contains("bad block ref"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * account every statistic the paper's evaluation needs (host vs flash
 //!   bytes, invalid-unit generation, GC invocations, RMW operations).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use checkin_flash::{
     BlockId, ErrorClass, FaultPhase, FlashArray, FlashError, OobEntry, OobKind, OpPhase,
@@ -22,7 +22,7 @@ use checkin_flash::{
 use checkin_sim::{CounterSet, SimTime, TraceEvent, TraceLayer, Tracer, Window};
 
 use crate::config::FtlConfig;
-use crate::error::FtlError;
+use crate::error::{FtlError, RecoveryError};
 use crate::location::{BufSlot, Location, Lpn, Pun};
 use crate::map_cache::MapCacheModel;
 use crate::mapping::{MappingTable, Unlink};
@@ -302,27 +302,27 @@ impl Ftl {
             Unlink::Orphaned(Location::Buffer(slot)) => {
                 // The old copy never reached flash: discard it from DRAM so
                 // it does not waste a unit of the next page program.
-                self.release_slot(slot);
+                let _ = self.release_slot(slot);
                 self.pending.retain(|&s| s != slot);
             }
             Unlink::StillReferenced(_) | Unlink::NotMapped => {}
         }
     }
 
-    fn slot_data(&self, slot: BufSlot) -> &SlotData {
-        self.slots[slot.0 as usize]
-            .as_ref()
-            .expect("referenced buffer slot holds data")
+    /// Data held by a referenced buffer slot, or `None` when the mapping
+    /// points at an empty slot (an internal inconsistency the caller
+    /// reports as [`FtlError::Inconsistent`] rather than panicking over).
+    fn slot_data(&self, slot: BufSlot) -> Option<&SlotData> {
+        self.slots.get(slot.0 as usize)?.as_ref()
     }
 
     /// Removes a slot's data and recycles its id for reuse. The caller
-    /// must ensure no mapping references the slot anymore.
-    fn release_slot(&mut self, slot: BufSlot) -> SlotData {
-        let data = self.slots[slot.0 as usize]
-            .take()
-            .expect("released buffer slot holds data");
+    /// must ensure no mapping references the slot anymore. Returns `None`
+    /// when the slot was already empty (see [`Ftl::slot_data`]).
+    fn release_slot(&mut self, slot: BufSlot) -> Option<SlotData> {
+        let data = self.slots.get_mut(slot.0 as usize)?.take()?;
         self.free_slot_ids.push(slot.0);
-        data
+        Some(data)
     }
 
     fn new_slot(&mut self, payload: UnitPayload, lpn: Lpn, kind: OobKind) -> BufSlot {
@@ -370,8 +370,10 @@ impl Ftl {
             match self.table.lookup(w.lpn) {
                 None => w.payload,
                 Some(Location::Buffer(slot)) => {
-                    let old = &self.slot_data(slot).payload;
-                    merge_payload(old, &w.payload)
+                    let old = self
+                        .slot_data(slot)
+                        .ok_or(FtlError::Inconsistent("mapped buffer slot is empty"))?;
+                    merge_payload(&old.payload, &w.payload)
                 }
                 Some(Location::Flash(pun)) => {
                     self.counters.incr("ftl.rmw_reads");
@@ -406,13 +408,19 @@ impl Ftl {
         self.counters.incr("ftl.host_unit_reads");
         match self.table.lookup(lpn) {
             None => Err(FtlError::Unmapped(lpn)),
-            Some(Location::Buffer(slot)) => Ok((self.slot_data(slot).payload.clone(), at)),
+            Some(Location::Buffer(slot)) => {
+                let data = self
+                    .slot_data(slot)
+                    .ok_or(FtlError::Inconsistent("mapped buffer slot is empty"))?;
+                Ok((data.payload.clone(), at))
+            }
             Some(Location::Flash(pun)) => {
                 let win = self.read_with_retry(pun.page(self.upp), at)?;
                 let payload = self
                     .flash
                     .read(pun.page(self.upp))
-                    .and_then(|pc| pc.units[pun.offset(self.upp) as usize].clone());
+                    .and_then(|pc| pc.units.get(pun.offset(self.upp) as usize))
+                    .and_then(|unit| unit.clone());
                 debug_assert!(
                     payload.is_some(),
                     "mapped unit {lpn} -> {pun} has no flash content (erased while referenced?)"
@@ -535,11 +543,15 @@ impl Ftl {
         let faulting = self.flash.faults_armed();
         for (offset, &slot) in taken.iter().enumerate() {
             if faulting {
-                let data = self.slot_data(slot);
+                let data = self.slot_data(slot).ok_or(FtlError::Inconsistent(
+                    "page-out batch references empty slot",
+                ))?;
                 content.units[offset] = Some(data.payload.clone());
                 content.oob.push(data.oob);
             } else {
-                let data = self.release_slot(slot);
+                let data = self.release_slot(slot).ok_or(FtlError::Inconsistent(
+                    "page-out batch references empty slot",
+                ))?;
                 content.units[offset] = Some(data.payload);
                 content.oob.push(data.oob);
             }
@@ -584,7 +596,7 @@ impl Ftl {
 
         for &(slot, offset) in &placements {
             if faulting {
-                self.release_slot(slot);
+                let _ = self.release_slot(slot);
             }
             let pun = Pun::compose(ppn, offset, self.upp);
             let moved = self
@@ -879,20 +891,14 @@ impl Ftl {
         }
         let mut t = at;
         let mut attempt = 0u32;
-        let mut content = Some(content);
         loop {
-            let retryable = attempt + 1 < limit;
-            let this_try = if retryable {
-                content
-                    .as_ref()
-                    .expect("content retained while retries remain")
-                    .clone()
-            } else {
-                content.take().expect("content available for final attempt")
-            };
-            match self.flash.program(ppn, this_try, t) {
+            if attempt + 1 >= limit {
+                // Final attempt: the buffer moves instead of cloning.
+                return self.flash.program(ppn, content, t);
+            }
+            match self.flash.program(ppn, content.clone(), t) {
                 Ok(w) => return Ok(w),
-                Err(e) if retryable && e.classification() == ErrorClass::Transient => {
+                Err(e) if e.classification() == ErrorClass::Transient => {
                     attempt += 1;
                     self.counters.incr("ftl.media_retries");
                     t += self.flash.timing().t_program * (1u64 << attempt.min(16));
@@ -976,9 +982,17 @@ impl Ftl {
         for (lpn, loc) in self.table.iter() {
             let snap = match loc {
                 Location::Flash(pun) => SnapLoc::Flash(pun),
-                Location::Buffer(slot) => SnapLoc::Buffered {
-                    oob_seq: self.slot_data(slot).oob.sequence,
-                },
+                Location::Buffer(slot) => {
+                    // A mapping onto an empty slot is an inconsistency;
+                    // dropping it from the snapshot is safe (the entry
+                    // re-resolves from the OOB stream on recovery).
+                    let Some(data) = self.slot_data(slot) else {
+                        continue;
+                    };
+                    SnapLoc::Buffered {
+                        oob_seq: data.oob.sequence,
+                    }
+                }
             };
             entries.push((lpn, snap));
         }
@@ -1010,15 +1024,17 @@ impl Ftl {
     ///    marks, and recompute per-block valid-unit counts from the fresh
     ///    table. Live buffer slots re-queue for page-out in write order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the array is still powered off — call
-    /// [`FlashArray::power_on`] first.
-    pub fn rebuild_after_power_loss(&mut self) -> RebuildStats {
-        assert!(
-            !self.flash.powered_off(),
-            "power the array on before rebuilding"
-        );
+    /// [`RecoveryError::PoweredOff`] when the array has not been powered
+    /// back on ([`FlashArray::power_on`]) first;
+    /// [`RecoveryError::Inconsistent`] when the surviving state
+    /// contradicts itself. Recovery code must never panic (rule A1), so
+    /// even caller mistakes report through the error path.
+    pub fn rebuild_after_power_loss(&mut self) -> Result<RebuildStats, RecoveryError> {
+        if self.flash.powered_off() {
+            return Err(RecoveryError::PoweredOff);
+        }
         let g = *self.flash.geometry();
         let upp = self.upp;
         let mut stats = RebuildStats::default();
@@ -1026,7 +1042,7 @@ impl Ftl {
         let snap_seq = snap.as_ref().map(|s| s.seq).unwrap_or(0);
 
         // Live buffer slots indexed by their OOB sequence number.
-        let mut slot_by_seq: HashMap<u64, BufSlot> = HashMap::new();
+        let mut slot_by_seq: BTreeMap<u64, BufSlot> = BTreeMap::new();
         for (id, data) in self.slots.iter().enumerate() {
             if let Some(d) = data {
                 slot_by_seq.insert(d.oob.sequence, BufSlot(id as u64));
@@ -1042,7 +1058,7 @@ impl Ftl {
         // was *written* under — remap aliases (checkpointed home lpns)
         // reference the same unit under a different lpn and must still
         // resolve after the slot drains.
-        let mut pre_snap: HashMap<u64, Pun> = HashMap::new();
+        let mut pre_snap: BTreeMap<u64, Pun> = BTreeMap::new();
         let mut max_seq = snap_seq;
         for raw in 0..g.total_pages() {
             let ppn = Ppn(raw);
@@ -1099,8 +1115,11 @@ impl Ftl {
         }
         self.table = table;
 
-        // Block lifecycle from what the flash itself knows.
+        // Block lifecycle from what the flash itself knows. Both per-block
+        // vectors are rebuilt from scratch (no indexing into the stale
+        // state): geometry is the single source of their length.
         self.free_blocks.clear();
+        let mut block_kind = Vec::with_capacity(g.total_blocks() as usize);
         for b in 0..g.total_blocks() {
             let id = BlockId(b);
             let kind = if self.flash.is_bad_block(id) {
@@ -1110,23 +1129,29 @@ impl Ftl {
             } else {
                 BlockKind::Free
             };
-            self.block_kind[b as usize] = kind;
+            block_kind.push(kind);
             if kind == BlockKind::Free {
                 self.free_blocks.push_back(id);
             }
         }
-        for v in &mut self.valid_units {
-            *v = 0;
-        }
-        let mut seen = std::collections::HashSet::new();
+        self.block_kind = block_kind;
+        let mut valid_units = vec![0u32; g.total_blocks() as usize];
+        let mut seen = BTreeSet::new();
         for (_, loc) in self.table.iter() {
             if let Location::Flash(pun) = loc {
                 if seen.insert(pun) {
                     let b = g.block_of(pun.page(upp));
-                    self.valid_units[b.0 as usize] += 1;
+                    let count =
+                        valid_units
+                            .get_mut(b.0 as usize)
+                            .ok_or(RecoveryError::Inconsistent(
+                                "recovered mapping references an out-of-range block",
+                            ))?;
+                    *count += 1;
                 }
             }
         }
+        self.valid_units = valid_units;
 
         // Fresh runtime state: no active blocks, no GC in flight; the
         // whole surviving buffer re-queues for page-out in write order.
@@ -1156,7 +1181,7 @@ impl Ftl {
         self.counters.incr("ftl.power_loss_rebuilds");
         // Re-persist immediately: the recovered table is the new floor.
         self.persist_mapping_log();
-        stats
+        Ok(stats)
     }
 
     /// Test-only sabotage: throws away the capacitor-backed write buffer
@@ -1200,7 +1225,7 @@ impl Ftl {
         let g = self.flash.geometry();
         let mut expect = vec![0u32; g.total_blocks() as usize];
         // Each occupied flash location counts once, however many referrers.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = BTreeSet::new();
         for (_, loc) in self.table.iter() {
             if let Location::Flash(pun) = loc {
                 if seen.insert(pun) {
@@ -1873,7 +1898,7 @@ mod fault_tests {
             }
             assert!(cut, "cut {cut_tick} never fired");
             f.flash_mut().power_on();
-            let stats = f.rebuild_after_power_loss();
+            let stats = f.rebuild_after_power_loss().unwrap();
             assert!(
                 stats.snapshot_entries_resolved
                     + stats.oob_records_replayed
@@ -1915,7 +1940,7 @@ mod fault_tests {
         f.flash_mut().power_on();
         // A failed capacitor: the buffer is gone before recovery runs.
         f.sabotage_drop_write_buffer();
-        f.rebuild_after_power_loss();
+        f.rebuild_after_power_loss().unwrap();
         let lost = (0..3u64)
             .filter(|&lpn| f.read(Lpn(lpn), SimTime::ZERO).is_err())
             .count();
@@ -1936,7 +1961,7 @@ mod fault_tests {
         f.persist_mapping_log();
         f.flash_mut().cut_power();
         f.flash_mut().power_on();
-        f.rebuild_after_power_loss();
+        f.rebuild_after_power_loss().unwrap();
         assert!(
             !f.is_mapped(Lpn(0)),
             "persisted trim must not be resurrected by OOB replay"

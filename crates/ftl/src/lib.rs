@@ -44,6 +44,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Recovery crate: panics are forbidden outside tests (checkin-analyze A1
+// enforces the recovery paths lexically; clippy enforces the whole crate).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod error;
@@ -53,7 +56,7 @@ mod map_cache;
 mod mapping;
 
 pub use config::FtlConfig;
-pub use error::FtlError;
+pub use error::{FtlError, RecoveryError};
 pub use ftl::{Ftl, GcTrigger, RebuildStats, UnitWrite};
 pub use location::{BufSlot, Location, Lpn, Pun};
 pub use map_cache::MapCacheModel;

@@ -94,9 +94,9 @@ impl RefSlot {
             }
             RefSlot::Many(lpns) => {
                 lpns.retain(|&l| l != lpn);
-                match lpns.len() {
-                    0 => *self = RefSlot::Empty,
-                    1 => *self = RefSlot::One(lpns[0]),
+                match lpns.as_slice() {
+                    [] => *self = RefSlot::Empty,
+                    &[only] => *self = RefSlot::One(only),
                     _ => {}
                 }
             }
@@ -169,8 +169,9 @@ impl MappingTable {
         } else {
             self.forward_overflow
                 .binary_search_by_key(&lpn.0, |&(l, _)| l)
-                .map(|pos| self.forward_overflow[pos].1)
-                .unwrap_or(UNMAPPED)
+                .ok()
+                .and_then(|pos| self.forward_overflow.get(pos))
+                .map_or(UNMAPPED, |&(_, word)| word)
         }
     }
 
@@ -181,13 +182,19 @@ impl MappingTable {
             if idx >= self.forward.len() {
                 self.forward.resize(idx + 1, UNMAPPED);
             }
-            self.forward[idx] = word;
+            if let Some(slot) = self.forward.get_mut(idx) {
+                *slot = word;
+            }
         } else {
             match self
                 .forward_overflow
                 .binary_search_by_key(&lpn.0, |&(l, _)| l)
             {
-                Ok(pos) => self.forward_overflow[pos].1 = word,
+                Ok(pos) => {
+                    if let Some(entry) = self.forward_overflow.get_mut(pos) {
+                        entry.1 = word;
+                    }
+                }
                 Err(pos) => self.forward_overflow.insert(pos, (lpn.0, word)),
             }
         }

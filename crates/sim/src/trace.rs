@@ -287,7 +287,7 @@ impl Tracer {
     pub fn dropped(&self) -> u64 {
         self.inner
             .as_ref()
-            .and_then(|r| r.lock().ok().map(|r| r.dropped()))
+            .and_then(|ring| ring.lock().ok().map(|r| r.dropped()))
             .unwrap_or(0)
     }
 
@@ -296,7 +296,7 @@ impl Tracer {
     pub fn emitted(&self) -> u64 {
         self.inner
             .as_ref()
-            .and_then(|r| r.lock().ok().map(|r| r.emitted()))
+            .and_then(|ring| ring.lock().ok().map(|r| r.emitted()))
             .unwrap_or(0)
     }
 }

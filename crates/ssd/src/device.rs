@@ -553,8 +553,12 @@ impl Ssd {
         // from its journal units. Merged sectors are shared by many
         // entries, so each physical unit is read once per batch and
         // served from the device read buffer afterwards.
-        let mut read_cache: std::collections::HashMap<Lpn, Option<UnitPayload>> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: the cache never iterates today, but the
+        // deterministic-sim rule (A2) bans hash-ordered containers in
+        // result-affecting paths outright so a future iteration cannot
+        // silently introduce run-to-run divergence.
+        let mut read_cache: std::collections::BTreeMap<Lpn, Option<UnitPayload>> =
+            std::collections::BTreeMap::new();
         let mut staged: Vec<(CowEntry, u32, u64)> = Vec::new();
         let mut reads_done = at;
         for e in copies {
@@ -562,8 +566,8 @@ impl Ssd {
             let mut version = 0u64;
             for (lpn, _seg, _whole) in self.unit_segments(e.src_lba, e.sectors.max(1)) {
                 let cached = match read_cache.entry(lpn) {
-                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(v) => match self.ftl.read(lpn, at) {
+                    std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(v) => match self.ftl.read(lpn, at) {
                         Ok((payload, t)) => {
                             reads_done = reads_done.max(t);
                             v.insert(Some(payload))
@@ -665,12 +669,17 @@ impl Ssd {
     /// rebuilds the whole FTL from the OOB stream, the persisted mapping
     /// log, and the capacitor-backed write buffer, and resets the device
     /// log-manager state. Counted in `ssd.spor_recoveries`.
-    pub fn recover_power_loss(&mut self) -> RebuildStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`checkin_ftl::RecoveryError`] when the rebuild finds
+    /// the surviving state inconsistent.
+    pub fn recover_power_loss(&mut self) -> Result<RebuildStats, SsdError> {
         self.ftl.flash_mut().power_on();
-        let stats = self.ftl.rebuild_after_power_loss();
+        let stats = self.ftl.rebuild_after_power_loss()?;
         self.journal_units_since_meta = 0;
         self.counters.incr("ssd.spor_recoveries");
-        stats
+        Ok(stats)
     }
 }
 

@@ -10,6 +10,9 @@ pub enum SsdError {
     InvalidRequest(String),
     /// Propagated FTL failure (out of space, internal bug).
     Ftl(checkin_ftl::FtlError),
+    /// Failure inside sudden-power-off recovery; the device could not be
+    /// brought back to a consistent state.
+    Recovery(checkin_ftl::RecoveryError),
 }
 
 impl fmt::Display for SsdError {
@@ -17,6 +20,7 @@ impl fmt::Display for SsdError {
         match self {
             SsdError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             SsdError::Ftl(e) => write!(f, "ftl error: {e}"),
+            SsdError::Recovery(e) => write!(f, "recovery failed: {e}"),
         }
     }
 }
@@ -25,6 +29,7 @@ impl Error for SsdError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SsdError::Ftl(e) => Some(e),
+            SsdError::Recovery(e) => Some(e),
             SsdError::InvalidRequest(_) => None,
         }
     }
@@ -33,6 +38,12 @@ impl Error for SsdError {
 impl From<checkin_ftl::FtlError> for SsdError {
     fn from(e: checkin_ftl::FtlError) -> Self {
         SsdError::Ftl(e)
+    }
+}
+
+impl From<checkin_ftl::RecoveryError> for SsdError {
+    fn from(e: checkin_ftl::RecoveryError) -> Self {
+        SsdError::Recovery(e)
     }
 }
 
@@ -49,5 +60,12 @@ mod tests {
         let e = SsdError::InvalidRequest("zero sectors".into());
         assert!(e.to_string().contains("zero sectors"));
         assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn recovery_conversion() {
+        let e: SsdError = checkin_ftl::RecoveryError::PoweredOff.into();
+        assert!(e.to_string().contains("recovery failed"));
+        assert!(Error::source(&e).is_some());
     }
 }

@@ -47,6 +47,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Recovery crate: panics are forbidden outside tests (checkin-analyze A1
+// enforces the recovery paths lexically; clippy enforces the whole crate).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod command;
 mod device;

@@ -66,9 +66,11 @@ impl CommandQueue {
         }
         let start = if self.inflight.len() < self.depth {
             at
-        } else {
-            let Reverse(t) = self.inflight.pop().expect("queue non-empty");
+        } else if let Some(Reverse(t)) = self.inflight.pop() {
             t.max(at)
+        } else {
+            // depth == 0 with nothing in flight: admit immediately.
+            at
         };
         let depth_now = self.inflight.len() as u64;
         self.tracer.emit(|| {

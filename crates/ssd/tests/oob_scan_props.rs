@@ -144,7 +144,7 @@ fn random_cut_point_recovery_matches_acked_writes() {
                 // recovery path is always exercised.
                 s.ftl_mut().flash_mut().cut_power();
             }
-            s.recover_power_loss();
+            s.recover_power_loss().unwrap();
             for (&lba, &version) in &shadow {
                 let (frags, _) = s
                     .read(

@@ -33,6 +33,14 @@ for layer in engine journal queue isce ftl flash; do
     }
 done
 
+echo "== checkin-analyze"
+# Static invariant checker (DESIGN.md §11): no panic paths in recovery
+# code, no nondeterminism in sim crates, phase-tagged flash counters,
+# no truncating address casts, declared lock order. Scopes and
+# documented exceptions live in analyze.toml. Exits non-zero on any
+# finding or stale allowlist entry.
+cargo run --release -q -p checkin-analyze
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
