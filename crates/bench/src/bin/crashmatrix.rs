@@ -19,9 +19,12 @@
 //! `(op, phase)` trace, so the matrix deliberately lands cuts inside the
 //! Algorithm-1 checkpoint remap walk, inside GC migration, and inside
 //! host deallocation, on top of uniformly random steady-state cuts. A
-//! media-noise tier re-runs the workload under transient read/program/
-//! erase failures plus grown bad blocks and requires a byte-perfect
-//! final state. Finally a sabotage self-test deliberately breaks
+//! batched-admission tier repeats the sweep with ops admitted in groups
+//! of 16 and acked only at batch completion — cuts that land mid-batch
+//! must leave every unacked op in either its old or new state, with no
+//! acked write dropped or double-applied. A media-noise tier re-runs
+//! the workload under transient read/program/erase failures plus grown
+//! bad blocks and requires a byte-perfect final state. Finally a sabotage self-test deliberately breaks
 //! recovery (dropping the capacitor-backed write buffer) and requires
 //! the harness to *detect* the loss — proving the matrix can fail.
 //!
@@ -97,8 +100,10 @@ struct ShadowKey {
     deleted: bool,
 }
 
-/// The single operation that observed the power loss (not acked; may
-/// land in either its old or new state).
+/// An operation that was admitted but not yet acknowledged when power
+/// was lost: under batched admission the client receives acks only when
+/// the whole batch completes, so every op of a half-finished batch may
+/// land in either its old or new state.
 #[derive(Clone, Copy)]
 struct Inflight {
     key: u64,
@@ -114,12 +119,14 @@ enum Op {
 }
 
 /// One driven workload: the device as the cut left it, plus the shadow
-/// model of everything the engine acknowledged.
+/// model of everything the engine acknowledged. `inflight` holds the
+/// unacked tail: the in-progress batch (admitted, not acked) plus the
+/// op that observed the cut — empty when the run completed.
 struct Driven {
     ssd: Ssd,
     engine: KvEngine,
     shadow: Vec<ShadowKey>,
-    inflight: Option<Inflight>,
+    inflight: Vec<Inflight>,
     cut: bool,
     t: SimTime,
 }
@@ -155,7 +162,15 @@ fn checkpoint_and_gc(
 /// Runs the seeded workload, optionally under `plan` (armed *after* the
 /// initial load, so tick indices count steady-state operations). Stops
 /// at the first observed power loss.
-fn drive(strategy: Strategy, seed: u64, plan: Option<FaultPlan>) -> Driven {
+///
+/// `batch` models the system's admission batching: ops are admitted in
+/// groups of `batch` and acknowledged to the client only when the whole
+/// group completes, with checkpoints confined to batch boundaries (the
+/// admission gate's no-straddling rule). The op stream itself is
+/// identical for every batch size; only ack timing differs. A cut
+/// mid-batch rolls the staged shadow entries back to their pre-batch
+/// versions and reports the whole pending group as in flight.
+fn drive(strategy: Strategy, seed: u64, plan: Option<FaultPlan>, batch: u32) -> Driven {
     let mut ssd = build_ssd(strategy);
     let layout = layout_for(strategy);
     let mut engine = KvEngine::new(strategy, layout, COMPRESSION);
@@ -177,10 +192,13 @@ fn drive(strategy: Strategy, seed: u64, plan: Option<FaultPlan>) -> Driven {
         ssd.ftl_mut().flash_mut().arm_faults(p);
     }
     let cp_units = (layout.zone_sectors() / layout.unit_sectors()) / 4;
-    let mut inflight = None;
+    let mut inflight: Vec<Inflight> = Vec::new();
     let mut cut = false;
+    let mut remaining = OPS;
 
-    'ops: for _ in 0..OPS {
+    'ops: while remaining > 0 {
+        // Batch boundary: the only place checkpoints are allowed, and the
+        // point at which the previous batch's acks became durable facts.
         if engine.journal_used_units() >= cp_units {
             match checkpoint_and_gc(&mut engine, &mut ssd, t) {
                 Ok(done) => t = done,
@@ -191,48 +209,73 @@ fn drive(strategy: Strategy, seed: u64, plan: Option<FaultPlan>) -> Driven {
                 Err(e) => panic!("{strategy} seed {seed}: checkpoint failed: {e}"),
             }
         }
-        let key = rng.below(RECORDS);
-        let entry = shadow[key as usize];
-        let bytes = rng.range_u32(200, MAX_RECORD_BYTES - 48);
-        let op = if entry.deleted {
-            Op::Insert(bytes)
-        } else if rng.below(100) < 10 {
-            Op::Delete
-        } else {
-            Op::Update(bytes)
-        };
-        let next = Inflight {
-            key,
-            version: entry.version + 1,
-            delete: matches!(op, Op::Delete),
-        };
-        let mut result = apply_op(&mut engine, &mut ssd, key, op, t);
-        if matches!(result, Err(EngineError::JournalFull)) {
-            match checkpoint_and_gc(&mut engine, &mut ssd, t) {
-                Ok(done) => t = done,
+        let group = u64::from(batch.max(1)).min(remaining);
+        remaining -= group;
+        // Acks staged by this batch, with each key's pre-batch shadow
+        // value so a mid-batch cut can un-ack the whole group.
+        let mut pending: Vec<Inflight> = Vec::new();
+        let mut saved: Vec<(u64, ShadowKey)> = Vec::new();
+        for _ in 0..group {
+            let key = rng.below(RECORDS);
+            let entry = shadow[key as usize];
+            let bytes = rng.range_u32(200, MAX_RECORD_BYTES - 48);
+            let op = if entry.deleted {
+                Op::Insert(bytes)
+            } else if rng.below(100) < 10 {
+                Op::Delete
+            } else {
+                Op::Update(bytes)
+            };
+            let next = Inflight {
+                key,
+                version: entry.version + 1,
+                delete: matches!(op, Op::Delete),
+            };
+            let mut result = apply_op(&mut engine, &mut ssd, key, op, t);
+            if matches!(result, Err(EngineError::JournalFull)) {
+                // The admission estimate ran short: force the checkpoint
+                // the real system would have taken at the boundary. A cut
+                // inside it leaves `next` un-issued (it never touched the
+                // journal), so only the already-issued group is in flight.
+                match checkpoint_and_gc(&mut engine, &mut ssd, t) {
+                    Ok(done) => t = done,
+                    Err(e) if is_power_loss(&e) => {
+                        for &(k, old) in &saved {
+                            shadow[k as usize] = old;
+                        }
+                        inflight = pending;
+                        cut = true;
+                        break 'ops;
+                    }
+                    Err(e) => panic!("{strategy} seed {seed}: checkpoint failed: {e}"),
+                }
+                result = apply_op(&mut engine, &mut ssd, key, op, t);
+            }
+            match result {
+                Ok(done) => {
+                    t = done;
+                    if !saved.iter().any(|&(k, _)| k == key) {
+                        saved.push((key, entry));
+                    }
+                    shadow[key as usize] = ShadowKey {
+                        version: next.version,
+                        deleted: next.delete,
+                    };
+                    pending.push(next);
+                }
                 Err(e) if is_power_loss(&e) => {
+                    for &(k, old) in &saved {
+                        shadow[k as usize] = old;
+                    }
+                    pending.push(next);
+                    inflight = pending;
                     cut = true;
                     break 'ops;
                 }
-                Err(e) => panic!("{strategy} seed {seed}: checkpoint failed: {e}"),
+                Err(e) => panic!("{strategy} seed {seed}: op failed: {e}"),
             }
-            result = apply_op(&mut engine, &mut ssd, key, op, t);
         }
-        match result {
-            Ok(done) => {
-                t = done;
-                shadow[key as usize] = ShadowKey {
-                    version: next.version,
-                    deleted: next.delete,
-                };
-            }
-            Err(e) if is_power_loss(&e) => {
-                inflight = Some(next);
-                cut = true;
-                break 'ops;
-            }
-            Err(e) => panic!("{strategy} seed {seed}: op failed: {e}"),
-        }
+        // Batch completed: its staged shadow entries are now acked.
     }
     Driven {
         ssd,
@@ -265,25 +308,29 @@ impl Verdict {
 }
 
 /// Checks every key of the recovered engine against the shadow model,
-/// tolerating only the single in-flight operation in either state.
+/// tolerating only the in-flight (admitted, unacked) operations in
+/// either state. The engine issues a batch sequentially, so only a
+/// prefix of `inflight` can have reached the journal; any of those
+/// versions — or the pre-batch acked one — is an acceptable recovered
+/// state, and anything else is a loss or a resurrection.
 fn verify(
     engine: &mut KvEngine,
     ssd: &mut Ssd,
     shadow: &[ShadowKey],
-    inflight: Option<Inflight>,
+    inflight: &[Inflight],
     t: SimTime,
     announce: bool,
 ) -> Verdict {
     let mut v = Verdict::default();
     for (key, exp) in shadow.iter().enumerate() {
         let key = key as u64;
-        let infl = inflight.filter(|i| i.key == key);
+        let infl: Vec<&Inflight> = inflight.iter().filter(|i| i.key == key).collect();
         v.checked += 1;
         let read = engine.get(ssd, key, t);
         match (exp.deleted, read) {
             (false, Ok(r)) => {
                 let ok = r.version == exp.version
-                    || matches!(infl, Some(i) if !i.delete && r.version == i.version);
+                    || infl.iter().any(|i| !i.delete && r.version == i.version);
                 if !ok {
                     if r.version < exp.version {
                         v.losses += 1;
@@ -305,7 +352,7 @@ fn verify(
                 }
             }
             (false, Err(EngineError::UnknownKey(_))) => {
-                if !matches!(infl, Some(i) if i.delete) {
+                if !infl.iter().any(|i| i.delete) {
                     v.losses += 1;
                     if announce {
                         eprintln!("  LOSS key {key}: acked v{} unreadable", exp.version);
@@ -314,7 +361,7 @@ fn verify(
             }
             (true, Err(EngineError::UnknownKey(_))) => {}
             (true, Ok(r)) => {
-                let ok = matches!(infl, Some(i) if !i.delete && r.version == i.version);
+                let ok = infl.iter().any(|i| !i.delete && r.version == i.version);
                 if !ok {
                     v.resurrections += 1;
                     if announce {
@@ -331,13 +378,14 @@ fn verify(
     v
 }
 
-/// Profiling pass: same seed, no faults injected, full per-tick trace.
-fn profile(strategy: Strategy, seed: u64) -> Vec<(FaultOp, FaultPhase)> {
+/// Profiling pass: same seed and batch, no faults injected, full
+/// per-tick trace (tick indices only match a drive with the same batch).
+fn profile(strategy: Strategy, seed: u64, batch: u32) -> Vec<(FaultOp, FaultPhase)> {
     let plan = FaultPlan::new(FaultConfig {
         record_trace: true,
         ..FaultConfig::default()
     });
-    let d = drive(strategy, seed, Some(plan));
+    let d = drive(strategy, seed, Some(plan), batch);
     d.ssd
         .ftl()
         .flash()
@@ -378,18 +426,45 @@ fn choose_cuts(trace: &[(FaultOp, FaultPhase)], rng: &mut TestRng, total: usize)
     ticks
 }
 
+/// Picks cut ticks for the batched tier: evenly spaced steady-state
+/// (non-checkpoint, non-GC) ticks. Checkpoints sit at batch boundaries
+/// where nothing is unacked, so targeting them — as [`choose_cuts`]
+/// does — would never land inside a batch.
+fn choose_mid_batch_cuts(trace: &[(FaultOp, FaultPhase)], total: usize) -> Vec<u64> {
+    let normals: Vec<u64> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.1 == FaultPhase::Normal)
+        .map(|(i, _)| i as u64 + 1)
+        .collect();
+    let mut ticks: Vec<u64> = (1..=total)
+        .filter_map(|i| normals.get(i * normals.len() / (total + 1)).copied())
+        .collect();
+    ticks.sort_unstable();
+    ticks.dedup();
+    ticks
+}
+
 /// One combo: drive to the cut, recover the device and the engine,
-/// verify against the shadow. With `sabotage`, the capacitor-backed
-/// write buffer is dropped before recovery — the verdict must then show
-/// losses, proving the harness detects broken recovery.
-fn run_cut(strategy: Strategy, seed: u64, cut_tick: u64, sabotage: bool) -> Verdict {
+/// verify against the shadow. Returns the verdict plus the number of
+/// admitted-but-unacked ops at the cut (> 1 means the cut landed mid
+/// batch). With `sabotage`, the capacitor-backed write buffer is
+/// dropped before recovery — the verdict must then show losses, proving
+/// the harness detects broken recovery.
+fn run_cut(
+    strategy: Strategy,
+    seed: u64,
+    cut_tick: u64,
+    sabotage: bool,
+    batch: u32,
+) -> (Verdict, usize) {
     let plan = FaultPlan::new(FaultConfig::power_cut(seed ^ cut_tick, cut_tick));
-    let mut d = drive(strategy, seed, Some(plan));
+    let mut d = drive(strategy, seed, Some(plan), batch);
     if !d.ssd.powered_off() {
         // The schedule outlived the workload: cut at the end so the
         // recovery path always runs. Nothing was in flight.
         d.ssd.ftl_mut().flash_mut().cut_power();
-        d.inflight = None;
+        d.inflight.clear();
     }
     if sabotage {
         d.ssd.ftl_mut().sabotage_drop_write_buffer();
@@ -406,7 +481,14 @@ fn run_cut(strategy: Strategy, seed: u64, cut_tick: u64, sabotage: bool) -> Verd
         d.t,
     )
     .expect("engine recovery");
-    let verdict = verify(&mut engine, &mut d.ssd, &d.shadow, d.inflight, t, !sabotage);
+    let verdict = verify(
+        &mut engine,
+        &mut d.ssd,
+        &d.shadow,
+        &d.inflight,
+        t,
+        !sabotage,
+    );
     if !sabotage {
         d.ssd
             .ftl()
@@ -416,7 +498,7 @@ fn run_cut(strategy: Strategy, seed: u64, cut_tick: u64, sabotage: bool) -> Verd
             .insert(&mut d.ssd, 0, 512, t)
             .expect("post-recovery write");
     }
-    verdict
+    (verdict, d.inflight.len())
 }
 
 /// Media-noise accounting collected across the noise tier.
@@ -440,10 +522,10 @@ fn run_noise(strategy: Strategy, seed: u64) -> (Verdict, MediaStats) {
         grown_bad_block: 0.0008,
         ..FaultConfig::default()
     });
-    let mut d = drive(strategy, seed, Some(plan));
+    let mut d = drive(strategy, seed, Some(plan), 1);
     assert!(!d.cut, "noise tier has no power cut");
     let mut engine = d.engine;
-    let verdict = verify(&mut engine, &mut d.ssd, &d.shadow, None, d.t, true);
+    let verdict = verify(&mut engine, &mut d.ssd, &d.shadow, &[], d.t, true);
     d.ssd
         .ftl()
         .check_invariants()
@@ -462,12 +544,12 @@ fn run_noise(strategy: Strategy, seed: u64) -> (Verdict, MediaStats) {
 fn sabotage_self_test(combos: &mut u64) -> bool {
     let strategy = Strategy::CheckIn;
     let seed = MATRIX_SEED ^ 0x5AB0_7A6E;
-    let trace_len = profile(strategy, seed).len() as u64;
+    let trace_len = profile(strategy, seed, 1).len() as u64;
     let mut rng = TestRng::seed_from(seed);
     for _ in 0..8 {
         let tick = rng.range_u64(trace_len / 4, trace_len.max(2) - 1);
         *combos += 1;
-        if !run_cut(strategy, seed, tick, true).clean() {
+        if !run_cut(strategy, seed, tick, true, 1).0.clean() {
             return true;
         }
     }
@@ -521,7 +603,7 @@ fn main() {
             let seed = MATRIX_SEED.wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 ^ (strategy.default_unit_bytes() as u64)
                 ^ (strategy.label().len() as u64) << 32;
-            let trace = profile(strategy, seed);
+            let trace = profile(strategy, seed, 1);
             let mut rng = TestRng::seed_from(seed ^ 0xC07);
             let cuts = choose_cuts(&trace, &mut rng, cuts_per_workload);
             let mut phases = Vec::new();
@@ -537,7 +619,7 @@ fn main() {
                     FaultPhase::Normal => phase_cuts[3] += 1,
                 }
                 combos += 1;
-                let v = run_cut(strategy, seed, tick, false);
+                let (v, _) = run_cut(strategy, seed, tick, false, 1);
                 if !v.clean() {
                     eprintln!(
                         "  ^ combo: {} seed {s} cut tick {tick} ({})",
@@ -553,6 +635,47 @@ fn main() {
                 trace.len(),
                 cuts,
                 phases.join(",")
+            );
+        }
+    }
+
+    // Same durability contract, but the client admits ops in groups of
+    // 16 and acks only whole batches — cuts that land mid-batch must
+    // leave every unacked op in either its old or new state, with no
+    // dropped or double-applied acked write.
+    section("batched-admission power-cut sweep (admission batch 16)");
+    let batch = 16u32;
+    let batched_seeds: u64 = if quick { 1 } else { 2 };
+    let mut mid_batch_cuts = 0u64;
+    for &strategy in &strategies {
+        for s in 0..batched_seeds {
+            let seed = MATRIX_SEED.wrapping_add(s.wrapping_mul(0xD1B5_4A32_D192_ED03))
+                ^ (strategy.default_unit_bytes() as u64) << 8
+                ^ 0xBA7C_4ED0;
+            let trace = profile(strategy, seed, batch);
+            let cuts = choose_mid_batch_cuts(&trace, cuts_per_workload);
+            let mut unacked = Vec::new();
+            for &tick in &cuts {
+                combos += 1;
+                let (v, pending) = run_cut(strategy, seed, tick, false, batch);
+                unacked.push(pending);
+                if pending > 1 {
+                    mid_batch_cuts += 1;
+                }
+                if !v.clean() {
+                    eprintln!(
+                        "  ^ combo: {} seed {s} batch {batch} cut tick {tick} \
+                         ({pending} ops unacked)",
+                        strategy.label()
+                    );
+                }
+                total.absorb(v);
+            }
+            println!(
+                "  {:<9} seed {s}: cuts at {:?}, unacked ops {:?}",
+                strategy.label(),
+                cuts,
+                unacked
             );
         }
     }
@@ -593,6 +716,7 @@ fn main() {
         "  cut phases        remap {}, gc {}, dealloc {}, steady {}",
         phase_cuts[0], phase_cuts[1], phase_cuts[2], phase_cuts[3]
     );
+    println!("  mid-batch cuts    {mid_batch_cuts}");
     println!("  keys checked      {}", total.checked);
     println!("  acked losses      {}", total.losses);
     println!("  resurrections     {}", total.resurrections);
@@ -614,6 +738,10 @@ fn main() {
             "FAIL: matrix missed a required cut phase (remap {}, gc {})",
             phase_cuts[0], phase_cuts[1]
         );
+        failed = true;
+    }
+    if mid_batch_cuts == 0 {
+        eprintln!("FAIL: no cut landed mid-batch — the batched tier exercised nothing new");
         failed = true;
     }
     if !detected {

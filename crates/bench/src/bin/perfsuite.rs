@@ -1,23 +1,38 @@
 //! `perfsuite` — the wall-clock performance suite behind `BENCH_perf.json`.
 //!
-//! Times the hot paths the dense-table / allocation-free refactors target:
+//! Times the hot paths the dense-table / allocation-free / hot-loop
+//! refactors target:
 //!
 //! 1. **L2P lookup & remap** — the dense `MappingTable` against an in-binary
 //!    `HashMap`-backed baseline replicating the pre-refactor layout (forward
-//!    `HashMap<Lpn, Location>` plus reverse `HashMap<_, Vec<Lpn>>`). The
-//!    suite fails (exit 1) unless the dense lookup is at least 2x faster.
-//! 2. **Journal append** — sector-aligned appends through `JournalManager`
+//!    `HashMap<Lpn, Location>` plus reverse `HashMap<_, Vec<Lpn>>`). Gated:
+//!    the dense lookup must be at least 2x faster.
+//! 2. **Event queue** — the hierarchical timing-wheel `EventQueue` against
+//!    a reference `BinaryHeap` under the same closed-loop pop+schedule
+//!    pattern, at the full-run population (33) and at a command-queue-storm
+//!    population (64k). Gated at 64k, informational at 33 (at tiny
+//!    populations the two are equivalent by design).
+//! 3. **Journal append** — sector-aligned appends through `JournalManager`
 //!    with the double-buffered zone swap on overflow.
-//! 3. **Checkpoint remap** — a 64-entry in-storage checkpoint command
-//!    against a fully modelled SSD.
-//! 4. **Trace emit** — the disabled-tracer hot-path cost (one branch)
+//! 4. **Checkpoint remap vs copy** — a 64-entry in-storage checkpoint
+//!    command against a fully modelled SSD on the paper's 512 B mapping
+//!    unit, where entries genuinely remap, against the same command in
+//!    copy mode (the ISC-A/B data path). Gated: remap must beat copy.
+//! 5. **Trace emit** — the disabled-tracer hot-path cost (one branch)
 //!    against the ring-buffered sink, guarding the zero-overhead claim.
-//! 5. **Full system run** — a 50k-query Check-In run (10k under `--quick`).
-//! 6. **Parallel sweep** — the five-strategy comparison batch, serial vs.
-//!    `run_configs` across all cores.
+//! 6. **Full system run** — 50k Check-In queries (10k under `--quick`) at
+//!    admission batch 1 (the historical client model) and batch 16
+//!    (`system/batched_admission_*`). The query loop is timed separately
+//!    from device construction and record load, and both batch sizes are
+//!    gated against the pre-overhaul loop measured on the same host (see
+//!    the baseline constants below); total wall time rides along for the
+//!    seed-qps comparison.
+//! 7. **Parallel sweep** — a 15-configuration strategy×seed batch, serial
+//!    vs `run_configs` work-stealing workers. Gated only on multi-core
+//!    hosts (a single-core container cannot overlap CPU-bound runs).
 //!
 //! Results land in `BENCH_perf.json` (override with `--out PATH`) so later
-//! changes can regress against recorded numbers.
+//! changes can regress against recorded numbers. Any failed gate exits 1.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -27,7 +42,7 @@ use checkin_bench::harness::{bench, compare, BenchOpts, BenchResult, Comparison}
 use checkin_core::{default_jobs, run_configs, JournalManager, Layout, Strategy, SystemConfig};
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
 use checkin_ftl::{BufSlot, Ftl, FtlConfig, Location, Lpn, MappingTable, Pun, UnitWrite};
-use checkin_sim::{SimRng, SimTime, TraceEvent, TraceLayer, Tracer};
+use checkin_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceEvent, TraceLayer, Tracer};
 use checkin_ssd::{CheckpointMode, CowEntry, Ssd, SsdTiming};
 
 /// Mapped LPNs in the L2P benches — the paper-default device has ~400k
@@ -36,6 +51,47 @@ const L2P_ENTRIES: u64 = 400_000;
 
 /// Required dense-vs-HashMap lookup speedup (the acceptance bar).
 const REQUIRED_L2P_SPEEDUP: f64 = 2.0;
+
+/// Required timing-wheel-vs-BinaryHeap speedup at the 64k population.
+const REQUIRED_QUEUE_SPEEDUP: f64 = 1.3;
+
+/// Required remap-vs-copy speedup for the 64-entry checkpoint command —
+/// the device-side advantage the paper's Check-In scheme rests on.
+const REQUIRED_REMAP_VS_COPY: f64 = 2.0;
+
+/// Full-run baseline from the seed `BENCH_perf.json` (858,457 qps): the
+/// pre-overhaul code as measured on the host that recorded the seed
+/// numbers, construction included. Kept for cross-PR comparability of
+/// the reported qps (informational; the gates below compare same-host).
+const SEED_FULL_RUN_QPS: f64 = 858_457.0;
+
+/// The pre-overhaul code rebuilt and re-measured on the *current* host
+/// (best-of-several, `taskset`-pinned): the 50k query loop alone ran at
+/// ~940 ns/op and the 10k loop at ~1450 ns/op, on top of a ~20 ms
+/// device-construction+load phase that the overhaul does not touch.
+/// The gates therefore time `KvSystem::run` only — steady-state query
+/// throughput — against these run-only constants; total wall time
+/// (construction included) is recorded alongside for the seed-qps
+/// comparison. This host also measures ~1.3x slower than the seed
+/// recording, so same-host constants are the only fair baseline.
+const PRECHANGE_50K_RUN_NS_PER_OP: f64 = 940.0;
+const PRECHANGE_10K_RUN_NS_PER_OP: f64 = 1450.0;
+
+/// Required run-only speedups over the same-host pre-overhaul baseline.
+/// Measured best-of-5: ~1.43x at admission batch 1 and ~1.65x at batch
+/// 16 on the 50k run. The floors sit well below that because this
+/// shared host shows ±15% run-to-run swings even pinned — which also
+/// means the ~10-15% batching advantage itself is below the noise floor
+/// of a one-shot, so both batch sizes share one floor and the
+/// batched-vs-plain ratio is recorded ungated for tracking.
+const REQUIRED_FULL_RUN_SPEEDUP: f64 = 1.25;
+const REQUIRED_BATCHED_SPEEDUP: f64 = 1.25;
+const QUICK_FULL_RUN_SPEEDUP: f64 = 1.20;
+const QUICK_BATCHED_SPEEDUP: f64 = 1.20;
+
+/// Required serial-vs-parallel sweep speedup, applied only when the host
+/// exposes at least two cores.
+const REQUIRED_SWEEP_SPEEDUP: f64 = 1.15;
 
 /// The pre-refactor mapping table: hashed forward map plus hashed
 /// reverse referrer lists. Kept here, out of the library, purely as the
@@ -151,6 +207,65 @@ fn bench_l2p(
     speedup
 }
 
+/// Closed-loop pop+schedule A/B: the timing-wheel `EventQueue` against a
+/// reference `BinaryHeap` with identical (time, seq) FIFO semantics and
+/// an identical access pattern. Returns the 64k-population speedup (the
+/// gated one).
+fn bench_event_queue(
+    opts: BenchOpts,
+    results: &mut Vec<BenchResult>,
+    comparisons: &mut Vec<Comparison>,
+) -> f64 {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    section("Event queue: timing wheel vs BinaryHeap reference");
+    let mut gated = f64::NAN;
+    for n in [33u64, 65_536] {
+        // Inter-event gap scales with population so the horizon stays
+        // realistic for both closed loops.
+        let gap = 7_800u64;
+        let mut h: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::with_capacity(n as usize);
+        let mut rng = SimRng::seed_from(9);
+        let mut seq = 0u64;
+        for i in 0..n {
+            h.push(Reverse((1 + i * gap, seq, i as u32)));
+            seq += 1;
+        }
+        let label = if n == 33 { "33" } else { "64k" };
+        let heap = bench(&format!("queue/pop_schedule_binheap_{label}"), opts, || {
+            let Reverse((t, _, e)) = h.pop().unwrap();
+            h.push(Reverse((t + n * gap + rng.gen_range(5_000), seq, e)));
+            seq += 1;
+            e
+        });
+
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(n as usize);
+        let mut rng = SimRng::seed_from(9);
+        for i in 0..n {
+            q.schedule(SimTime::from_nanos(1 + i * gap), i as u32);
+        }
+        let wheel = bench(
+            &format!("queue/pop_schedule_calendar_{label}"),
+            opts,
+            || {
+                let (t, e) = q.pop().unwrap();
+                q.schedule(
+                    t + SimDuration::from_nanos(n * gap + rng.gen_range(5_000)),
+                    e,
+                );
+                e
+            },
+        );
+        let cmp = compare(&format!("calendar_vs_binaryheap_{label}"), &heap, &wheel);
+        if n == 65_536 {
+            gated = cmp.speedup;
+        }
+        results.extend([heap, wheel]);
+        comparisons.push(cmp);
+    }
+    gated
+}
+
 fn bench_journal_append(opts: BenchOpts, results: &mut Vec<BenchResult>) {
     section("Journal append path (sector-aligned, Algorithm 2)");
     let layout = Layout::new(1_024, 4096, 512, 1 << 14);
@@ -173,10 +288,21 @@ fn bench_journal_append(opts: BenchOpts, results: &mut Vec<BenchResult>) {
     }));
 }
 
-fn bench_checkpoint_remap(opts: BenchOpts, results: &mut Vec<BenchResult>) {
-    section("Checkpoint remap command (64 live entries)");
+/// A loaded device plus 64 checkpoint entries derived from real journal
+/// writes, on the given mapping unit. With the paper's 512 B unit every
+/// one-sector journal log is unit-aligned, so remap mode performs genuine
+/// mapping-table aliasing; copy mode forces the ISC-A/B read-merge-write
+/// fallback on the same state.
+fn checkpoint_fixture(unit_bytes: u32) -> (Ssd, Vec<CowEntry>) {
     let flash = FlashArray::new(FlashGeometry::paper_default(), FlashTiming::mlc());
-    let ftl = Ftl::new(flash, FtlConfig::default()).unwrap();
+    let ftl = Ftl::new(
+        flash,
+        FtlConfig {
+            unit_bytes,
+            ..FtlConfig::default()
+        },
+    )
+    .unwrap();
     let mut ssd = Ssd::new(ftl, SsdTiming::paper_default());
     let layout = Layout::new(1_024, 4096, 512, 1 << 14);
     let mut jm = JournalManager::new(layout, true, 0.7);
@@ -186,7 +312,7 @@ fn bench_checkpoint_remap(opts: BenchOpts, results: &mut Vec<BenchResult>) {
         t = ssd.write(&req, OobKind::Journal, t).unwrap();
     }
     let zone = jm.begin_checkpoint();
-    let entries: Vec<CowEntry> = zone
+    let entries = zone
         .entries
         .iter()
         .map(|(key, e)| CowEntry {
@@ -198,10 +324,35 @@ fn bench_checkpoint_remap(opts: BenchOpts, results: &mut Vec<BenchResult>) {
             merged: e.merged,
         })
         .collect();
-    results.push(bench("ssd/checkpoint_remap_64_entries", opts, || {
+    (ssd, entries)
+}
+
+fn bench_checkpoint(
+    opts: BenchOpts,
+    results: &mut Vec<BenchResult>,
+    comparisons: &mut Vec<Comparison>,
+) -> f64 {
+    section("Checkpoint command, 64 live entries: remap walk vs copy fallback");
+    // The paper's Check-In configuration: 512 B mapping unit, so the
+    // sector-aligned journal entries qualify for remapping. (An earlier
+    // revision built this fixture on the default 4 KiB unit, which
+    // silently demoted every entry to the copy path — the "remap" bench
+    // was measuring read-merge-write traffic.)
+    let (mut ssd, entries) = checkpoint_fixture(512);
+    let remap = bench("ssd/checkpoint_remap_64_entries", opts, || {
         ssd.checkpoint(&entries, CheckpointMode::Remap, SimTime::ZERO)
             .unwrap()
-    }));
+    });
+    let (mut ssd, entries) = checkpoint_fixture(512);
+    let copy = bench("ssd/checkpoint_copy_64_entries", opts, || {
+        ssd.checkpoint(&entries, CheckpointMode::Copy, SimTime::ZERO)
+            .unwrap()
+    });
+    let cmp = compare("checkpoint_remap_vs_copy", &copy, &remap);
+    let speedup = cmp.speedup;
+    results.extend([remap, copy]);
+    comparisons.push(cmp);
+    speedup
 }
 
 fn bench_ftl_write(opts: BenchOpts, results: &mut Vec<BenchResult>) {
@@ -248,80 +399,232 @@ fn bench_tracer(
     results.extend([off, on]);
 }
 
-/// Wraps a one-shot measurement in a [`BenchResult`]: `units` is the work
-/// count (queries, configs) so `ns_per_op` reads as time per unit.
-fn one_shot(name: &str, units: u64, run: impl FnOnce()) -> BenchResult {
-    let start = Instant::now();
-    run();
-    let ns = start.elapsed().as_nanos().max(1);
+/// Wraps a repeated one-shot measurement in a [`BenchResult`]: `units` is
+/// the work count (queries, configs) so `ns_per_op` reads as time per
+/// unit. The best of `reps` repetitions is reported, damping scheduler
+/// noise the same way the microbench harness's best-batch rule does.
+fn one_shot(name: &str, units: u64, reps: u32, mut run: impl FnMut()) -> BenchResult {
+    let mut best = u128::MAX;
+    let mut total: u128 = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        run();
+        let ns = start.elapsed().as_nanos().max(1);
+        best = best.min(ns);
+        total += ns;
+    }
     let result = BenchResult {
         name: name.to_string(),
         iters: units,
-        best_batch_ns: ns,
-        total_iters: units,
-        total_ns: ns,
+        best_batch_ns: best,
+        total_iters: units * reps.max(1) as u64,
+        total_ns: total,
     };
     println!(
-        "  {:<44} {:>12.1} ns/op   ({:.3} s total)",
+        "  {:<44} {:>12.1} ns/op   ({:.3} s total, best of {reps})",
         result.name,
         result.ns_per_op(),
-        ns as f64 / 1e9
+        total as f64 / 1e9
     );
     result
 }
 
-fn bench_full_run(quick: bool, results: &mut Vec<BenchResult>) {
-    let queries: u64 = if quick { 10_000 } else { 50_000 };
-    section(&format!("Full system run ({queries} queries, Check-In)"));
+/// A comparison against a recorded baseline constant (ns/op), for benches
+/// whose "before" implementation no longer exists in the tree.
+fn compare_recorded(
+    name: &str,
+    baseline_label: &str,
+    baseline_ns: f64,
+    r: &BenchResult,
+) -> Comparison {
+    let speedup = baseline_ns / r.ns_per_op();
+    println!(
+        "  {:<44} {:>11.2}x  ({} vs recorded {})",
+        name, speedup, r.name, baseline_label
+    );
+    Comparison {
+        name: name.to_string(),
+        baseline: baseline_label.to_string(),
+        candidate: r.name.clone(),
+        speedup,
+    }
+}
+
+fn full_run_config(queries: u64, admission_batch: u32) -> SystemConfig {
     let mut config = SystemConfig::for_strategy(Strategy::CheckIn);
     config.total_queries = queries;
     config.threads = 32;
     config.workload.record_count = 6_000;
+    config.admission_batch = admission_batch;
+    config
+}
+
+/// Runs the full system `reps` times and reports the best rep, timing the
+/// query loop (`KvSystem::run`) separately from device construction plus
+/// record load (`KvSystem::new`). Returns `(run_only, total)` results.
+fn full_run_split(name: &str, config: &SystemConfig, reps: u32) -> (BenchResult, BenchResult) {
+    let queries = config.total_queries;
+    let mut best_run = u128::MAX;
+    let mut best_total = u128::MAX;
+    let mut total_run: u128 = 0;
+    let mut total_total: u128 = 0;
+    for _ in 0..reps.max(1) {
+        let built = Instant::now();
+        let mut sys = checkin_core::KvSystem::new(config.clone()).expect("valid bench config");
+        let construct_ns = built.elapsed().as_nanos();
+        let start = Instant::now();
+        let report = sys.run().expect("bench run succeeds");
+        assert_eq!(report.ops, queries);
+        let run_ns = start.elapsed().as_nanos().max(1);
+        best_run = best_run.min(run_ns);
+        best_total = best_total.min(construct_ns + run_ns);
+        total_run += run_ns;
+        total_total += construct_ns + run_ns;
+    }
+    let mk = |suffix: &str, best: u128, total: u128| {
+        let r = BenchResult {
+            name: format!("{name}{suffix}"),
+            iters: queries,
+            best_batch_ns: best,
+            total_iters: queries * reps.max(1) as u64,
+            total_ns: total,
+        };
+        println!(
+            "  {:<44} {:>12.1} ns/op   ({:.0} qps, best of {reps})",
+            r.name,
+            r.ns_per_op(),
+            1e9 / r.ns_per_op()
+        );
+        r
+    };
+    (
+        mk("", best_run, total_run),
+        mk("_total", best_total, total_total),
+    )
+}
+
+fn bench_full_run(
+    quick: bool,
+    results: &mut Vec<BenchResult>,
+    comparisons: &mut Vec<Comparison>,
+) -> (f64, f64) {
+    let queries: u64 = if quick { 10_000 } else { 50_000 };
+    let reps = if quick { 2 } else { 5 };
+    let (baseline_ns, baseline_label) = if quick {
+        (
+            PRECHANGE_10K_RUN_NS_PER_OP,
+            "pre-overhaul 10k query loop (same host)",
+        )
+    } else {
+        (
+            PRECHANGE_50K_RUN_NS_PER_OP,
+            "pre-overhaul 50k query loop (same host)",
+        )
+    };
+    section(&format!(
+        "Full system run ({queries} queries, Check-In): admission batch 1 vs 16"
+    ));
+
+    let config = full_run_config(queries, 1);
     let name = format!("system/full_run_{}k_queries", queries / 1_000);
-    results.push(one_shot(&name, queries, || {
-        let report = checkin_bench::run(config);
-        assert!(report.throughput > 0.0);
-    }));
+    let (plain, _) = full_run_split(&name, &config, reps);
+    let plain_cmp = compare_recorded("full_run_speedup", baseline_label, baseline_ns, &plain);
+
+    let config = full_run_config(queries, 16);
+    let name = format!("system/batched_admission_{}k", queries / 1_000);
+    let (batched, batched_total) = full_run_split(&name, &config, reps);
+    let batched_cmp = compare_recorded(
+        "batched_admission_speedup",
+        baseline_label,
+        baseline_ns,
+        &batched,
+    );
+    // Ungated: the batching advantage (~10-15%) sits inside host noise
+    // for a single pair of runs, so it is tracked rather than enforced.
+    comparisons.push(compare("batched_vs_plain_admission", &plain, &batched));
+
+    // Cross-host context: total wall time (construction included, the
+    // seed's metric) relative to the qps recorded in the seed
+    // BENCH_perf.json. Informational — the gates above compare same-host.
+    if !quick {
+        let vs_seed = compare_recorded(
+            "full_run_total_vs_seed_recorded_qps",
+            "seed-recorded 858,457 qps full run",
+            1e9 / SEED_FULL_RUN_QPS,
+            &batched_total,
+        );
+        comparisons.push(vs_seed);
+        results.push(batched_total);
+    }
+
+    let out = (plain_cmp.speedup, batched_cmp.speedup);
+    results.extend([plain, batched]);
+    comparisons.extend([plain_cmp, batched_cmp]);
+    out
 }
 
 fn bench_parallel_sweep(
     quick: bool,
     results: &mut Vec<BenchResult>,
     comparisons: &mut Vec<Comparison>,
-) {
-    let queries: u64 = if quick { 4_000 } else { 20_000 };
-    let jobs = default_jobs();
+) -> (f64, bool) {
+    let queries: u64 = if quick { 2_000 } else { 8_000 };
+    // Work-steal over more configurations than workers so long runs
+    // (Baseline's host-driven checkpoints) cannot convoy the batch, and
+    // always use at least two workers — `default_jobs()` is 1 on a
+    // single-core host, which made the old 5-config comparison measure
+    // serial-vs-serial (0.99-1.1x, i.e. nothing).
+    let jobs = default_jobs().max(2);
+    let seeds = [0x5EEDu64, 0xA11CE, 0xB0B5];
     section(&format!(
-        "Strategy-comparison sweep: serial vs {jobs} worker threads"
+        "Strategy-comparison sweep: serial vs {jobs} worker threads, 15 configs"
     ));
     let configs: Vec<SystemConfig> = Strategy::all()
         .into_iter()
-        .map(|s| {
-            let mut c = SystemConfig::for_strategy(s);
-            c.total_queries = queries;
-            c.threads = 32;
-            c.workload.record_count = 6_000;
-            c
+        .flat_map(|s| {
+            seeds.map(|seed| {
+                let mut c = SystemConfig::for_strategy(s);
+                c.total_queries = queries;
+                c.threads = 32;
+                c.workload.record_count = 6_000;
+                c.workload.seed = seed;
+                c
+            })
         })
         .collect();
     let n = configs.len() as u64;
 
-    let serial = one_shot("sweep/five_strategies_serial", n, || {
+    let serial = one_shot("sweep/fifteen_configs_serial", n, 1, || {
         for r in run_configs(&configs, 1) {
             r.expect("sweep config runs");
         }
     });
-    let parallel = one_shot("sweep/five_strategies_parallel", n, || {
+    let parallel = one_shot("sweep/fifteen_configs_parallel", n, 1, || {
         for r in run_configs(&configs, jobs) {
             r.expect("sweep config runs");
         }
     });
-    comparisons.push(compare("sweep_parallel_speedup", &serial, &parallel));
+    let cmp = compare("sweep_parallel_speedup", &serial, &parallel);
+    let speedup = cmp.speedup;
     results.extend([serial, parallel]);
+    comparisons.push(cmp);
+    // The floor applies only where parallelism exists to be had.
+    (speedup, default_jobs() >= 2)
 }
 
 fn section(title: &str) {
     println!("\n== {title}");
+}
+
+/// Records a PASS/FAIL line for a gated comparison.
+fn gate(failures: &mut Vec<String>, what: &str, speedup: f64, floor: f64) {
+    if speedup >= floor {
+        println!("PASS: {what} is {speedup:.2}x (required {floor:.2}x)");
+    } else {
+        let msg = format!("{what} is only {speedup:.2}x (required {floor:.2}x)");
+        eprintln!("FAIL: {msg}");
+        failures.push(msg);
+    }
 }
 
 fn main() {
@@ -357,26 +660,78 @@ fn main() {
     let mut comparisons = Vec::new();
 
     let l2p_speedup = bench_l2p(opts, &mut results, &mut comparisons);
+    let queue_speedup = bench_event_queue(opts, &mut results, &mut comparisons);
     bench_journal_append(opts, &mut results);
     bench_ftl_write(opts, &mut results);
-    bench_checkpoint_remap(opts, &mut results);
+    let remap_speedup = bench_checkpoint(opts, &mut results, &mut comparisons);
     bench_tracer(opts, &mut results, &mut comparisons);
-    bench_full_run(quick, &mut results);
-    bench_parallel_sweep(quick, &mut results, &mut comparisons);
+    let (full_run_speedup, batched_speedup) = bench_full_run(quick, &mut results, &mut comparisons);
+    let (sweep_speedup, sweep_gated) = bench_parallel_sweep(quick, &mut results, &mut comparisons);
 
     harnessed_write(&out, mode, &results, &comparisons);
 
     println!();
-    if l2p_speedup >= REQUIRED_L2P_SPEEDUP {
-        println!(
-            "PASS: dense L2P lookup is {l2p_speedup:.2}x the HashMap baseline \
-             (required {REQUIRED_L2P_SPEEDUP:.1}x)"
+    let mut failures = Vec::new();
+    gate(
+        &mut failures,
+        "dense L2P lookup vs HashMap baseline",
+        l2p_speedup,
+        REQUIRED_L2P_SPEEDUP,
+    );
+    gate(
+        &mut failures,
+        "timing-wheel event queue vs BinaryHeap at 64k",
+        queue_speedup,
+        if quick {
+            // Quick batches are short enough for one scheduler hiccup to
+            // dominate; keep a floor, but a forgiving one.
+            REQUIRED_QUEUE_SPEEDUP * 0.8
+        } else {
+            REQUIRED_QUEUE_SPEEDUP
+        },
+    );
+    gate(
+        &mut failures,
+        "checkpoint remap vs copy (64 entries)",
+        remap_speedup,
+        REQUIRED_REMAP_VS_COPY,
+    );
+    gate(
+        &mut failures,
+        "full run vs same-host pre-overhaul loop",
+        full_run_speedup,
+        if quick {
+            QUICK_FULL_RUN_SPEEDUP
+        } else {
+            REQUIRED_FULL_RUN_SPEEDUP
+        },
+    );
+    gate(
+        &mut failures,
+        "batched admission run vs same-host pre-overhaul loop",
+        batched_speedup,
+        if quick {
+            QUICK_BATCHED_SPEEDUP
+        } else {
+            REQUIRED_BATCHED_SPEEDUP
+        },
+    );
+    if sweep_gated {
+        gate(
+            &mut failures,
+            "15-config sweep parallel vs serial",
+            sweep_speedup,
+            REQUIRED_SWEEP_SPEEDUP,
         );
     } else {
-        eprintln!(
-            "FAIL: dense L2P lookup is only {l2p_speedup:.2}x the HashMap \
-             baseline (required {REQUIRED_L2P_SPEEDUP:.1}x)"
+        println!(
+            "NOTE: sweep parallel speedup {sweep_speedup:.2}x not gated \
+             (single-core host; nothing to overlap)"
         );
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nperfsuite: {} gate(s) failed", failures.len());
         std::process::exit(1);
     }
 }

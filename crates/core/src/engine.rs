@@ -2,7 +2,7 @@
 //! journaling layer (Figure 5's Check-In engine, parameterised so the same
 //! engine also behaves as the conventional baseline).
 
-use checkin_flash::OobKind;
+use checkin_flash::{Fragment, OobKind};
 use checkin_sim::{CounterSet, SimTime, TraceEvent, TraceLayer, Tracer};
 use checkin_ssd::{ReadRequest, Ssd, SsdError, WriteContent, WriteRequest, SECTOR_BYTES};
 
@@ -104,6 +104,8 @@ pub struct KvEngine {
     checkpoint_seq: u64,
     counters: CounterSet,
     tracer: Tracer,
+    /// Reused fragment buffer so steady-state reads never allocate.
+    read_scratch: Vec<Fragment>,
 }
 
 /// Committed per-key engine state (one flat-array slot).
@@ -144,6 +146,7 @@ impl KvEngine {
             checkpoint_seq: 0,
             counters: CounterSet::new(),
             tracer: Tracer::disabled(),
+            read_scratch: Vec::new(),
         }
     }
 
@@ -273,18 +276,26 @@ impl KvEngine {
                 false,
             ),
         };
-        let (frags, finish) = ssd.read(
+        self.read_scratch.clear();
+        let finish = ssd.read_into(
             &ReadRequest {
                 lba,
                 sectors,
                 key: Some(key),
             },
             at,
+            &mut self.read_scratch,
         )?;
-        let version = frags.iter().map(|f| f.version).max().unwrap_or(0);
+        let version = self
+            .read_scratch
+            .iter()
+            .map(|f| f.version)
+            .max()
+            .unwrap_or(0);
         debug_assert_eq!(
             version, expected,
-            "read of key {key} returned stale version (strategy={:?}, from_journal={from_journal}, lba={lba}, sectors={sectors}, frags={frags:?})", self.strategy
+            "read of key {key} returned stale version (strategy={:?}, from_journal={from_journal}, lba={lba}, sectors={sectors}, frags={:?})",
+            self.strategy, self.read_scratch
         );
         self.tracer.emit(|| {
             TraceEvent::new(finish, TraceLayer::Engine, "get")

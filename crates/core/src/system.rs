@@ -238,10 +238,11 @@ impl KvSystem {
                 events.schedule(start, Event::Client(i));
             }
         }
-        events.schedule(
-            start + self.config.checkpoint_interval,
-            Event::CheckpointTick,
-        );
+        // Time of the pending periodic tick: admission batches must not
+        // execute operations past it, or the tick would fire later than
+        // it would under one-op-per-event admission.
+        let mut next_tick = start + self.config.checkpoint_interval;
+        events.schedule(next_tick, Event::CheckpointTick);
 
         let mut completed = 0u64;
         let mut last_finish = start;
@@ -272,7 +273,8 @@ impl KvSystem {
                             .map_err(EngineError::Ssd)?;
                         last_finish = last_finish.max(gc_done);
                     }
-                    events.schedule(now + self.config.checkpoint_interval, Event::CheckpointTick);
+                    next_tick = now + self.config.checkpoint_interval;
+                    events.schedule(next_tick, Event::CheckpointTick);
                 }
                 Event::Client(thread) => {
                     if quota[thread as usize] == 0 {
@@ -282,63 +284,88 @@ impl KvSystem {
                         events.schedule(cp_active_until, Event::Client(thread));
                         continue;
                     }
-                    let during_cp = now < cp_active_until;
-                    let op = self.generators[thread as usize].next_op();
-                    let cpu = host.schedule(now, self.config.host_cpu_per_op).1;
-                    let finish = self.execute_op(op, cpu.finish, &mut cp)?;
-                    let latency = finish.duration_since(now);
-                    lat_all.record(latency);
-                    match op {
-                        Operation::Read { .. } => {
-                            lat_read.record(latency);
-                            if during_cp {
-                                lat_read_cp.record(latency);
+                    // Admit up to `admission_batch` operations from this
+                    // client under a single queue event. The whole burst is
+                    // *submitted* at `now` — the client model changes from
+                    // queue-depth-1 to queue-depth-k — and the next event
+                    // fires when the slowest op of the burst completes.
+                    // Every op therefore starts strictly before the pending
+                    // periodic tick (the tick would have popped first), and
+                    // a size-triggered checkpoint closes the batch below,
+                    // so no batch straddles a checkpoint boundary. All
+                    // resource reservations happen at `now`, in pop order,
+                    // keeping device contention causally ordered exactly
+                    // like one-op-per-event admission.
+                    debug_assert!(now < next_tick || self.config.admission_batch == 1);
+                    let mut batch_end = now;
+                    for _ in 0..self.config.admission_batch {
+                        let during_cp = now < cp_active_until;
+                        let op = self.generators[thread as usize].next_op();
+                        let cpu = host.schedule(now, self.config.host_cpu_per_op).1;
+                        let finish = self.execute_op(op, cpu.finish, &mut cp)?;
+                        let latency = finish.duration_since(now);
+                        lat_all.record(latency);
+                        match op {
+                            Operation::Read { .. } => {
+                                lat_read.record(latency);
+                                if during_cp {
+                                    lat_read_cp.record(latency);
+                                }
+                            }
+                            _ => {
+                                lat_write.record(latency);
+                                if during_cp {
+                                    lat_write_cp.record(latency);
+                                }
                             }
                         }
-                        _ => {
-                            lat_write.record(latency);
-                            if during_cp {
-                                lat_write_cp.record(latency);
-                            }
+                        completed += 1;
+                        quota[thread as usize] -= 1;
+                        last_finish = last_finish.max(finish);
+
+                        let bucket = (finish.duration_since(start).as_nanos()
+                            / bucket_width.as_nanos().max(1))
+                            as usize;
+                        if timeline.len() <= bucket {
+                            timeline.resize(
+                                bucket + 1,
+                                TimelinePoint {
+                                    at: SimDuration::ZERO,
+                                    worst: SimDuration::ZERO,
+                                    count: 0,
+                                },
+                            );
                         }
-                    }
-                    completed += 1;
-                    quota[thread as usize] -= 1;
-                    last_finish = last_finish.max(finish);
+                        let point = &mut timeline[bucket];
+                        point.worst = point.worst.max(latency);
+                        point.count += 1;
+                        batch_end = batch_end.max(finish);
 
-                    let bucket = (finish.duration_since(start).as_nanos()
-                        / bucket_width.as_nanos().max(1)) as usize;
-                    if timeline.len() <= bucket {
-                        timeline.resize(
-                            bucket + 1,
-                            TimelinePoint {
-                                at: SimDuration::ZERO,
-                                worst: SimDuration::ZERO,
-                                count: 0,
-                            },
-                        );
-                    }
-                    let point = &mut timeline[bucket];
-                    point.worst = point.worst.max(latency);
-                    point.count += 1;
-
-                    // Size-based checkpoint trigger.
-                    if op.is_write()
-                        && finish >= cp_active_until
-                        && self.engine.journal().zone_used_sectors()
-                            >= self.config.journal_trigger_sectors
-                    {
-                        let out = self.engine.checkpoint(&mut self.ssd, finish)?;
-                        cp_active_until = out.finish;
-                        cp.absorb(&out, finish);
-                        let (_, gc_done) = self
-                            .ssd
-                            .background_gc(out.finish, self.config.background_gc_rounds)
-                            .map_err(EngineError::Ssd)?;
-                        last_finish = last_finish.max(gc_done);
+                        // Size-based checkpoint trigger. A fired trigger
+                        // closes the batch so no operation in this batch
+                        // straddles the checkpoint (and, in lock mode, so
+                        // no further op is admitted inside the window).
+                        if op.is_write()
+                            && finish >= cp_active_until
+                            && self.engine.journal().zone_used_sectors()
+                                >= self.config.journal_trigger_sectors
+                        {
+                            let out = self.engine.checkpoint(&mut self.ssd, finish)?;
+                            cp_active_until = out.finish;
+                            cp.absorb(&out, finish);
+                            let (_, gc_done) = self
+                                .ssd
+                                .background_gc(out.finish, self.config.background_gc_rounds)
+                                .map_err(EngineError::Ssd)?;
+                            last_finish = last_finish.max(gc_done);
+                            break;
+                        }
+                        if quota[thread as usize] == 0 {
+                            break;
+                        }
                     }
                     if quota[thread as usize] > 0 {
-                        events.schedule(finish, Event::Client(thread));
+                        events.schedule(batch_end, Event::Client(thread));
                     }
                 }
             }
@@ -576,6 +603,73 @@ mod tests {
         let report = KvSystem::new(c).unwrap().run().unwrap();
         assert_eq!(report.ops, 3_000);
         assert!(report.checkpoint_mean > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batched_admission_conserves_ops_and_is_deterministic() {
+        let mut c = quick_config(Strategy::CheckIn);
+        c.admission_batch = 8;
+        let r1 = KvSystem::new(c.clone()).unwrap().run().unwrap();
+        let r2 = KvSystem::new(c).unwrap().run().unwrap();
+        assert_eq!(r1.ops, 3_000);
+        assert!(r1.checkpoints > 0);
+        assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.latency.p999, r2.latency.p999);
+        assert_eq!(r1.checkpoints, r2.checkpoints);
+        assert_eq!(r1.flash.programs, r2.flash.programs);
+    }
+
+    /// Quotas are fixed per thread and generators are seeded per thread,
+    /// so every admission batch size executes the same per-thread op
+    /// streams — only their interleaving in time changes. The final
+    /// logical state (per-key version = number of updates applied) must
+    /// therefore be identical, and no operation may be dropped or run
+    /// twice.
+    #[test]
+    fn final_state_independent_of_admission_batch() {
+        let mut reports = Vec::new();
+        let mut versions: Vec<Vec<u64>> = Vec::new();
+        for batch in [1u32, 7, 64] {
+            let mut c = quick_config(Strategy::CheckIn);
+            c.admission_batch = batch;
+            let mut system = KvSystem::new(c).unwrap();
+            let report = system.run().unwrap();
+            system.ssd().ftl().check_invariants().unwrap();
+            let keys = system.engine().loaded_keys() as u64;
+            let mut t = SimTime::MAX - SimDuration::from_secs(1_000_000);
+            versions.push(
+                (0..keys)
+                    .map(|key| {
+                        let r = system.engine.get(&mut system.ssd, key, t).unwrap();
+                        t = r.finish;
+                        r.version
+                    })
+                    .collect(),
+            );
+            reports.push(report);
+        }
+        for r in &reports {
+            assert_eq!(r.ops, 3_000);
+        }
+        assert_eq!(versions[0], versions[1]);
+        assert_eq!(versions[0], versions[2]);
+    }
+
+    #[test]
+    fn lock_mode_completes_with_batching() {
+        let mut c = quick_config(Strategy::IscB);
+        c.lock_queries_during_checkpoint = true;
+        c.admission_batch = 16;
+        let report = KvSystem::new(c).unwrap().run().unwrap();
+        assert_eq!(report.ops, 3_000);
+        assert!(report.checkpoints > 0);
+    }
+
+    #[test]
+    fn zero_admission_batch_rejected() {
+        let mut c = quick_config(Strategy::CheckIn);
+        c.admission_batch = 0;
+        assert!(KvSystem::new(c).is_err());
     }
 
     #[test]

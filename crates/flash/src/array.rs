@@ -86,6 +86,10 @@ pub struct FlashArray {
     powered_off: bool,
     /// Blocks with grown permanent defects.
     bad_blocks: Vec<bool>,
+    /// Cleared [`PageContent`] shells harvested by [`FlashArray::erase`],
+    /// handed back out by [`FlashArray::spare_page`] so the firmware's
+    /// steady-state program path reuses buffers instead of allocating.
+    spare_pages: Vec<PageContent>,
 }
 
 impl FlashArray {
@@ -122,6 +126,27 @@ impl FlashArray {
             tracer: Tracer::disabled(),
             powered_off: false,
             bad_blocks: vec![false; geometry.total_blocks() as usize],
+            spare_pages: Vec::new(),
+        }
+    }
+
+    /// Number of recycled page-content shells currently pooled (tests
+    /// use this to confirm steady state has been reached).
+    pub fn spare_page_count(&self) -> usize {
+        self.spare_pages.len()
+    }
+
+    /// Hands out a cleared page-content shell with `units` empty slots,
+    /// reusing a buffer harvested from an earlier erase when one is
+    /// available. In steady state (programs balanced by GC erases) this
+    /// makes page programming allocation-free.
+    pub fn spare_page(&mut self, units: usize) -> PageContent {
+        match self.spare_pages.pop() {
+            Some(mut c) => {
+                c.units.resize(units, None);
+                c
+            }
+            None => PageContent::empty(units),
         }
     }
 
@@ -421,9 +446,19 @@ impl FlashArray {
             *p = PageState::Erased;
         }
         let erase_count = state.erase_count;
+        // Programs outpace erases between checkpoints (journal blocks are
+        // only recycled at zone retirement), so keep enough shells to cover
+        // a full inter-checkpoint window of page programs.
+        let pool_cap = (self.geometry.pages_per_block as usize * 16).min(4096);
         let first = self.geometry.first_ppn(block);
         for off in 0..self.geometry.pages_per_block as u64 {
-            self.store[(first.0 + off) as usize] = None;
+            if let Some(mut c) = self.store[(first.0 + off) as usize].take() {
+                if self.spare_pages.len() < pool_cap {
+                    c.units.clear();
+                    c.oob.clear();
+                    self.spare_pages.push(c);
+                }
+            }
         }
         let die = self.geometry.die_of_block(block) as usize;
         let window = self.dies[die].schedule(at, self.timing.t_erase);

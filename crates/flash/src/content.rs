@@ -17,6 +17,192 @@ pub struct Fragment {
     pub bytes: u32,
 }
 
+/// A fragment list that stores up to two fragments inline.
+///
+/// Units nearly always carry one fragment (a whole record or its tail),
+/// so the common case needs no heap allocation at all — the simulator
+/// creates one of these per host write on the hot path. Longer merged
+/// lists spill to a `Vec` transparently.
+#[derive(Debug, Clone)]
+enum FragRepr {
+    Inline {
+        len: u8,
+        frags: [Fragment; FragVec::INLINE],
+    },
+    Spilled(Vec<Fragment>),
+}
+
+/// Small-vector of [`Fragment`]s; derefs to a slice.
+#[derive(Debug, Clone)]
+pub struct FragVec {
+    repr: FragRepr,
+}
+
+impl FragVec {
+    /// Fragments stored without heap allocation.
+    pub const INLINE: usize = 2;
+
+    const FILLER: Fragment = Fragment {
+        key: 0,
+        version: 0,
+        bytes: 0,
+    };
+
+    /// An empty fragment list (inline, no allocation).
+    pub const fn new() -> Self {
+        FragVec {
+            repr: FragRepr::Inline {
+                len: 0,
+                frags: [Self::FILLER; Self::INLINE],
+            },
+        }
+    }
+
+    /// Appends a fragment, spilling to the heap past [`FragVec::INLINE`].
+    pub fn push(&mut self, f: Fragment) {
+        match &mut self.repr {
+            FragRepr::Inline { len, frags } => {
+                if (*len as usize) < Self::INLINE {
+                    frags[*len as usize] = f;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE * 2);
+                    v.extend_from_slice(frags);
+                    v.push(f);
+                    self.repr = FragRepr::Spilled(v);
+                }
+            }
+            FragRepr::Spilled(v) => v.push(f),
+        }
+    }
+
+    /// The fragments as a slice.
+    pub fn as_slice(&self) -> &[Fragment] {
+        match &self.repr {
+            FragRepr::Inline { len, frags } => &frags[..*len as usize],
+            FragRepr::Spilled(v) => v,
+        }
+    }
+
+    /// The fragments as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [Fragment] {
+        match &mut self.repr {
+            FragRepr::Inline { len, frags } => &mut frags[..*len as usize],
+            FragRepr::Spilled(v) => v,
+        }
+    }
+}
+
+impl Default for FragVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for FragVec {
+    type Target = [Fragment];
+    fn deref(&self) -> &[Fragment] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for FragVec {
+    fn deref_mut(&mut self) -> &mut [Fragment] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for FragVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FragVec {}
+
+impl FromIterator<Fragment> for FragVec {
+    fn from_iter<I: IntoIterator<Item = Fragment>>(iter: I) -> Self {
+        let mut fv = FragVec::new();
+        for f in iter {
+            fv.push(f);
+        }
+        fv
+    }
+}
+
+impl Extend<Fragment> for FragVec {
+    fn extend<I: IntoIterator<Item = Fragment>>(&mut self, iter: I) {
+        for f in iter {
+            self.push(f);
+        }
+    }
+}
+
+impl From<Vec<Fragment>> for FragVec {
+    fn from(v: Vec<Fragment>) -> Self {
+        if v.len() <= Self::INLINE {
+            v.into_iter().collect()
+        } else {
+            FragVec {
+                repr: FragRepr::Spilled(v),
+            }
+        }
+    }
+}
+
+/// By-value iteration (fragments are `Copy`).
+pub struct FragVecIter {
+    inner: FragVecIterRepr,
+}
+
+enum FragVecIterRepr {
+    Inline {
+        idx: u8,
+        len: u8,
+        frags: [Fragment; FragVec::INLINE],
+    },
+    Spilled(std::vec::IntoIter<Fragment>),
+}
+
+impl Iterator for FragVecIter {
+    type Item = Fragment;
+    fn next(&mut self) -> Option<Fragment> {
+        match &mut self.inner {
+            FragVecIterRepr::Inline { idx, len, frags } => {
+                if idx < len {
+                    let f = frags[*idx as usize];
+                    *idx += 1;
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            FragVecIterRepr::Spilled(it) => it.next(),
+        }
+    }
+}
+
+impl IntoIterator for FragVec {
+    type Item = Fragment;
+    type IntoIter = FragVecIter;
+    fn into_iter(self) -> FragVecIter {
+        FragVecIter {
+            inner: match self.repr {
+                FragRepr::Inline { len, frags } => FragVecIterRepr::Inline { idx: 0, len, frags },
+                FragRepr::Spilled(v) => FragVecIterRepr::Spilled(v.into_iter()),
+            },
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FragVec {
+    type Item = &'a Fragment;
+    type IntoIter = std::slice::Iter<'a, Fragment>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Content of one FTL mapping unit within a page.
 ///
 /// A unit normally holds one fragment; sector-aligned journaling's
@@ -24,24 +210,26 @@ pub struct Fragment {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct UnitPayload {
     /// Fragments packed into this unit, in placement order.
-    pub fragments: Vec<Fragment>,
+    pub fragments: FragVec,
 }
 
 impl UnitPayload {
-    /// A unit holding a single record fragment.
+    /// A unit holding a single record fragment (no heap allocation).
     pub fn single(key: u64, version: u64, bytes: u32) -> Self {
-        UnitPayload {
-            fragments: vec![Fragment {
-                key,
-                version,
-                bytes,
-            }],
-        }
+        let mut fragments = FragVec::new();
+        fragments.push(Fragment {
+            key,
+            version,
+            bytes,
+        });
+        UnitPayload { fragments }
     }
 
     /// A unit holding several merged small records.
-    pub fn merged(fragments: Vec<Fragment>) -> Self {
-        UnitPayload { fragments }
+    pub fn merged(fragments: impl Into<FragVec>) -> Self {
+        UnitPayload {
+            fragments: fragments.into(),
+        }
     }
 
     /// Total payload bytes in this unit.

@@ -41,7 +41,7 @@ mod phase;
 mod timing;
 
 pub use array::FlashArray;
-pub use content::{Fragment, OobEntry, OobKind, PageContent, UnitPayload};
+pub use content::{FragVec, Fragment, OobEntry, OobKind, PageContent, UnitPayload};
 pub use error::{ErrorClass, FlashError};
 pub use fault::{FaultConfig, FaultOp, FaultPhase, FaultPlan};
 pub use geometry::{BlockId, FlashGeometry, Ppa, Ppn};

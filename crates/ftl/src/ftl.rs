@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use checkin_flash::{
-    BlockId, ErrorClass, FaultPhase, FlashArray, FlashError, OobEntry, OobKind, OpPhase,
+    BlockId, ErrorClass, FaultPhase, FlashArray, FlashError, Fragment, OobEntry, OobKind, OpPhase,
     PageContent, Ppn, UnitPayload,
 };
 use checkin_sim::{CounterSet, SimTime, TraceEvent, TraceLayer, Tracer, Window};
@@ -162,9 +162,12 @@ pub struct Ftl {
     free_slot_ids: Vec<u64>,
     next_slot: u64,
     /// Reusable buffers for the page-out and GC loops (no per-page
-    /// allocation in steady state).
-    scratch_batch: Vec<BufSlot>,
-    scratch_placements: Vec<(BufSlot, u32)>,
+    /// allocation in steady state). Stacks rather than single buffers:
+    /// GC triggered inside `drain_one_page` re-enters `drain_one_page`
+    /// for the migrated units, so up to two invocations are live at
+    /// once and each needs its own scratch vector.
+    scratch_batches: Vec<Vec<BufSlot>>,
+    scratch_placements: Vec<Vec<(BufSlot, u32)>>,
     scratch_valid: Vec<(u32, UnitPayload, Lpn)>,
     /// Per-write-point active block and next page cursor.
     actives: Vec<Option<(BlockId, u32)>>,
@@ -209,7 +212,7 @@ impl Ftl {
             slots: Vec::new(),
             free_slot_ids: Vec::new(),
             next_slot: 0,
-            scratch_batch: Vec::new(),
+            scratch_batches: Vec::new(),
             scratch_placements: Vec::new(),
             scratch_valid: Vec::new(),
             actives: vec![None; config.write_points as usize],
@@ -430,6 +433,50 @@ impl Ftl {
         }
     }
 
+    /// Reads one logical unit, appending its fragments — filtered by
+    /// `key` when given — to `out` without cloning the payload. Timing,
+    /// counters, and errors match [`Ftl::read`]; this is the hot-path
+    /// variant that keeps the steady-state read loop allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::Unmapped`] when the unit has never been written.
+    pub fn read_fragments_into(
+        &mut self,
+        lpn: Lpn,
+        at: SimTime,
+        key: Option<u64>,
+        out: &mut Vec<Fragment>,
+    ) -> Result<SimTime, FtlError> {
+        self.counters.incr("ftl.host_unit_reads");
+        match self.table.lookup(lpn) {
+            None => Err(FtlError::Unmapped(lpn)),
+            Some(Location::Buffer(slot)) => {
+                let data = self
+                    .slot_data(slot)
+                    .ok_or(FtlError::Inconsistent("mapped buffer slot is empty"))?;
+                push_matching(&data.payload, key, out);
+                Ok(at)
+            }
+            Some(Location::Flash(pun)) => {
+                let win = self.read_with_retry(pun.page(self.upp), at)?;
+                let unit = self
+                    .flash
+                    .read(pun.page(self.upp))
+                    .and_then(|pc| pc.units.get(pun.offset(self.upp) as usize))
+                    .and_then(|unit| unit.as_ref());
+                debug_assert!(
+                    unit.is_some(),
+                    "mapped unit {lpn} -> {pun} has no flash content (erased while referenced?)"
+                );
+                if let Some(payload) = unit {
+                    push_matching(payload, key, out);
+                }
+                Ok(win.finish)
+            }
+        }
+    }
+
     /// True when `lpn` currently maps to something.
     pub fn is_mapped(&self, lpn: Lpn) -> bool {
         self.table.lookup(lpn).is_some()
@@ -515,7 +562,7 @@ impl Ftl {
         if take_n == 0 {
             return Ok(at);
         }
-        let mut taken = std::mem::take(&mut self.scratch_batch);
+        let mut taken = self.scratch_batches.pop().unwrap_or_default();
         taken.clear();
         taken.extend(self.pending.drain(..take_n));
         let wp = self.next_wp;
@@ -527,14 +574,14 @@ impl Ftl {
                 for (i, &slot) in taken.iter().enumerate() {
                     self.pending.insert(i, slot);
                 }
-                self.scratch_batch = taken;
+                self.scratch_batches.push(taken);
                 return Err(e);
             }
         };
         let ppn = self.flash.geometry().ppn_in_block(block, page);
 
-        let mut content = PageContent::empty(self.upp as usize);
-        let mut placements = std::mem::take(&mut self.scratch_placements);
+        let mut content = self.flash.spare_page(self.upp as usize);
+        let mut placements = self.scratch_placements.pop().unwrap_or_default();
         placements.clear();
         // Under fault injection the slots keep their data until the program
         // succeeds, so a power cut or media failure loses nothing that was
@@ -568,8 +615,8 @@ impl Ftl {
                         self.pending.insert(i, slot);
                     }
                 }
-                self.scratch_batch = taken;
-                self.scratch_placements = placements;
+                self.scratch_batches.push(taken);
+                self.scratch_placements.push(placements);
                 if let FlashError::GrownBadBlock(bad) = e {
                     // Graceful degradation: retire the block and report
                     // success; the still-queued batch drains to a healthy
@@ -608,8 +655,8 @@ impl Ftl {
             // moved == 0: the buffered unit died before page-out; it is now
             // padding on flash and simply never becomes valid.
         }
-        self.scratch_batch = taken;
-        self.scratch_placements = placements;
+        self.scratch_batches.push(taken);
+        self.scratch_placements.push(placements);
         Ok(win.finish)
     }
 
@@ -1272,10 +1319,20 @@ impl Ftl {
     }
 }
 
+/// Appends `payload`'s fragments to `out`, keeping only `key`'s when a
+/// filter key is given.
+fn push_matching(payload: &UnitPayload, key: Option<u64>, out: &mut Vec<Fragment>) {
+    for f in payload.fragments.iter() {
+        if key.map(|k| k == f.key).unwrap_or(true) {
+            out.push(*f);
+        }
+    }
+}
+
 /// Merges a partial write into existing unit content: fragments of keys
 /// present in `new` are replaced; other old fragments survive.
 fn merge_payload(old: &UnitPayload, new: &UnitPayload) -> UnitPayload {
-    let mut fragments: Vec<_> = old
+    let mut fragments: checkin_flash::FragVec = old
         .fragments
         .iter()
         .filter(|f| !new.fragments.iter().any(|n| n.key == f.key))

@@ -107,6 +107,12 @@ impl Resource {
 #[derive(Debug, Clone)]
 pub struct ResourcePool {
     servers: Vec<Resource>,
+    /// Min-heap of `(available_at, index)` with exactly one entry per
+    /// server. Selection is the lexicographic minimum — identical to a
+    /// first-minimum linear scan, without the O(n) walk per schedule.
+    /// Entries go stale only through [`ResourcePool::schedule_on`] and
+    /// are refreshed lazily when they surface at the top.
+    ready: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
 }
 
 impl ResourcePool {
@@ -119,20 +125,30 @@ impl ResourcePool {
         assert!(n > 0, "resource pool must have at least one server");
         ResourcePool {
             servers: (0..n).map(|_| Resource::new(name)).collect(),
+            ready: (0..n)
+                .map(|i| std::cmp::Reverse((SimTime::ZERO, i)))
+                .collect(),
         }
     }
 
     /// Schedules on the earliest-available server; returns (server index,
-    /// window).
+    /// window). Ties pick the lowest server index.
     pub fn schedule(&mut self, at: SimTime, duration: SimDuration) -> (usize, Window) {
-        let idx = self
-            .servers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| r.available_at())
-            .map(|(i, _)| i)
-            .expect("pool is non-empty");
-        (idx, self.servers[idx].schedule(at, duration))
+        let idx = loop {
+            let std::cmp::Reverse((avail, idx)) = *self.ready.peek().expect("pool is non-empty");
+            if self.servers[idx].available_at() == avail {
+                break idx;
+            }
+            // Stale (rescheduled via schedule_on since pushed): refresh.
+            self.ready.pop();
+            self.ready
+                .push(std::cmp::Reverse((self.servers[idx].available_at(), idx)));
+        };
+        self.ready.pop();
+        let win = self.servers[idx].schedule(at, duration);
+        self.ready
+            .push(std::cmp::Reverse((self.servers[idx].available_at(), idx)));
+        (idx, win)
     }
 
     /// Schedules on a specific server (e.g. a request pinned to one die).

@@ -6,13 +6,22 @@ mod throughput;
 pub use latency::LatencyRecorder;
 pub use throughput::ThroughputMeter;
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A named bag of monotonically increasing counters.
 ///
 /// The simulator's subsystems (flash, FTL, engine) each expose one of these;
 /// experiment harnesses diff snapshots taken before/after a phase.
+///
+/// Counters sit on every hot path (each simulated flash, FTL, device and
+/// engine operation bumps a few), so the store is a flat vector scanned by
+/// *pointer* identity first: keys are `&'static str` literals, and a given
+/// call site passes the same literal — hence the same address — every time.
+/// A pointer hit costs a couple of comparisons instead of the string
+/// comparisons a `BTreeMap<&str, _>` walk performs. Distinct literals with
+/// equal text (e.g. a test querying a counter the FTL bumps) fall back to a
+/// content scan, so behaviour matches a name-keyed map exactly; iteration
+/// sorts by name so dumps and diffs are byte-identical to the old layout.
 ///
 /// # Examples
 ///
@@ -25,9 +34,10 @@ use std::fmt;
 /// assert_eq!(c.get("flash.program"), 4);
 /// assert_eq!(c.get("flash.erase"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct CounterSet {
-    counters: BTreeMap<&'static str, u64>,
+    /// `(key, value)` in first-touch order; names are unique by content.
+    entries: Vec<(&'static str, u64)>,
 }
 
 impl CounterSet {
@@ -38,7 +48,27 @@ impl CounterSet {
 
     /// Adds `n` to counter `key`, creating it at zero if absent.
     pub fn add(&mut self, key: &'static str, n: u64) {
-        *self.counters.entry(key).or_insert(0) += n;
+        // Fast path: same literal, same address.
+        for e in &mut self.entries {
+            if std::ptr::eq(e.0, key) {
+                e.1 += n;
+                return;
+            }
+        }
+        self.add_slow(key, n);
+    }
+
+    /// Content-equality fallback for a key literal whose address was not
+    /// seen before (first touch, or the same name from another call site).
+    #[cold]
+    fn add_slow(&mut self, key: &'static str, n: u64) {
+        for e in &mut self.entries {
+            if e.0 == key {
+                e.1 += n;
+                return;
+            }
+        }
+        self.entries.push((key, n));
     }
 
     /// Adds one to counter `key`.
@@ -48,12 +78,18 @@ impl CounterSet {
 
     /// Current value of `key` (zero if never touched).
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.entries
+            .iter()
+            .find(|e| e.0 == key)
+            .map(|e| e.1)
+            .unwrap_or(0)
     }
 
     /// Iterates `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+        let mut sorted: Vec<(&'static str, u64)> = self.entries.clone();
+        sorted.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        sorted.into_iter()
     }
 
     /// Computes `self - earlier` per key (keys absent earlier count from 0).
@@ -84,13 +120,22 @@ impl CounterSet {
 
     /// True when no counters exist.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.entries.is_empty()
     }
 }
 
+impl PartialEq for CounterSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Content equality regardless of first-touch order.
+        self.entries.len() == other.entries.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for CounterSet {}
+
 impl fmt::Display for CounterSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.counters.is_empty() {
+        if self.entries.is_empty() {
             return write!(f, "(no counters)");
         }
         for (i, (k, v)) in self.iter().enumerate() {

@@ -1,0 +1,129 @@
+//! Property test: the timing-wheel [`EventQueue`] dequeues the exact
+//! `(time, seq, event)` stream a reference `(time, seq)`-keyed binary
+//! heap produces, under randomized seeded insert/pop interleavings —
+//! including same-tick ties and times spanning the far end of the `u64`
+//! horizon, where the wheel's top levels and cascade paths engage.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use checkin_sim::{EventQueue, SimRng, SimTime};
+
+/// Reference model: a plain binary heap keyed `(time, seq)` with FIFO
+/// tie-break via the monotone sequence number — the behaviour contract
+/// the wheel must match bit for bit.
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    next_seq: u64,
+    last_popped: u64,
+}
+
+impl RefQueue {
+    fn schedule(&mut self, time: u64, payload: u32) {
+        let time = time.max(self.last_popped);
+        self.heap.push(Reverse((time, self.next_seq, payload)));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let Reverse((t, _, e)) = self.heap.pop()?;
+        self.last_popped = t;
+        Some((t, e))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
+
+/// Draws a schedule offset from a mixture that exercises every wheel
+/// level: frequent same-tick ties, short closed-loop hops, mid-range
+/// jumps, and rare far-horizon outliers.
+fn draw_offset(rng: &mut SimRng) -> u64 {
+    match rng.gen_range(100) {
+        0..=19 => 0,                                   // same-tick tie
+        20..=69 => rng.gen_range(1 << 12),             // short hop
+        70..=89 => rng.gen_range(1 << 28),             // level 3-4 jump
+        90..=97 => rng.gen_range(1 << 44),             // deep cascade
+        _ => (u64::MAX >> 1) + rng.gen_range(1 << 40), // far horizon
+    }
+}
+
+fn run_interleaving(seed: u64, steps: u32) {
+    let mut wheel: EventQueue<u32> = EventQueue::new();
+    let mut reference = RefQueue::default();
+    let mut rng = SimRng::seed_from(seed);
+    let mut payload = 0u32;
+
+    for step in 0..steps {
+        // Bias toward scheduling while small so both grow, then churn.
+        let schedule = wheel.is_empty() || rng.gen_bool(0.55);
+        if schedule {
+            // Bursts land several events on one tick to stress FIFO ties.
+            let burst = 1 + rng.gen_range(4) as u32;
+            let t = reference.last_popped.saturating_add(draw_offset(&mut rng));
+            for _ in 0..burst {
+                wheel.schedule(SimTime::from_nanos(t), payload);
+                reference.schedule(t, payload);
+                payload += 1;
+            }
+        } else {
+            assert_eq!(
+                wheel.peek_time().map(|t| t.as_nanos()),
+                reference.peek_time(),
+                "peek diverged at seed {seed} step {step}"
+            );
+            let got = wheel.pop().map(|(t, e)| (t.as_nanos(), e));
+            let want = reference.pop();
+            assert_eq!(got, want, "pop diverged at seed {seed} step {step}");
+        }
+        assert_eq!(wheel.len(), reference.heap.len());
+    }
+
+    // Drain: the tails must match element for element.
+    while let Some(want) = reference.pop() {
+        let got = wheel.pop().map(|(t, e)| (t.as_nanos(), e));
+        assert_eq!(got, Some(want), "drain diverged at seed {seed}");
+    }
+    assert!(wheel.is_empty());
+    assert!(wheel.pop().is_none());
+}
+
+#[test]
+fn wheel_matches_reference_heap_across_seeds() {
+    for seed in 0..32u64 {
+        run_interleaving(0xC0FFEE ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), 2_000);
+    }
+}
+
+#[test]
+fn wheel_matches_reference_heap_long_run() {
+    run_interleaving(42, 40_000);
+}
+
+#[test]
+fn same_tick_burst_pops_in_insertion_order() {
+    let mut wheel = EventQueue::new();
+    let mut reference = RefQueue::default();
+    // Three waves on the same far-future tick, interleaved with pops, so
+    // ties must survive a cascade from a high wheel level.
+    let t = (1u64 << 50) + 12345;
+    for i in 0..50u32 {
+        wheel.schedule(SimTime::from_nanos(t), i);
+        reference.schedule(t, i);
+    }
+    for _ in 0..20 {
+        assert_eq!(
+            wheel.pop().map(|(tt, e)| (tt.as_nanos(), e)),
+            reference.pop()
+        );
+    }
+    for i in 50..80u32 {
+        wheel.schedule(SimTime::from_nanos(t), i);
+        reference.schedule(t, i);
+    }
+    while let Some(want) = reference.pop() {
+        assert_eq!(wheel.pop().map(|(tt, e)| (tt.as_nanos(), e)), Some(want));
+    }
+}

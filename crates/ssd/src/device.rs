@@ -8,7 +8,7 @@ use crate::command::{
     CheckpointMode, CowEntry, ReadRequest, WriteContent, WriteRequest, SECTOR_BYTES,
 };
 use crate::error::SsdError;
-use crate::isce::{classify_batch, should_background_gc};
+use crate::isce::{plan_entry, should_background_gc, EntryPlan};
 use crate::queue::CommandQueue;
 use crate::timing::SsdTiming;
 
@@ -64,6 +64,10 @@ pub struct Ssd {
     /// ISCE phase time accumulated since the last
     /// [`Ssd::take_cp_phase_times`] (remap walk vs copy fallback).
     cp_phase_times: CpPhaseTimes,
+    /// Reusable remap/copy classification buffers for checkpoint batches:
+    /// once warm, classifying a batch performs no heap allocation.
+    scratch_remaps: Vec<CowEntry>,
+    scratch_copies: Vec<CowEntry>,
 }
 
 /// Device-side time split of checkpoint execution, accumulated across
@@ -76,6 +80,30 @@ pub struct CpPhaseTimes {
     pub remap: SimDuration,
     /// Time spent in the copy fallback (gather reads + scatter writes).
     pub copy: SimDuration,
+}
+
+/// Iterator over `(unit LPN, sectors in unit, covers whole unit)` segments
+/// of a block-interface request; see [`Ssd::unit_segments`].
+struct SegmentIter {
+    unit_sectors: u64,
+    cursor: u64,
+    end: u64,
+}
+
+impl Iterator for SegmentIter {
+    type Item = (Lpn, u32, bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let unit = self.cursor / self.unit_sectors;
+        let unit_end = (unit + 1) * self.unit_sectors;
+        let seg_end = unit_end.min(self.end);
+        let seg = (seg_end - self.cursor) as u32;
+        self.cursor = seg_end;
+        Some((Lpn(unit), seg, seg as u64 == self.unit_sectors))
+    }
 }
 
 impl Ssd {
@@ -92,6 +120,8 @@ impl Ssd {
             meta_seq: 0,
             tracer: Tracer::disabled(),
             cp_phase_times: CpPhaseTimes::default(),
+            scratch_remaps: Vec::new(),
+            scratch_copies: Vec::new(),
         }
     }
 
@@ -149,22 +179,23 @@ impl Ssd {
         self.link.available_at().max(self.cpu.available_at())
     }
 
-    /// Splits `[lba, lba + sectors)` into `(lpn, covered_sectors,
-    /// whole_unit)` segments.
-    fn unit_segments(&self, lba: u64, sectors: u32) -> Vec<(Lpn, u32, bool)> {
-        let us = self.unit_sectors() as u64;
-        let end = lba + sectors as u64;
-        let mut segments = Vec::new();
-        let mut cursor = lba;
-        while cursor < end {
-            let unit = cursor / us;
-            let unit_end = (unit + 1) * us;
-            let seg_end = unit_end.min(end);
-            let seg = (seg_end - cursor) as u32;
-            segments.push((Lpn(unit), seg, seg as u64 == us));
-            cursor = seg_end;
+    /// Iterates the `(lpn, covered_sectors, whole_unit)` segments of
+    /// `[lba, lba + sectors)` without allocating.
+    fn unit_segments(&self, lba: u64, sectors: u32) -> SegmentIter {
+        SegmentIter {
+            unit_sectors: self.unit_sectors() as u64,
+            cursor: lba,
+            end: lba + sectors as u64,
         }
-        segments
+    }
+
+    /// Number of mapping units `[lba, lba + sectors)` touches.
+    fn unit_span(&self, lba: u64, sectors: u32) -> u64 {
+        if sectors == 0 {
+            return 0;
+        }
+        let us = self.unit_sectors() as u64;
+        (lba + sectors as u64 - 1) / us - lba / us + 1
     }
 
     /// Handles a block-interface read. Returns the fragments found in the
@@ -180,33 +211,50 @@ impl Ssd {
         req: &ReadRequest,
         at: SimTime,
     ) -> Result<(Vec<Fragment>, SimTime), SsdError> {
+        let mut fragments = Vec::new();
+        let finish = self.read_into(req, at, &mut fragments)?;
+        Ok((fragments, finish))
+    }
+
+    /// [`Ssd::read`] into a caller-provided buffer: appends the fragments
+    /// found in the range (filtered by `req.key` when set) to `fragments`
+    /// and returns the completion instant. The hot-path variant — with a
+    /// reused buffer the steady-state read loop performs no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ssd::read`].
+    pub fn read_into(
+        &mut self,
+        req: &ReadRequest,
+        at: SimTime,
+        fragments: &mut Vec<Fragment>,
+    ) -> Result<SimTime, SsdError> {
         if req.sectors == 0 {
             return Err(SsdError::InvalidRequest("read of zero sectors".into()));
         }
         self.counters.incr("ssd.cmd_read");
         let t0 = self.queue.admit(at);
         let cmd = self.link.schedule(t0, self.timing.cmd_overhead);
-        let segments = self.unit_segments(req.lba, req.sectors);
-        let map_cost = self.ftl.map_access_cost() * segments.len() as u64;
+        let us = self.unit_sectors() as u64;
+        let first_unit = req.lba / us;
+        let last_unit = (req.lba + req.sectors as u64 - 1) / us;
+        let seg_count = last_unit - first_unit + 1;
+        debug_assert_eq!(seg_count, self.unit_span(req.lba, req.sectors));
+        let map_cost = self.ftl.map_access_cost() * seg_count;
         let cpu = self.cpu.schedule(
             cmd.finish,
-            self.timing.cpu_cmd_cost
-                + map_cost
-                + self.timing.dram_unit_cost * segments.len() as u64,
+            self.timing.cpu_cmd_cost + map_cost + self.timing.dram_unit_cost * seg_count,
         );
 
-        let mut fragments = Vec::new();
         let mut flash_done = cpu.finish;
-        for (lpn, _seg, _whole) in &segments {
-            match self.ftl.read(*lpn, cpu.finish) {
-                Ok((payload, done)) => {
-                    flash_done = flash_done.max(done);
-                    for f in payload.fragments {
-                        if req.key.map(|k| k == f.key).unwrap_or(true) {
-                            fragments.push(f);
-                        }
-                    }
-                }
+        for unit in first_unit..=last_unit {
+            match self
+                .ftl
+                .read_fragments_into(Lpn(unit), cpu.finish, req.key, fragments)
+            {
+                Ok(done) => flash_done = flash_done.max(done),
                 Err(FtlError::Unmapped(_)) => {} // zero-fill read
                 Err(e) => return Err(e.into()),
             }
@@ -217,7 +265,7 @@ impl Ssd {
             .schedule(flash_done, self.timing.link_transfer(bytes));
         self.counters.add("ssd.host_read_bytes", bytes);
         self.queue.complete(out.finish);
-        Ok((fragments, out.finish))
+        Ok(out.finish)
     }
 
     /// Handles a block-interface write. Returns the acknowledgement
@@ -251,14 +299,13 @@ impl Ssd {
             t0,
             self.timing.cmd_overhead + self.timing.link_transfer(wire),
         );
-        let segments = self.unit_segments(req.lba, req.sectors);
-        let map_cost = self.ftl.map_access_cost() * segments.len() as u64;
+        let seg_count = self.unit_span(req.lba, req.sectors);
+        let map_cost = self.ftl.map_access_cost() * seg_count;
         let cpu = self.cpu.schedule(
             xfer.finish,
-            self.timing.cpu_cmd_cost
-                + map_cost
-                + self.timing.dram_unit_cost * segments.len() as u64,
+            self.timing.cpu_cmd_cost + map_cost + self.timing.dram_unit_cost * seg_count,
         );
+        let segments = self.unit_segments(req.lba, req.sectors);
 
         let mut done = cpu.finish;
         let mut remaining = match &req.content {
@@ -283,7 +330,9 @@ impl Ssd {
                     }
                     UnitPayload::single(*key, *version, take)
                 }
-                WriteContent::Merged(frags) => UnitPayload::merged(frags.clone()),
+                WriteContent::Merged(frags) => {
+                    UnitPayload::merged(frags.iter().copied().collect::<checkin_flash::FragVec>())
+                }
                 // A tombstone stores a zero-byte fragment: readers filter
                 // it out, recovery scans see the deletion's version.
                 WriteContent::Tombstone { key, version } => UnitPayload::single(*key, *version, 0),
@@ -380,17 +429,16 @@ impl Ssd {
         self.counters.incr("ssd.cmd_dealloc");
         let t0 = self.queue.admit(at);
         let cmd = self.link.schedule(t0, self.timing.cmd_overhead);
-        let segments = self.unit_segments(lba, sectors);
         let cpu = self.cpu.schedule(
             cmd.finish,
-            self.timing.cpu_cmd_cost + self.ftl.map_access_cost() * segments.len() as u64,
+            self.timing.cpu_cmd_cost + self.ftl.map_access_cost() * self.unit_span(lba, sectors),
         );
         let prev_phase = self
             .ftl
             .flash_mut()
             .set_fault_phase(FaultPhase::HostDeallocate);
         let prev_op_phase = self.ftl.flash_mut().set_op_phase(OpPhase::Dealloc);
-        for (lpn, _seg, whole) in segments {
+        for (lpn, _seg, whole) in self.unit_segments(lba, sectors) {
             // Partial-unit trims are ignored (conservative, like real
             // devices which round trims inward).
             if whole {
@@ -470,7 +518,35 @@ impl Ssd {
         at: SimTime,
     ) -> Result<SimTime, SsdError> {
         let us = self.unit_sectors();
-        let (remaps, copies) = classify_batch(entries, mode, us);
+        // Classify into the reusable scratch buffers (taken out of `self`
+        // so the executor below can still borrow `self` mutably); warm
+        // checkpoints allocate nothing here.
+        let mut remaps = std::mem::take(&mut self.scratch_remaps);
+        let mut copies = std::mem::take(&mut self.scratch_copies);
+        remaps.clear();
+        copies.clear();
+        for e in entries {
+            match plan_entry(e, mode, us) {
+                EntryPlan::Remap => remaps.push(*e),
+                EntryPlan::Copy => copies.push(*e),
+            }
+        }
+        let result = self.execute_classified(&remaps, &copies, us, at);
+        self.scratch_remaps = remaps;
+        self.scratch_copies = copies;
+        result
+    }
+
+    /// Executes an already classified batch; split from
+    /// [`Ssd::execute_entries`] so the scratch buffers can be returned to
+    /// their fields on every exit path.
+    fn execute_classified(
+        &mut self,
+        remaps: &[CowEntry],
+        copies: &[CowEntry],
+        us: u32,
+        at: SimTime,
+    ) -> Result<SimTime, SsdError> {
         let mut done = at;
 
         if !remaps.is_empty() {
@@ -485,7 +561,7 @@ impl Ssd {
                 .set_fault_phase(FaultPhase::CheckpointRemap);
             let prev_op_phase = self.ftl.flash_mut().set_op_phase(OpPhase::CheckpointRemap);
             let mut remap_err = None;
-            'remap: for e in &remaps {
+            'remap: for e in remaps {
                 let units = (e.sectors / us).max(1) as u64;
                 for k in 0..units {
                     let src = Lpn(e.src_lba / us as u64 + k);
@@ -523,7 +599,7 @@ impl Ssd {
         if !copies.is_empty() {
             let copied_before = self.counters.get("ssd.copy_entries");
             let prev_op_phase = self.ftl.flash_mut().set_op_phase(OpPhase::CheckpointCopy);
-            let result = self.execute_copies(&copies, at);
+            let result = self.execute_copies(copies, at);
             self.ftl.flash_mut().set_op_phase(prev_op_phase);
             let (writes_done, skipped) = result?;
             self.cp_phase_times.copy += writes_done.saturating_duration_since(at);

@@ -6,10 +6,7 @@
 //! start only when a slot is free; otherwise it waits for the earliest
 //! completion.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use checkin_sim::{SimTime, TraceEvent, TraceLayer, Tracer};
+use checkin_sim::{EventQueue, SimTime, TraceEvent, TraceLayer, Tracer};
 
 /// A fixed-depth in-flight command window.
 ///
@@ -29,7 +26,11 @@ use checkin_sim::{SimTime, TraceEvent, TraceLayer, Tracer};
 #[derive(Debug, Clone)]
 pub struct CommandQueue {
     depth: usize,
-    inflight: BinaryHeap<Reverse<SimTime>>,
+    /// Completion times, ordered by the same timing wheel the simulator's
+    /// event loop uses. Valid because completions are never registered
+    /// earlier than the latest one already retired: `done >= start >= at`,
+    /// and admission retires only completions `<= at`.
+    inflight: EventQueue<()>,
     tracer: Tracer,
 }
 
@@ -43,7 +44,7 @@ impl CommandQueue {
         assert!(depth > 0, "queue depth must be positive");
         CommandQueue {
             depth,
-            inflight: BinaryHeap::new(),
+            inflight: EventQueue::with_capacity(depth),
             tracer: Tracer::disabled(),
         }
     }
@@ -57,7 +58,7 @@ impl CommandQueue {
     /// Earliest instant a command arriving at `at` may start. Call
     /// [`CommandQueue::complete`] with its completion time afterwards.
     pub fn admit(&mut self, at: SimTime) -> SimTime {
-        while let Some(&Reverse(t)) = self.inflight.peek() {
+        while let Some(t) = self.inflight.peek_time() {
             if t <= at {
                 self.inflight.pop();
             } else {
@@ -66,7 +67,7 @@ impl CommandQueue {
         }
         let start = if self.inflight.len() < self.depth {
             at
-        } else if let Some(Reverse(t)) = self.inflight.pop() {
+        } else if let Some((t, ())) = self.inflight.pop() {
             t.max(at)
         } else {
             // depth == 0 with nothing in flight: admit immediately.
@@ -83,7 +84,7 @@ impl CommandQueue {
 
     /// Registers the completion time of an admitted command.
     pub fn complete(&mut self, done: SimTime) {
-        self.inflight.push(Reverse(done));
+        self.inflight.schedule(done, ());
     }
 
     /// Commands currently tracked as in flight.

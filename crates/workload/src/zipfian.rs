@@ -41,10 +41,13 @@ fn fnv1a(mut x: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct ZipfianGenerator {
     n: u64,
-    theta: f64,
     alpha: f64,
     zetan: f64,
     eta: f64,
+    /// `1 + 0.5^theta`, the rank-1 acceptance bound. Precomputed: a
+    /// `powf` per draw is the single hottest instruction of the whole
+    /// admission loop, and the bound is constant for a generator.
+    rank1_bound: f64,
     scrambled: bool,
 }
 
@@ -64,10 +67,10 @@ impl ZipfianGenerator {
         let zeta2 = zeta(2, theta);
         ZipfianGenerator {
             n,
-            theta,
             alpha: 1.0 / (1.0 - theta),
             zetan,
             eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            rank1_bound: 1.0 + 0.5_f64.powf(theta),
             scrambled: false,
         }
     }
@@ -92,7 +95,7 @@ impl ZipfianGenerator {
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+        if uz < self.rank1_bound {
             return 1;
         }
         let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
