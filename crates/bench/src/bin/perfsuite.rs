@@ -26,7 +26,9 @@
 //!    from device construction and record load, and both batch sizes are
 //!    gated against the pre-overhaul loop measured on the same host (see
 //!    the baseline constants below); total wall time rides along for the
-//!    seed-qps comparison.
+//!    seed-qps comparison. The batch-1 run is repeated with
+//!    `verify_checksums` off to price the on-by-default integrity
+//!    checks, gated at a 10% ceiling (`checksum_verification_cost`).
 //! 7. **Parallel sweep** — a 15-configuration strategy×seed batch, serial
 //!    vs `run_configs` work-stealing workers. Gated only on multi-core
 //!    hosts (a single-core container cannot overlap CPU-bound runs).
@@ -92,6 +94,13 @@ const QUICK_BATCHED_SPEEDUP: f64 = 1.20;
 /// Required serial-vs-parallel sweep speedup, applied only when the host
 /// exposes at least two cores.
 const REQUIRED_SWEEP_SPEEDUP: f64 = 1.15;
+
+/// Hard ceiling on the cost of on-by-default checksum verification: the
+/// 50k query loop with `verify_checksums` on may be at most 10% slower
+/// than the same loop with it off. The quick (10k) variant is looser —
+/// short runs on this shared host swing by more than the budget itself.
+const CHECKSUM_OVERHEAD_CEILING: f64 = 0.10;
+const QUICK_CHECKSUM_OVERHEAD_CEILING: f64 = 0.25;
 
 /// The pre-refactor mapping table: hashed forward map plus hashed
 /// reverse referrer lists. Kept here, out of the library, purely as the
@@ -459,55 +468,85 @@ fn full_run_config(queries: u64, admission_batch: u32) -> SystemConfig {
     config
 }
 
+/// One timed system run: `(query-loop ns, construction+loop ns)`.
+fn full_run_once(config: &SystemConfig) -> (u128, u128) {
+    let built = Instant::now();
+    let mut sys = checkin_core::KvSystem::new(config.clone()).expect("valid bench config");
+    let construct_ns = built.elapsed().as_nanos();
+    let start = Instant::now();
+    let report = sys.run().expect("bench run succeeds");
+    assert_eq!(report.ops, config.total_queries);
+    let run_ns = start.elapsed().as_nanos().max(1);
+    (run_ns, construct_ns + run_ns)
+}
+
+/// Best-of-reps accumulator for [`full_run_once`] measurements.
+#[derive(Clone, Copy)]
+struct RunAcc {
+    best_run: u128,
+    best_total: u128,
+    total_run: u128,
+    total_total: u128,
+}
+
+impl RunAcc {
+    fn new() -> Self {
+        RunAcc {
+            best_run: u128::MAX,
+            best_total: u128::MAX,
+            total_run: 0,
+            total_total: 0,
+        }
+    }
+
+    fn absorb(&mut self, (run_ns, total_ns): (u128, u128)) {
+        self.best_run = self.best_run.min(run_ns);
+        self.best_total = self.best_total.min(total_ns);
+        self.total_run += run_ns;
+        self.total_total += total_ns;
+    }
+
+    /// Emits `(run_only, total)` results in the perfsuite format.
+    fn results(self, name: &str, queries: u64, reps: u32) -> (BenchResult, BenchResult) {
+        let mk = |suffix: &str, best: u128, total: u128| {
+            let r = BenchResult {
+                name: format!("{name}{suffix}"),
+                iters: queries,
+                best_batch_ns: best,
+                total_iters: queries * reps.max(1) as u64,
+                total_ns: total,
+            };
+            println!(
+                "  {:<44} {:>12.1} ns/op   ({:.0} qps, best of {reps})",
+                r.name,
+                r.ns_per_op(),
+                1e9 / r.ns_per_op()
+            );
+            r
+        };
+        (
+            mk("", self.best_run, self.total_run),
+            mk("_total", self.best_total, self.total_total),
+        )
+    }
+}
+
 /// Runs the full system `reps` times and reports the best rep, timing the
 /// query loop (`KvSystem::run`) separately from device construction plus
 /// record load (`KvSystem::new`). Returns `(run_only, total)` results.
 fn full_run_split(name: &str, config: &SystemConfig, reps: u32) -> (BenchResult, BenchResult) {
-    let queries = config.total_queries;
-    let mut best_run = u128::MAX;
-    let mut best_total = u128::MAX;
-    let mut total_run: u128 = 0;
-    let mut total_total: u128 = 0;
+    let mut acc = RunAcc::new();
     for _ in 0..reps.max(1) {
-        let built = Instant::now();
-        let mut sys = checkin_core::KvSystem::new(config.clone()).expect("valid bench config");
-        let construct_ns = built.elapsed().as_nanos();
-        let start = Instant::now();
-        let report = sys.run().expect("bench run succeeds");
-        assert_eq!(report.ops, queries);
-        let run_ns = start.elapsed().as_nanos().max(1);
-        best_run = best_run.min(run_ns);
-        best_total = best_total.min(construct_ns + run_ns);
-        total_run += run_ns;
-        total_total += construct_ns + run_ns;
+        acc.absorb(full_run_once(config));
     }
-    let mk = |suffix: &str, best: u128, total: u128| {
-        let r = BenchResult {
-            name: format!("{name}{suffix}"),
-            iters: queries,
-            best_batch_ns: best,
-            total_iters: queries * reps.max(1) as u64,
-            total_ns: total,
-        };
-        println!(
-            "  {:<44} {:>12.1} ns/op   ({:.0} qps, best of {reps})",
-            r.name,
-            r.ns_per_op(),
-            1e9 / r.ns_per_op()
-        );
-        r
-    };
-    (
-        mk("", best_run, total_run),
-        mk("_total", best_total, total_total),
-    )
+    acc.results(name, config.total_queries, reps)
 }
 
 fn bench_full_run(
     quick: bool,
     results: &mut Vec<BenchResult>,
     comparisons: &mut Vec<Comparison>,
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
     let queries: u64 = if quick { 10_000 } else { 50_000 };
     let reps = if quick { 2 } else { 5 };
     let (baseline_ns, baseline_label) = if quick {
@@ -525,10 +564,38 @@ fn bench_full_run(
         "Full system run ({queries} queries, Check-In): admission batch 1 vs 16"
     ));
 
+    // The batch-1 run doubles as one side of the checksum-overhead gate:
+    // the same config with `verify_checksums` off isolates the per-read
+    // CRC cost. The two variants are run *interleaved*, rep by rep, so a
+    // host-load drift between measurement windows cannot masquerade as
+    // (or hide) checksum cost — verification is on by default, and its
+    // price on the hot loop is gated with a ceiling, not a floor.
     let config = full_run_config(queries, 1);
+    let mut off_config = full_run_config(queries, 1);
+    off_config.verify_checksums = false;
+    // Twice the usual reps: the gated quantity is a *ratio of bests*, and
+    // a ~2% true cost needs both bests near their floors to stay clear of
+    // the 10% ceiling on a host with ±15% run-to-run swings.
+    let pair_reps = reps.max(1) * 2;
+    let mut on_acc = RunAcc::new();
+    let mut off_acc = RunAcc::new();
+    for _ in 0..pair_reps {
+        on_acc.absorb(full_run_once(&config));
+        off_acc.absorb(full_run_once(&off_config));
+    }
     let name = format!("system/full_run_{}k_queries", queries / 1_000);
-    let (plain, _) = full_run_split(&name, &config, reps);
+    let (plain, _) = on_acc.results(&name, queries, pair_reps);
     let plain_cmp = compare_recorded("full_run_speedup", baseline_label, baseline_ns, &plain);
+    let off_name = format!("system/full_run_{}k_no_checksums", queries / 1_000);
+    let (no_checksums, _) = off_acc.results(&off_name, queries, pair_reps);
+    let cost_cmp = compare("checksum_verification_cost", &no_checksums, &plain);
+    let checksum_overhead = (1.0 / cost_cmp.speedup) - 1.0;
+    println!(
+        "  checksum-on overhead on the query loop: {:.1}%",
+        checksum_overhead * 100.0
+    );
+    results.push(no_checksums);
+    comparisons.push(cost_cmp);
 
     let config = full_run_config(queries, 16);
     let name = format!("system/batched_admission_{}k", queries / 1_000);
@@ -557,7 +624,7 @@ fn bench_full_run(
         results.push(batched_total);
     }
 
-    let out = (plain_cmp.speedup, batched_cmp.speedup);
+    let out = (plain_cmp.speedup, batched_cmp.speedup, checksum_overhead);
     results.extend([plain, batched]);
     comparisons.extend([plain_cmp, batched_cmp]);
     out
@@ -627,6 +694,25 @@ fn gate(failures: &mut Vec<String>, what: &str, speedup: f64, floor: f64) {
     }
 }
 
+/// Records a PASS/FAIL line for an overhead ceiling (fraction, not ratio).
+fn gate_ceiling(failures: &mut Vec<String>, what: &str, overhead: f64, ceiling: f64) {
+    if overhead <= ceiling {
+        println!(
+            "PASS: {what} is {:.1}% (ceiling {:.0}%)",
+            overhead * 100.0,
+            ceiling * 100.0
+        );
+    } else {
+        let msg = format!(
+            "{what} is {:.1}% (ceiling {:.0}%)",
+            overhead * 100.0,
+            ceiling * 100.0
+        );
+        eprintln!("FAIL: {msg}");
+        failures.push(msg);
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut out = PathBuf::from("BENCH_perf.json");
@@ -665,7 +751,8 @@ fn main() {
     bench_ftl_write(opts, &mut results);
     let remap_speedup = bench_checkpoint(opts, &mut results, &mut comparisons);
     bench_tracer(opts, &mut results, &mut comparisons);
-    let (full_run_speedup, batched_speedup) = bench_full_run(quick, &mut results, &mut comparisons);
+    let (full_run_speedup, batched_speedup, checksum_overhead) =
+        bench_full_run(quick, &mut results, &mut comparisons);
     let (sweep_speedup, sweep_gated) = bench_parallel_sweep(quick, &mut results, &mut comparisons);
 
     harnessed_write(&out, mode, &results, &comparisons);
@@ -714,6 +801,16 @@ fn main() {
             QUICK_BATCHED_SPEEDUP
         } else {
             REQUIRED_BATCHED_SPEEDUP
+        },
+    );
+    gate_ceiling(
+        &mut failures,
+        "checksum verification overhead on the query loop",
+        checksum_overhead,
+        if quick {
+            QUICK_CHECKSUM_OVERHEAD_CEILING
+        } else {
+            CHECKSUM_OVERHEAD_CEILING
         },
     );
     if sweep_gated {

@@ -81,6 +81,9 @@ pub struct RunArgs {
     pub admission_batch: u32,
     /// Use the small GC-pressured device instead of the default 1.5 GiB.
     pub gc_pressure: bool,
+    /// Disable checksum verification on reads (integrity checks are on
+    /// by default; this exists to measure their overhead).
+    pub no_checksums: bool,
     /// Emit machine-readable CSV instead of tables.
     pub csv: bool,
     /// Worker threads for `compare`/`sweep` batches (`None` = one per
@@ -102,6 +105,7 @@ impl Default for RunArgs {
             seed: 0x5EED,
             admission_batch: 1,
             gc_pressure: false,
+            no_checksums: false,
             csv: false,
             jobs: None,
         }
@@ -122,6 +126,7 @@ impl RunArgs {
         c.checkpoint_interval = SimDuration::from_millis(self.interval_ms);
         c.unit_bytes = self.unit_bytes;
         c.admission_batch = self.admission_batch;
+        c.verify_checksums = !self.no_checksums;
         if self.gc_pressure {
             c.geometry = checkin_flash::FlashGeometry {
                 channels: 2,
@@ -225,6 +230,10 @@ fn parse_run_args<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<RunArgs, 
         }
         if flag == "--csv" {
             args.csv = true;
+            continue;
+        }
+        if flag == "--no-checksums" {
+            args.no_checksums = true;
             continue;
         }
         let value = tokens
@@ -358,6 +367,8 @@ FLAGS (all optional):
                          (default: one per core; results are identical
                          for any value, including --jobs 1)
   --gc-pressure          use a small device so GC runs constantly
+  --no-checksums         skip checksum verification on reads (on by
+                         default; flag exists to measure the overhead)
   --csv                  machine-readable CSV output (compare/sweep)
 ";
 
@@ -426,6 +437,18 @@ mod tests {
         assert!(parse(&["run", "--queries", "abc"]).is_err());
         assert!(parse(&["sweep", "sideways", "--values", "1"]).is_err());
         assert!(parse(&["sweep", "threads"]).is_err());
+    }
+
+    #[test]
+    fn parses_no_checksums() {
+        let Command::Run(a) = parse(&["run", "--no-checksums"]).unwrap() else {
+            panic!()
+        };
+        assert!(a.no_checksums);
+        assert!(!a.to_config().verify_checksums);
+        // Verification is on by default.
+        assert!(!RunArgs::default().no_checksums);
+        assert!(RunArgs::default().to_config().verify_checksums);
     }
 
     #[test]

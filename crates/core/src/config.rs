@@ -2,7 +2,7 @@
 //! machine model.
 
 use checkin_flash::{FlashGeometry, FlashTiming};
-use checkin_ftl::FtlConfig;
+use checkin_ftl::{FtlConfig, MediaRetryPolicy};
 use checkin_sim::SimDuration;
 use checkin_ssd::{CheckpointMode, SsdTiming};
 use checkin_workload::WorkloadSpec;
@@ -149,6 +149,13 @@ pub struct SystemConfig {
     /// Ablation: disable Algorithm 2's compression of values larger than
     /// the mapping unit. Only meaningful for Check-In.
     pub ablate_compression: bool,
+    /// Verify per-unit checksums on every device read path and quarantine
+    /// failures (on by default). Harnesses turn this off to prove their
+    /// verifiers detect the resulting silent corruption.
+    pub verify_checksums: bool,
+    /// Pages the background scrubber verifies in each post-checkpoint
+    /// idle window (0 disables scrubbing).
+    pub scrub_pages_per_idle: u32,
 }
 
 impl SystemConfig {
@@ -178,6 +185,8 @@ impl SystemConfig {
             write_buffer_units: 128,
             ablate_partial_merging: false,
             ablate_compression: false,
+            verify_checksums: true,
+            scrub_pages_per_idle: 16,
         }
     }
 
@@ -197,7 +206,10 @@ impl SystemConfig {
             map_cache_entries: self.map_cache_entries,
             write_buffer_units: self.write_buffer_units,
             wear_leveling_threshold: Some(64),
-            media_retry_limit: 4,
+            retry_read: MediaRetryPolicy::default(),
+            retry_program: MediaRetryPolicy::default(),
+            retry_erase: MediaRetryPolicy::default(),
+            verify_checksums: self.verify_checksums,
         }
     }
 

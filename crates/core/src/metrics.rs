@@ -71,6 +71,26 @@ pub struct FlashStats {
     pub grown_bad_blocks: u64,
     /// Blocks retired (taken out of service) by the FTL.
     pub blocks_retired: u64,
+    /// Reads that exhausted their per-class media retry budget.
+    pub retry_exhausted_read: u64,
+    /// Programs that exhausted their per-class media retry budget.
+    pub retry_exhausted_program: u64,
+    /// Erases that exhausted their per-class media retry budget.
+    pub retry_exhausted_erase: u64,
+    /// Corrupt data units detected by checksum verification (foreground
+    /// reads, GC relocation, scrubbing, recovery scans).
+    pub integrity_detected: u64,
+    /// Detected-corrupt units whose data was healed by a fresh host
+    /// write before the damage could spread.
+    pub integrity_corrected: u64,
+    /// Detected-corrupt units quarantined (reads fail typed, never
+    /// serve rotted bytes).
+    pub integrity_quarantined: u64,
+    /// Referenced corrupt units destroyed (GC / block retirement) with
+    /// no surviving copy — the affected lpns are poisoned.
+    pub integrity_unrecoverable: u64,
+    /// Pages patrol-read by the background scrubber.
+    pub scrub_pages: u64,
 }
 
 impl FlashStats {
@@ -320,6 +340,9 @@ impl RunReport {
          checkpoints,cp_mean_us,cp_entries,remapped,copied,redundant_bytes,\
          flash_reads,flash_programs,flash_erases,gc,invalid_units,\
          media_retries,blocks_retired,\
+         retry_exhausted_read,retry_exhausted_program,retry_exhausted_erase,\
+         integrity_detected,integrity_corrected,integrity_quarantined,\
+         integrity_unrecoverable,scrub_pages,\
          io_amp,flash_amp,waf,space_overhead,lifetime,\
          cp_drain_us,cp_remap_us,cp_copy_us,cp_meta_us,cp_trim_us,\
          cp_copy_programs,cp_gc_programs"
@@ -332,7 +355,7 @@ impl RunReport {
     /// downstream parsers never see `inf`/`NaN` tokens.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.0},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
+            "{},{},{},{:.0},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
             self.strategy.label(),
             self.threads,
             self.ops,
@@ -356,6 +379,14 @@ impl RunReport {
             self.flash.invalid_units,
             self.flash.media_retries,
             self.flash.blocks_retired,
+            self.flash.retry_exhausted_read,
+            self.flash.retry_exhausted_program,
+            self.flash.retry_exhausted_erase,
+            self.flash.integrity_detected,
+            self.flash.integrity_corrected,
+            self.flash.integrity_quarantined,
+            self.flash.integrity_unrecoverable,
+            self.flash.scrub_pages,
             csv_metric(self.io_amplification),
             csv_metric(self.flash_amplification),
             csv_metric(self.waf),
@@ -439,6 +470,30 @@ impl std::fmt::Display for RunReport {
                 self.flash.media_retries,
                 self.flash.grown_bad_blocks,
                 self.flash.blocks_retired
+            )?;
+        }
+        if self.flash.integrity_detected + self.flash.scrub_pages > 0 {
+            writeln!(
+                f,
+                "  integrity     detected {} (quarantined {}, corrected {}, unrecoverable {}), scrubbed {} pages",
+                self.flash.integrity_detected,
+                self.flash.integrity_quarantined,
+                self.flash.integrity_corrected,
+                self.flash.integrity_unrecoverable,
+                self.flash.scrub_pages
+            )?;
+        }
+        if self.flash.retry_exhausted_read
+            + self.flash.retry_exhausted_program
+            + self.flash.retry_exhausted_erase
+            > 0
+        {
+            writeln!(
+                f,
+                "  retry budget  exhausted r {} / p {} / e {}",
+                self.flash.retry_exhausted_read,
+                self.flash.retry_exhausted_program,
+                self.flash.retry_exhausted_erase
             )?;
         }
         write!(

@@ -272,6 +272,13 @@ impl KvSystem {
                             .background_gc(out.finish, self.config.background_gc_rounds)
                             .map_err(EngineError::Ssd)?;
                         last_finish = last_finish.max(gc_done);
+                        // GC has priority for the idle window; the scrubber
+                        // patrols whatever slack remains after it.
+                        let (_, scrub_done) = self
+                            .ssd
+                            .background_scrub(gc_done, self.config.scrub_pages_per_idle)
+                            .map_err(EngineError::Ssd)?;
+                        last_finish = last_finish.max(scrub_done);
                     }
                     next_tick = now + self.config.checkpoint_interval;
                     events.schedule(next_tick, Event::CheckpointTick);
@@ -358,6 +365,11 @@ impl KvSystem {
                                 .background_gc(out.finish, self.config.background_gc_rounds)
                                 .map_err(EngineError::Ssd)?;
                             last_finish = last_finish.max(gc_done);
+                            let (_, scrub_done) = self
+                                .ssd
+                                .background_scrub(gc_done, self.config.scrub_pages_per_idle)
+                                .map_err(EngineError::Ssd)?;
+                            last_finish = last_finish.max(scrub_done);
                             break;
                         }
                         if quota[thread as usize] == 0 {
@@ -413,6 +425,14 @@ impl KvSystem {
             media_retries: tdelta.get("ftl.media_retries"),
             grown_bad_blocks: fdelta.get("flash.grown_bad_blocks"),
             blocks_retired: tdelta.get("ftl.blocks_retired"),
+            retry_exhausted_read: tdelta.get("ftl.retry_exhausted_read"),
+            retry_exhausted_program: tdelta.get("ftl.retry_exhausted_program"),
+            retry_exhausted_erase: tdelta.get("ftl.retry_exhausted_erase"),
+            integrity_detected: tdelta.get("ftl.integrity_detected"),
+            integrity_corrected: tdelta.get("ftl.integrity_corrected"),
+            integrity_quarantined: tdelta.get("ftl.integrity_quarantined"),
+            integrity_unrecoverable: tdelta.get("ftl.integrity_unrecoverable"),
+            scrub_pages: tdelta.get("ftl.scrub_pages"),
         };
         let raw = edelta.get("engine.journal_raw_bytes");
         let stored = edelta.get("engine.journal_stored_bytes");

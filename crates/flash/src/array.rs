@@ -260,7 +260,19 @@ impl FlashArray {
         let Some(plan) = self.faults.as_mut() else {
             return Ok(());
         };
-        match plan.on_tick(op, phase) {
+        let outcome = plan.on_tick(op, phase);
+        // Retention decay rides the fault clock: every tick is a chance
+        // for a latent bit-flip somewhere in already-programmed data. At
+        // the default zero rates these draws consume no RNG state, so
+        // benign plans replay byte-identically.
+        let (rot_data, rot_oob) = plan.decay_draws();
+        if rot_data {
+            self.apply_bit_rot(true);
+        }
+        if rot_oob {
+            self.apply_bit_rot(false);
+        }
+        match outcome {
             TickOutcome::Pass => Ok(()),
             TickOutcome::PowerCut => {
                 self.powered_off = true;
@@ -287,6 +299,59 @@ impl FlashArray {
                 self.bad_blocks[b.0 as usize] = true;
                 self.counters.incr("flash.grown_bad_blocks");
                 Err(FlashError::GrownBadBlock(b))
+            }
+        }
+    }
+
+    /// A seeded draw in `[0, n)` from the armed plan (0 without one).
+    fn fault_draw(&mut self, n: u64) -> u64 {
+        self.faults.as_mut().map_or(0, |p| p.draw_below(n))
+    }
+
+    /// Flips one seeded bit in a stored data unit (`data == true`) or OOB
+    /// record of some programmed page, *without* resealing its checksums:
+    /// the damage stays latent until a verified read or scrub visits it.
+    /// The victim is found by probing forward from a drawn start page.
+    fn apply_bit_rot(&mut self, data: bool) {
+        let total = self.geometry.total_pages();
+        let start = self.fault_draw(total);
+        let mut victim = None;
+        for off in 0..total {
+            let idx = ((start + off) % total) as usize;
+            if matches!(self.store.get(idx), Some(Some(_))) {
+                victim = Some(idx);
+                break;
+            }
+        }
+        let Some(idx) = victim else {
+            return; // nothing programmed yet; the draw still happened
+        };
+        let mask = 1u64 << self.fault_draw(48);
+        if data {
+            let units_len = self.store[idx].as_ref().map_or(0, |c| c.units.len());
+            if units_len == 0 {
+                return;
+            }
+            let start_u = self.fault_draw(units_len as u64) as usize;
+            if let Some(c) = self.store[idx].as_mut() {
+                for off in 0..units_len {
+                    let i = (start_u + off) % units_len;
+                    if c.units[i].is_some() {
+                        c.flip_unit_bits(i, mask);
+                        self.counters.incr("flash.bit_rot_data");
+                        return;
+                    }
+                }
+            }
+        } else {
+            let oob_len = self.store[idx].as_ref().map_or(0, |c| c.oob.len());
+            if oob_len == 0 {
+                return;
+            }
+            let i = self.fault_draw(oob_len as u64) as usize;
+            if let Some(c) = self.store[idx].as_mut() {
+                c.flip_oob_bits(i, mask);
+                self.counters.incr("flash.bit_rot_oob");
             }
         }
     }
@@ -367,7 +432,7 @@ impl FlashArray {
     pub fn program(
         &mut self,
         ppn: Ppn,
-        content: PageContent,
+        mut content: PageContent,
         at: SimTime,
     ) -> Result<Window, FlashError> {
         self.check_range(ppn)?;
@@ -390,8 +455,39 @@ impl FlashArray {
             }
         }
         // Every failure path must run before any mutation so that a cut
-        // or media error leaves the array exactly as it was.
-        self.fault_gate(FaultOp::Program, Some(ppn), Some(block))?;
+        // or media error leaves the array exactly as it was — except a
+        // power cut with torn writes enabled, which deliberately leaves
+        // the partially-programmed wreckage on the media.
+        let was_on = !self.powered_off;
+        if let Err(e) = self.fault_gate(FaultOp::Program, Some(ppn), Some(block)) {
+            if was_on
+                && matches!(e, FlashError::PowerLoss)
+                && self
+                    .faults
+                    .as_ref()
+                    .is_some_and(FaultPlan::torn_writes_enabled)
+            {
+                self.torn_program(ppn, block, page, content, at);
+            }
+            return Err(e);
+        }
+        // Seal per-unit and per-OOB checksums at program time; injectors
+        // mutate tags after this point without resealing.
+        content.seal();
+        if self.faults.as_mut().is_some_and(FaultPlan::misdirect_draw) {
+            // Misdirected write: the program "succeeds", but what landed
+            // no longer matches the checksums sealed for it.
+            let mask = 1u64 << self.fault_draw(48);
+            for i in 0..content.units.len() {
+                if content.units[i].is_some() {
+                    content.flip_unit_bits(i, mask);
+                }
+            }
+            for i in 0..content.oob.len() {
+                content.flip_oob_bits(i, mask);
+            }
+            self.counters.incr("flash.misdirected_programs");
+        }
         let state = &mut self.blocks[block.0 as usize];
         state.pages[page as usize] = PageState::Programmed;
         state.write_cursor += 1;
@@ -416,6 +512,48 @@ impl FlashArray {
             start: xfer.start,
             finish: array.finish,
         })
+    }
+
+    /// A power cut landed mid-program with torn writes enabled: commit a
+    /// *torn page* — checksums sealed for the intended content, then a
+    /// seeded boundary drawn and everything past it bit-flipped (plus all
+    /// OOB records, which real NAND writes last). The page is marked
+    /// programmed and the cursor advances, exactly what a post-crash OOB
+    /// scan will find on the media.
+    fn torn_program(
+        &mut self,
+        ppn: Ppn,
+        block: BlockId,
+        page: u32,
+        mut content: PageContent,
+        at: SimTime,
+    ) {
+        content.seal();
+        let units = content.units.len() as u64;
+        let intact = self.fault_draw(units + 1);
+        if intact < units {
+            let mask = 1u64 << self.fault_draw(48);
+            for i in (intact as usize)..content.units.len() {
+                if content.units[i].is_some() {
+                    content.flip_unit_bits(i, mask);
+                }
+            }
+            for i in 0..content.oob.len() {
+                content.flip_oob_bits(i, mask);
+            }
+        }
+        let state = &mut self.blocks[block.0 as usize];
+        state.pages[page as usize] = PageState::Programmed;
+        state.write_cursor += 1;
+        self.store[ppn.0 as usize] = Some(content);
+        self.counters.incr("flash.torn_writes");
+        let phase = self.op_phase;
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Flash, "torn_program")
+                .tag(phase.label())
+                .with("ppn", ppn.0)
+                .with("block", block.0)
+        });
     }
 
     /// Erases a block, resetting every page to the erased state.
@@ -455,7 +593,7 @@ impl FlashArray {
             if let Some(mut c) = self.store[(first.0 + off) as usize].take() {
                 if self.spare_pages.len() < pool_cap {
                     c.units.clear();
-                    c.oob.clear();
+                    c.clear_for_reuse();
                     self.spare_pages.push(c);
                 }
             }
@@ -474,6 +612,35 @@ impl FlashArray {
         self.total_erases += 1;
         self.max_erase = self.max_erase.max(erase_count);
         Ok(window)
+    }
+
+    /// Test-only sabotage: flips bits in the stored unit at
+    /// (`ppn`, `offset`) *without* resealing its checksum — a targeted,
+    /// deterministic stand-in for the seeded bit-rot injector. Returns
+    /// true when a stored unit was hit. Harnesses use this to place
+    /// corruption exactly where a scenario needs it; never call it
+    /// anywhere else.
+    pub fn sabotage_corrupt_unit(&mut self, ppn: Ppn, offset: u32, mask: u64) -> bool {
+        match self.store.get_mut(ppn.0 as usize) {
+            Some(Some(c)) if matches!(c.units.get(offset as usize), Some(Some(_))) => {
+                c.flip_unit_bits(offset as usize, mask);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Test-only sabotage: flips bits of the stored OOB record at
+    /// (`ppn`, `index`) without resealing (see
+    /// [`FlashArray::sabotage_corrupt_unit`]).
+    pub fn sabotage_corrupt_oob(&mut self, ppn: Ppn, index: u32, mask: u64) -> bool {
+        match self.store.get_mut(ppn.0 as usize) {
+            Some(Some(c)) if (index as usize) < c.oob.len() => {
+                c.flip_oob_bits(index as usize, mask);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// True when `ppn` holds programmed data.
@@ -764,6 +931,127 @@ mod tests {
         for p in 0..8u64 {
             assert!(f.is_programmed(Ppn(p)));
         }
+    }
+
+    #[test]
+    fn programs_seal_checksums_that_reads_can_verify() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(7, 3), SimTime::ZERO).unwrap();
+        let c = f.read(Ppn(0)).unwrap();
+        assert!(c.is_sealed());
+        assert!(c.intact());
+    }
+
+    #[test]
+    fn torn_write_commits_a_detectably_corrupt_page() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        // Sweep seeds until one tears inside the payload (the drawn
+        // boundary may also legitimately land past the last unit).
+        let mut saw_corrupt = false;
+        for seed in 0..64u64 {
+            let mut f2 = array();
+            f2.arm_faults(FaultPlan::new(FaultConfig {
+                torn_writes: true,
+                ..FaultConfig::power_cut(seed, 1)
+            }));
+            let err = f2
+                .program(Ppn(0), page_with(5, 1), SimTime::ZERO)
+                .unwrap_err();
+            assert_eq!(err, FlashError::PowerLoss);
+            assert!(f2.powered_off());
+            // Unlike the fail-stop model the page *is* on the media.
+            assert!(f2.is_programmed(Ppn(0)));
+            assert_eq!(f2.write_cursor(BlockId(0)), 1);
+            assert_eq!(f2.counters().get("flash.torn_writes"), 1);
+            assert_eq!(f2.counters().get("flash.program"), 0);
+            let c = f2.read(Ppn(0)).unwrap();
+            assert!(c.is_sealed());
+            if !c.intact() {
+                saw_corrupt = true;
+                f = f2;
+                break;
+            }
+        }
+        assert!(saw_corrupt, "some seed must tear inside the payload");
+        // The torn page never verifies until the block is erased.
+        assert!(!f.read(Ppn(0)).unwrap().intact());
+    }
+
+    #[test]
+    fn torn_writes_off_keeps_fail_stop_behavior() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        f.arm_faults(FaultPlan::new(FaultConfig::power_cut(3, 1)));
+        let err = f
+            .program(Ppn(0), page_with(5, 1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FlashError::PowerLoss);
+        assert!(!f.is_programmed(Ppn(0)));
+        assert_eq!(f.write_cursor(BlockId(0)), 0);
+        assert_eq!(f.counters().get("flash.torn_writes"), 0);
+    }
+
+    #[test]
+    fn misdirected_program_lands_with_mismatched_checksums() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        f.arm_faults(FaultPlan::new(FaultConfig {
+            seed: 21,
+            misdirected_program: 1.0,
+            ..FaultConfig::default()
+        }));
+        // The program reports success...
+        f.program(Ppn(0), page_with(9, 2), SimTime::ZERO).unwrap();
+        assert_eq!(f.counters().get("flash.misdirected_programs"), 1);
+        assert_eq!(f.counters().get("flash.program"), 1);
+        // ...but the landed page fails verification.
+        let c = f.read(Ppn(0)).unwrap();
+        assert!(c.is_sealed());
+        assert!(!c.intact());
+    }
+
+    #[test]
+    fn bit_rot_corrupts_programmed_pages_latently() {
+        use crate::content::{OobEntry, OobKind};
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut f = array();
+        let mut page = page_with(3, 1);
+        page.oob.push(OobEntry {
+            lpn: 3,
+            sequence: 1,
+            kind: OobKind::Data,
+        });
+        f.program(Ppn(0), page, SimTime::ZERO).unwrap();
+        f.arm_faults(FaultPlan::new(FaultConfig {
+            seed: 17,
+            bit_rot_data: 1.0,
+            bit_rot_oob: 1.0,
+            ..FaultConfig::default()
+        }));
+        // Any fault-clock tick now decays the stored page.
+        f.logical_tick().unwrap();
+        assert!(f.counters().get("flash.bit_rot_data") >= 1);
+        assert!(f.counters().get("flash.bit_rot_oob") >= 1);
+        let c = f.read(Ppn(0)).unwrap();
+        assert!(!c.intact(), "rot must break verification");
+        // Erasing the block launders the corruption away entirely.
+        f.arm_faults(FaultPlan::new(FaultConfig::default()));
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        f.program(Ppn(0), page_with(3, 2), SimTime::ZERO).unwrap();
+        assert!(f.read(Ppn(0)).unwrap().intact());
+    }
+
+    #[test]
+    fn spare_shells_forget_previous_seals() {
+        let mut f = array();
+        f.program(Ppn(0), page_with(1, 1), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        assert!(f.spare_page_count() > 0);
+        let shell = f.spare_page(8);
+        assert!(shell.oob.is_empty());
+        assert!(shell.units.iter().all(Option::is_none));
+        assert!(shell.intact(), "recycled shell starts unsealed and clean");
     }
 
     #[test]

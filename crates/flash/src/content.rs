@@ -275,6 +275,11 @@ pub struct PageContent {
     pub units: Vec<Option<UnitPayload>>,
     /// OOB records, parallel to `units` where applicable.
     pub oob: Vec<OobEntry>,
+    /// Per-unit checksums sealed at program time, parallel to `units`
+    /// (zero for padded slots). Empty until [`PageContent::seal`] runs.
+    unit_crcs: Vec<u32>,
+    /// Per-record OOB checksums, parallel to `oob`. Empty until sealed.
+    oob_crcs: Vec<u32>,
 }
 
 impl PageContent {
@@ -283,6 +288,8 @@ impl PageContent {
         PageContent {
             units: vec![None; units],
             oob: Vec::new(),
+            unit_crcs: Vec::new(),
+            oob_crcs: Vec::new(),
         }
     }
 
@@ -294,6 +301,83 @@ impl PageContent {
     /// Total payload bytes across units.
     pub fn payload_bytes(&self) -> u64 {
         self.units.iter().flatten().map(|u| u.bytes() as u64).sum()
+    }
+
+    /// Computes and stores the per-unit and per-OOB-record checksums —
+    /// the controller's ECC engine sealing the page on its way to the
+    /// die. The flash array calls this at program time; anything that
+    /// mutates the tags afterwards (bit-rot, torn tails, misdirected
+    /// stamps) leaves the sealed checksums stale and therefore
+    /// detectable.
+    pub fn seal(&mut self) {
+        self.unit_crcs.clear();
+        for unit in &self.units {
+            self.unit_crcs
+                .push(unit.as_ref().map_or(0, crate::integrity::unit_checksum));
+        }
+        self.oob_crcs.clear();
+        for entry in &self.oob {
+            self.oob_crcs.push(crate::integrity::oob_checksum(entry));
+        }
+    }
+
+    /// True once [`PageContent::seal`] has stamped checksums onto the
+    /// current tags.
+    pub fn is_sealed(&self) -> bool {
+        self.unit_crcs.len() == self.units.len() && self.oob_crcs.len() == self.oob.len()
+    }
+
+    /// Verifies the sealed checksum of unit `i`. Padded slots and
+    /// unsealed pages verify trivially (there is nothing to protect).
+    pub fn unit_intact(&self, i: usize) -> bool {
+        match (self.units.get(i), self.unit_crcs.get(i)) {
+            (Some(Some(unit)), Some(&crc)) => crate::integrity::unit_checksum(unit) == crc,
+            _ => true,
+        }
+    }
+
+    /// Verifies the sealed checksum of OOB record `i` (trivially true
+    /// when absent or unsealed).
+    pub fn oob_intact(&self, i: usize) -> bool {
+        match (self.oob.get(i), self.oob_crcs.get(i)) {
+            (Some(entry), Some(&crc)) => crate::integrity::oob_checksum(entry) == crc,
+            _ => true,
+        }
+    }
+
+    /// True when every occupied unit and OOB record verifies.
+    pub fn intact(&self) -> bool {
+        (0..self.units.len()).all(|i| self.unit_intact(i))
+            && (0..self.oob.len()).all(|i| self.oob_intact(i))
+    }
+
+    /// Clears sealed checksums along with content (spare-shell reuse).
+    pub(crate) fn clear_for_reuse(&mut self) {
+        self.oob.clear();
+        self.unit_crcs.clear();
+        self.oob_crcs.clear();
+    }
+
+    /// Flips tag bits of unit `i` *without* resealing — the corruption
+    /// injectors' primitive. XORs every fragment's version (and key)
+    /// with the nonzero `mask`, so the canonical encoding changes and
+    /// the stale checksum no longer matches.
+    pub(crate) fn flip_unit_bits(&mut self, i: usize, mask: u64) {
+        if let Some(Some(unit)) = self.units.get_mut(i) {
+            for f in unit.fragments.as_mut_slice() {
+                f.version ^= mask;
+                f.key ^= mask;
+            }
+        }
+    }
+
+    /// Flips tag bits of OOB record `i` without resealing (corrupts the
+    /// recovery-critical `lpn`/`sequence` stamps).
+    pub(crate) fn flip_oob_bits(&mut self, i: usize, mask: u64) {
+        if let Some(entry) = self.oob.get_mut(i) {
+            entry.lpn ^= mask;
+            entry.sequence ^= mask.rotate_left(17);
+        }
     }
 }
 
@@ -340,5 +424,70 @@ mod tests {
     fn empty_unit_is_padding() {
         assert!(UnitPayload::default().is_empty());
         assert_eq!(UnitPayload::default().bytes(), 0);
+    }
+
+    fn sealed_page() -> PageContent {
+        let mut p = PageContent::empty(4);
+        p.units[0] = Some(UnitPayload::single(1, 7, 512));
+        p.units[2] = Some(UnitPayload::single(2, 3, 128));
+        p.oob.push(OobEntry {
+            lpn: 10,
+            sequence: 5,
+            kind: OobKind::Data,
+        });
+        p.oob.push(OobEntry {
+            lpn: 11,
+            sequence: 6,
+            kind: OobKind::Journal,
+        });
+        p.seal();
+        p
+    }
+
+    #[test]
+    fn sealed_page_verifies() {
+        let p = sealed_page();
+        assert!(p.is_sealed());
+        assert!(p.intact());
+        for i in 0..4 {
+            assert!(p.unit_intact(i), "unit {i}");
+        }
+        assert!(p.oob_intact(0) && p.oob_intact(1));
+    }
+
+    #[test]
+    fn unsealed_page_verifies_trivially() {
+        let mut p = PageContent::empty(4);
+        p.units[0] = Some(UnitPayload::single(1, 1, 512));
+        assert!(!p.is_sealed());
+        assert!(p.intact());
+    }
+
+    #[test]
+    fn flipped_unit_bits_break_verification() {
+        let mut p = sealed_page();
+        p.flip_unit_bits(0, 1 << 13);
+        assert!(!p.unit_intact(0));
+        assert!(p.unit_intact(2), "other unit untouched");
+        assert!(p.oob_intact(0), "oob untouched");
+        assert!(!p.intact());
+    }
+
+    #[test]
+    fn flipped_oob_bits_break_verification() {
+        let mut p = sealed_page();
+        p.flip_oob_bits(1, 1);
+        assert!(p.unit_intact(0));
+        assert!(p.oob_intact(0));
+        assert!(!p.oob_intact(1));
+    }
+
+    #[test]
+    fn resealing_after_mutation_restores_integrity() {
+        let mut p = sealed_page();
+        p.flip_unit_bits(0, 0xFF00);
+        assert!(!p.intact());
+        p.seal();
+        assert!(p.intact());
     }
 }

@@ -16,8 +16,9 @@
 //!   sudden-power-off recovery.
 //! * **Transient** ([`ErrorClass::Transient`]) — injected one-shot media
 //!   failures (read/program/erase). The *device firmware* (the FTL layer)
-//!   retries these with exponential backoff, bounded by
-//!   `FtlConfig::media_retry_limit`; each attempt draws independently, so
+//!   retries these with exponential backoff, bounded by the per-op-class
+//!   budgets in `FtlConfig` (`retry_read` / `retry_program` /
+//!   `retry_erase`); each attempt draws independently, so
 //!   bounded retries almost surely succeed. State is never mutated by a
 //!   failed attempt.
 

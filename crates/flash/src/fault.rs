@@ -8,11 +8,33 @@
 //!   *logical* firmware steps forwarded by upper layers: buffered-write
 //!   admissions, remaps, deallocations). When the clock reaches
 //!   [`FaultConfig::power_cut_after`], the in-flight operation fails with
-//!   [`FlashError::PowerLoss`](crate::FlashError) *before any state mutation* and the array
+//!   [`FlashError::PowerLoss`](crate::FlashError) and the array
 //!   freezes: all further timed operations fail until
 //!   [`FlashArray::power_on`](crate::FlashArray::power_on) is called.
 //!   Untimed content reads stay available so recovery code can scan OOB
 //!   metadata, modelling firmware reading NAND after a reboot.
+//!
+//!   By default a cut aborts the in-flight operation *before any state
+//!   mutation* — a **fail-stop idealization**. Real NAND does not abort
+//!   cleanly: a program interrupted mid-burst leaves a *torn page* whose
+//!   cells hold a partially-written, ECC-invalid mess. Setting
+//!   [`FaultConfig::torn_writes`] replaces the clean abort on programs
+//!   with exactly that: the page is marked programmed and stores a prefix
+//!   of the intended content with a corrupted tail (units and OOB records
+//!   past a seeded boundary are bit-flipped without resealing their
+//!   checksums). With the flag off, behavior — including the RNG stream —
+//!   is byte-identical to the historical fail-stop model.
+//! * **Retention bit-rot** — per-tick Bernoulli draws
+//!   ([`FaultConfig::bit_rot_data`], [`FaultConfig::bit_rot_oob`]) flip
+//!   seeded bits in the stored content tags or OOB records of an already
+//!   programmed page, modelling charge leakage in cold data. The sealed
+//!   checksums are *not* updated, so the damage is latent until a
+//!   verified read or a scrub pass visits the page.
+//! * **Misdirected writes** — a per-program draw
+//!   ([`FaultConfig::misdirected_program`]) scrambles the payload and OOB
+//!   stamps of a program *after* its checksums were sealed, modelling
+//!   firmware writing the right data to the wrong place: the program
+//!   reports success, but what landed does not match its checksums.
 //! * **Transient media errors** — per-attempt Bernoulli draws make a
 //!   read/program/erase fail with a retryable error while leaving state
 //!   untouched. Independent draws per attempt mean bounded retries
@@ -82,6 +104,20 @@ pub struct FaultConfig {
     pub transient_erase: f64,
     /// Per-attempt probability that a program/erase grows a bad block.
     pub grown_bad_block: f64,
+    /// A power cut during a program leaves a *torn page* (partially
+    /// programmed, corrupt tail) instead of cleanly aborting. Off by
+    /// default, preserving the historical fail-stop model byte-for-byte.
+    pub torn_writes: bool,
+    /// Per-tick probability of a retention bit-flip in a stored data unit
+    /// of some already-programmed page.
+    pub bit_rot_data: f64,
+    /// Per-tick probability of a retention bit-flip in a stored OOB
+    /// record of some already-programmed page.
+    pub bit_rot_oob: f64,
+    /// Per-program probability that the write is misdirected: it reports
+    /// success but the landed payload/OOB stamps are scrambled relative
+    /// to their sealed checksums.
+    pub misdirected_program: f64,
     /// Record an `(op, phase)` trace entry per tick (profiling runs).
     pub record_trace: bool,
 }
@@ -95,6 +131,10 @@ impl Default for FaultConfig {
             transient_program: 0.0,
             transient_erase: 0.0,
             grown_bad_block: 0.0,
+            torn_writes: false,
+            bit_rot_data: 0.0,
+            bit_rot_oob: 0.0,
+            misdirected_program: 0.0,
             record_trace: false,
         }
     }
@@ -219,6 +259,34 @@ impl FaultPlan {
             TickOutcome::Pass
         }
     }
+
+    /// Whether power cuts tear in-flight programs instead of aborting.
+    pub(crate) fn torn_writes_enabled(&self) -> bool {
+        self.config.torn_writes
+    }
+
+    /// Per-tick retention decay draws: `(data unit hit, OOB record hit)`.
+    /// Consumes no RNG state when both rates are zero, so benign plans
+    /// keep the historical stream byte-identical.
+    pub(crate) fn decay_draws(&mut self) -> (bool, bool) {
+        let data = self.chance(self.config.bit_rot_data);
+        let oob = self.chance(self.config.bit_rot_oob);
+        (data, oob)
+    }
+
+    /// Per-program misdirection draw. Consumes no RNG state at rate zero.
+    pub(crate) fn misdirect_draw(&mut self) -> bool {
+        self.chance(self.config.misdirected_program)
+    }
+
+    /// A uniform draw in `[0, n)` (`0` when `n == 0`), used to pick
+    /// seeded victims and corruption masks deterministically.
+    pub(crate) fn draw_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +363,54 @@ mod tests {
                 p.on_tick(FaultOp::Logical, FaultPhase::Normal),
                 TickOutcome::Pass
             );
+        }
+    }
+
+    #[test]
+    fn zero_rate_injectors_leave_the_rng_stream_untouched() {
+        // With every new hazard at its default-off setting, interleaving
+        // decay/misdirect draws between ticks must not perturb the draw
+        // sequence of a historical plan: the crashmatrix tiers depend on
+        // byte-identical replay.
+        let legacy = FaultConfig {
+            seed: 42,
+            transient_program: 0.5,
+            grown_bad_block: 0.1,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(legacy);
+        let mut b = FaultPlan::new(legacy);
+        for _ in 0..1000 {
+            let (data, oob) = b.decay_draws();
+            assert!(!data && !oob);
+            assert!(!b.misdirect_draw());
+            assert_eq!(
+                a.on_tick(FaultOp::Program, FaultPhase::Normal),
+                b.on_tick(FaultOp::Program, FaultPhase::Normal)
+            );
+        }
+    }
+
+    #[test]
+    fn torn_writes_flag_defaults_off() {
+        assert!(!FaultConfig::default().torn_writes);
+        assert!(!FaultPlan::new(FaultConfig::power_cut(3, 5)).torn_writes_enabled());
+    }
+
+    #[test]
+    fn draw_below_is_bounded_and_deterministic() {
+        let cfg = FaultConfig {
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        assert_eq!(a.draw_below(0), 0);
+        assert_eq!(b.draw_below(0), 0);
+        for n in 1..200u64 {
+            let x = a.draw_below(n);
+            assert_eq!(x, b.draw_below(n));
+            assert!(x < n);
         }
     }
 

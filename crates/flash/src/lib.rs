@@ -37,6 +37,7 @@ mod content;
 mod error;
 mod fault;
 mod geometry;
+mod integrity;
 mod phase;
 mod timing;
 
@@ -45,5 +46,6 @@ pub use content::{FragVec, Fragment, OobEntry, OobKind, PageContent, UnitPayload
 pub use error::{ErrorClass, FlashError};
 pub use fault::{FaultConfig, FaultOp, FaultPhase, FaultPlan};
 pub use geometry::{BlockId, FlashGeometry, Ppa, Ppn};
+pub use integrity::{crc32, encode_oob_into, encode_unit_into, oob_checksum, unit_checksum, Crc32};
 pub use phase::OpPhase;
 pub use timing::FlashTiming;

@@ -29,17 +29,20 @@ pub enum OpPhase {
     Dealloc,
     /// Garbage collection and wear-leveling migration.
     Gc,
+    /// Background integrity scrub reads in idle windows.
+    Scrub,
 }
 
 impl OpPhase {
     /// Every phase, in a stable order (for reports and reconciliation).
-    pub const ALL: [OpPhase; 6] = [
+    pub const ALL: [OpPhase; 7] = [
         OpPhase::Run,
         OpPhase::CheckpointRemap,
         OpPhase::CheckpointCopy,
         OpPhase::Meta,
         OpPhase::Dealloc,
         OpPhase::Gc,
+        OpPhase::Scrub,
     ];
 
     /// Stable lowercase label (used in trace output and counter keys).
@@ -51,6 +54,7 @@ impl OpPhase {
             OpPhase::Meta => "meta",
             OpPhase::Dealloc => "dealloc",
             OpPhase::Gc => "gc",
+            OpPhase::Scrub => "scrub",
         }
     }
 
@@ -63,6 +67,7 @@ impl OpPhase {
             OpPhase::Meta => "flash.read.meta",
             OpPhase::Dealloc => "flash.read.dealloc",
             OpPhase::Gc => "flash.read.gc",
+            OpPhase::Scrub => "flash.read.scrub",
         }
     }
 
@@ -75,6 +80,7 @@ impl OpPhase {
             OpPhase::Meta => "flash.program.meta",
             OpPhase::Dealloc => "flash.program.dealloc",
             OpPhase::Gc => "flash.program.gc",
+            OpPhase::Scrub => "flash.program.scrub",
         }
     }
 
@@ -87,6 +93,7 @@ impl OpPhase {
             OpPhase::Meta => "flash.erase.meta",
             OpPhase::Dealloc => "flash.erase.dealloc",
             OpPhase::Gc => "flash.erase.gc",
+            OpPhase::Scrub => "flash.erase.scrub",
         }
     }
 }

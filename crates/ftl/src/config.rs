@@ -1,5 +1,48 @@
 //! FTL configuration.
 
+/// Retry policy for one class of flash operation (read, program, or
+/// erase). Transient media failures are retried with exponential backoff
+/// until the attempt budget runs out; the exhaustion is counted per class
+/// (`ftl.retry_exhausted_read` / `_program` / `_erase`).
+///
+/// # Examples
+///
+/// ```
+/// use checkin_ftl::MediaRetryPolicy;
+///
+/// let p = MediaRetryPolicy::default();
+/// assert_eq!(p.limit, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaRetryPolicy {
+    /// Total attempts (first try + retries) before the transient error
+    /// escapes. Fatal errors (rule violations, grown bad blocks, power
+    /// loss) are never retried.
+    pub limit: u32,
+    /// Cap on the exponential-backoff shift: attempt `n` waits
+    /// `op_time << min(n, cap)` before retrying.
+    pub backoff_shift_cap: u32,
+}
+
+impl Default for MediaRetryPolicy {
+    fn default() -> Self {
+        MediaRetryPolicy {
+            limit: 4,
+            backoff_shift_cap: 16,
+        }
+    }
+}
+
+impl MediaRetryPolicy {
+    /// A policy with the default backoff and the given attempt budget.
+    pub fn with_limit(limit: u32) -> Self {
+        MediaRetryPolicy {
+            limit,
+            ..MediaRetryPolicy::default()
+        }
+    }
+}
+
 /// Tunables of the flash translation layer.
 ///
 /// # Examples
@@ -34,11 +77,19 @@ pub struct FtlConfig {
     /// coldest block so its low-wear cells rejoin the pool. `None`
     /// disables static wear leveling.
     pub wear_leveling_threshold: Option<u64>,
-    /// Total attempts (first try + retries) the firmware makes for a
-    /// flash operation that fails with a *transient* media error, with
-    /// exponential backoff between attempts. Fatal errors (rule
-    /// violations, grown bad blocks, power loss) are never retried.
-    pub media_retry_limit: u32,
+    /// Retry policy for page reads that fail with a transient error.
+    pub retry_read: MediaRetryPolicy,
+    /// Retry policy for page programs that fail with a transient error.
+    pub retry_program: MediaRetryPolicy,
+    /// Retry policy for block erases that fail with a transient error.
+    pub retry_erase: MediaRetryPolicy,
+    /// Verify per-unit checksums on every flash read path (foreground
+    /// reads, GC relocation, scrub, SPOR scan). Failed verification
+    /// quarantines the unit and surfaces a typed
+    /// [`IntegrityError`](crate::IntegrityError) instead of data. On by
+    /// default; turning it off restores the trusting pre-integrity reads
+    /// (harnesses use that to prove their verifiers catch escapes).
+    pub verify_checksums: bool,
 }
 
 impl FtlConfig {
@@ -85,8 +136,16 @@ impl FtlConfig {
                 self.units_per_page(page_bytes)
             ));
         }
-        if self.media_retry_limit == 0 {
-            return Err("media_retry_limit must be at least 1 (the first attempt)".into());
+        for (class, policy) in [
+            ("read", self.retry_read),
+            ("program", self.retry_program),
+            ("erase", self.retry_erase),
+        ] {
+            if policy.limit == 0 {
+                return Err(format!(
+                    "retry_{class} limit must be at least 1 (the first attempt)"
+                ));
+            }
         }
         if self.write_points as u64 + self.gc_threshold_blocks as u64 >= total_blocks {
             return Err(format!(
@@ -110,7 +169,10 @@ impl Default for FtlConfig {
             map_cache_entries: None,
             write_buffer_units: 128,
             wear_leveling_threshold: Some(64),
-            media_retry_limit: 4,
+            retry_read: MediaRetryPolicy::default(),
+            retry_program: MediaRetryPolicy::default(),
+            retry_erase: MediaRetryPolicy::default(),
+            verify_checksums: true,
         }
     }
 }
@@ -164,9 +226,15 @@ mod tests {
         };
         assert!(bad.validate(4096, 1024).is_err());
         let bad = FtlConfig {
-            media_retry_limit: 0,
+            retry_read: MediaRetryPolicy::with_limit(0),
             ..good
         };
         assert!(bad.validate(4096, 1024).is_err());
+        let bad = FtlConfig {
+            retry_erase: MediaRetryPolicy::with_limit(0),
+            ..good
+        };
+        assert!(bad.validate(4096, 1024).is_err());
+        assert!(good.verify_checksums, "verification is on by default");
     }
 }

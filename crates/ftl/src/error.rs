@@ -8,9 +8,11 @@
 //! normally invisible above this crate:
 //!
 //! * **Transient read/program/erase** — retried internally with
-//!   exponential backoff, up to [`crate::FtlConfig::media_retry_limit`]
-//!   total attempts (counted in `ftl.media_retries`). Only when the
-//!   budget is exhausted does the error escape as [`FtlError::Flash`].
+//!   exponential backoff, up to the per-class attempt budget in
+//!   [`crate::FtlConfig::retry_read`] / `retry_program` / `retry_erase`
+//!   (counted in `ftl.media_retries`). Only when the budget is exhausted
+//!   does the error escape as [`FtlError::Flash`] (counted per class in
+//!   `ftl.retry_exhausted_read` / `_program` / `_erase`).
 //! * **Grown bad block on program** — the block is retired: still-valid
 //!   units are salvaged into the capacitor-backed write buffer and the
 //!   page-out simply moves to a healthy block (`ftl.blocks_retired`).
@@ -21,11 +23,46 @@
 //!   [`checkin_flash::FlashError::PowerLoss`]; the caller answers with
 //!   `Ftl::rebuild_after_power_loss`, not with a retry.
 //! * **Rule violations** — always escape; they indicate FTL bugs.
+//! * **Failed checksum verification** — never retried (re-reading the
+//!   same rotten cells cannot help): the unit is quarantined and the
+//!   read fails with [`FtlError::Integrity`], so corruption is always
+//!   *detected*, never silently served.
 
 use std::error::Error;
 use std::fmt;
 
 use crate::location::Lpn;
+
+/// A failed end-to-end integrity verification: the device detected
+/// corruption and reports it instead of serving wrong data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The stored checksum of the unit backing this logical unit no
+    /// longer matches its content. The unit is quarantined: the mapping
+    /// is kept (so reads keep failing loudly instead of silently
+    /// zero-filling) until the block is erased or retired.
+    CorruptUnit(Lpn),
+    /// The only physical copy of this logical unit was corrupt when its
+    /// block was reclaimed (GC or retirement); the data is lost, and the
+    /// loss is permanent but *detected*. Cleared by a fresh write, remap,
+    /// or deallocate of the logical unit.
+    Poisoned(Lpn),
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::CorruptUnit(lpn) => {
+                write!(f, "checksum mismatch reading {lpn} (unit quarantined)")
+            }
+            IntegrityError::Poisoned(lpn) => {
+                write!(f, "{lpn} lost: its only copy was corrupt when reclaimed")
+            }
+        }
+    }
+}
+
+impl Error for IntegrityError {}
 
 /// Failures surfaced by the flash translation layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +80,8 @@ pub enum FtlError {
     /// error instead of a panic so callers — recovery above all — can
     /// fail the one operation rather than the whole process.
     Inconsistent(&'static str),
+    /// End-to-end verification failed: corruption detected and withheld.
+    Integrity(IntegrityError),
 }
 
 impl FtlError {
@@ -50,6 +89,13 @@ impl FtlError {
     /// fault-injection harness treats as expected (answered by recovery).
     pub fn is_power_loss(&self) -> bool {
         matches!(self, FtlError::Flash(e) if e.is_power_loss())
+    }
+
+    /// True when this error is a detected integrity failure — the typed
+    /// outcome the corruption harness accepts in place of data (silent
+    /// wrong data is never acceptable).
+    pub fn is_integrity(&self) -> bool {
+        matches!(self, FtlError::Integrity(_))
     }
 }
 
@@ -60,6 +106,7 @@ impl fmt::Display for FtlError {
             FtlError::Unmapped(lpn) => write!(f, "read of unmapped logical unit {lpn}"),
             FtlError::Flash(e) => write!(f, "flash error: {e}"),
             FtlError::Inconsistent(what) => write!(f, "inconsistent FTL state: {what}"),
+            FtlError::Integrity(e) => write!(f, "integrity failure: {e}"),
         }
     }
 }
@@ -98,6 +145,7 @@ impl Error for FtlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FtlError::Flash(e) => Some(e),
+            FtlError::Integrity(e) => Some(e),
             _ => None,
         }
     }
@@ -144,6 +192,19 @@ mod tests {
         assert!(RecoveryError::Inconsistent("bad block ref")
             .to_string()
             .contains("bad block ref"));
+    }
+
+    #[test]
+    fn integrity_errors_are_typed_and_displayed() {
+        let e = FtlError::Integrity(IntegrityError::CorruptUnit(Lpn(4)));
+        assert!(e.is_integrity());
+        assert!(!e.is_power_loss());
+        assert!(e.to_string().contains("quarantined"));
+        assert!(Error::source(&e).is_some());
+        let p = FtlError::Integrity(IntegrityError::Poisoned(Lpn(9)));
+        assert!(p.is_integrity());
+        assert!(p.to_string().contains("lost"));
+        assert!(!FtlError::OutOfSpace.is_integrity());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use checkin_flash::{
 use checkin_sim::{CounterSet, SimTime, TraceEvent, TraceLayer, Tracer, Window};
 
 use crate::config::FtlConfig;
-use crate::error::{FtlError, RecoveryError};
+use crate::error::{FtlError, IntegrityError, RecoveryError};
 use crate::location::{BufSlot, Location, Lpn, Pun};
 use crate::map_cache::MapCacheModel;
 use crate::mapping::{MappingTable, Unlink};
@@ -129,6 +129,25 @@ pub struct RebuildStats {
     pub oob_records_replayed: u64,
     /// Capacitor-backed buffer slots re-linked into the table.
     pub buffered_units_recovered: u64,
+    /// OOB records rejected by checksum verification during the scan
+    /// (torn tails, rotted metadata). Rejected records never replay and
+    /// never advance the recovered sequence floor.
+    pub oob_records_rejected: u64,
+}
+
+/// Outcome counts of one background scrub round ([`Ftl::scrub_round`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Programmed pages whose data units were verified this round.
+    pub pages_scanned: u64,
+    /// Units whose checksum mismatched and were newly marked corrupt.
+    pub detected: u64,
+    /// Detected units still referenced by the mapping table: the data is
+    /// quarantined and reads of it fail with a typed error.
+    pub quarantined: u64,
+    /// Detected units no longer referenced (stale copies): no logical
+    /// data was at risk, the mark only keeps GC from copying rot.
+    pub corrected: u64,
 }
 
 /// The flash translation layer over a [`FlashArray`].
@@ -185,6 +204,19 @@ pub struct Ftl {
     in_gc: bool,
     /// Last persisted mapping log (only maintained under fault injection).
     persisted: Option<MappingSnapshot>,
+    /// Physical units whose checksum verification failed. The mapping is
+    /// *kept* — unmapping would make reads silently zero-fill — so every
+    /// read keeps failing with a typed [`IntegrityError`] until the block
+    /// is erased or retired (which clears its marks). Empty in healthy
+    /// runs, so the hot-path membership test is one branch.
+    quarantined: BTreeSet<Pun>,
+    /// Logical units whose only physical copy was corrupt when its block
+    /// was reclaimed: data is gone, and reads must say so (typed error)
+    /// rather than report "never written". Cleared by a fresh write,
+    /// remap, or deallocate.
+    poisoned: BTreeSet<Lpn>,
+    /// Next page the background scrubber will visit (wraps around).
+    scrub_cursor: u64,
     /// Structured trace sink (no-op unless enabled).
     tracer: Tracer,
 }
@@ -225,6 +257,9 @@ impl Ftl {
             seq: 0,
             in_gc: false,
             persisted: None,
+            quarantined: BTreeSet::new(),
+            poisoned: BTreeSet::new(),
+            scrub_cursor: 0,
             tracer: Tracer::disabled(),
         })
     }
@@ -312,6 +347,122 @@ impl Ftl {
         }
     }
 
+    /// Marks a physical unit as corrupt (checksum mismatch). Returns
+    /// `Some(referenced)` when the mark is new — `referenced` says
+    /// whether the mapping table still pointed at the unit, which is the
+    /// difference between quarantined logical data and a harmlessly
+    /// rotted stale copy — or `None` when the unit was already marked.
+    ///
+    /// Counter semantics: every new mark counts in
+    /// `ftl.integrity_detected`, and exactly one of
+    /// `ftl.integrity_quarantined` (referenced) or
+    /// `ftl.integrity_corrected` (stale — nothing to lose, the mark just
+    /// keeps GC from copying rot forward).
+    fn note_corrupt(&mut self, pun: Pun) -> Option<bool> {
+        if !self.quarantined.insert(pun) {
+            return None;
+        }
+        let referenced = !self.table.referrers(Location::Flash(pun)).is_empty();
+        self.counters.incr("ftl.integrity_detected");
+        if referenced {
+            self.counters.incr("ftl.integrity_quarantined");
+        } else {
+            self.counters.incr("ftl.integrity_corrected");
+        }
+        Some(referenced)
+    }
+
+    /// Quarantined units currently marked inside `block`.
+    fn quarantined_in_block(&self, block: BlockId) -> u32 {
+        let g = self.flash.geometry();
+        let mut n = 0u32;
+        for &pun in &self.quarantined {
+            if g.block_of(pun.page(self.upp)) == block {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drops every quarantine mark inside `block` — called when the block
+    /// is erased or retired, after which its physical units hold no data
+    /// (and any logical loss has been converted to poisoned lpns).
+    fn clear_block_quarantine(&mut self, block: BlockId) {
+        if self.quarantined.is_empty() {
+            return;
+        }
+        let g = *self.flash.geometry();
+        let upp = self.upp;
+        self.quarantined
+            .retain(|pun| g.block_of(pun.page(upp)) != block);
+    }
+
+    /// A referenced-but-corrupt unit is about to be destroyed (its block
+    /// erased by GC or retired): the logical data is unrecoverable. Every
+    /// referrer is unmapped and poisoned so later reads report the loss
+    /// with a typed error instead of "never written", and the event is
+    /// counted in `ftl.integrity_unrecoverable`.
+    fn poison_destroyed_unit(&mut self, pun: Pun, at: SimTime) {
+        if !self.quarantined.remove(&pun) {
+            // Corruption first observed here (during the GC salvage scan
+            // itself): still one detected + quarantined event, keeping
+            // `detected == quarantined + corrected` as an invariant.
+            self.counters.incr("ftl.integrity_detected");
+            self.counters.incr("ftl.integrity_quarantined");
+        }
+        let referrers: Vec<Lpn> = self.table.referrers(Location::Flash(pun)).to_vec();
+        for lpn in referrers {
+            let u = self.table.unmap(lpn);
+            self.note_unlink(u);
+            self.poisoned.insert(lpn);
+        }
+        self.counters.incr("ftl.integrity_unrecoverable");
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Ftl, "integrity_unrecoverable")
+                .with("page", pun.page(self.upp).0)
+                .with("offset", u64::from(pun.offset(self.upp)))
+        });
+    }
+
+    /// Foreground-read reaction to a corrupt unit: quarantine it, retire
+    /// the surrounding block once enough of it has rotted (a page's worth
+    /// of marks), and produce the typed error the read returns.
+    fn quarantine_and_report(&mut self, lpn: Lpn, pun: Pun) -> FtlError {
+        let _ = self.note_corrupt(pun);
+        let block = self.flash.geometry().block_of(pun.page(self.upp));
+        let kind = self
+            .block_kind
+            .get(block.0 as usize)
+            .copied()
+            .unwrap_or(BlockKind::Free);
+        if kind == BlockKind::Closed && !self.in_gc && self.quarantined_in_block(block) >= self.upp
+        {
+            // The block is decaying wholesale: salvage what still
+            // verifies and take it out of service.
+            self.retire_block(block);
+        }
+        FtlError::Integrity(IntegrityError::CorruptUnit(lpn))
+    }
+
+    /// True when `pun`'s stored unit fails checksum verification (only
+    /// ever called with verification enabled and the page readable).
+    /// Used on the background salvage paths; the foreground read/write
+    /// paths fold this check into their single page borrow instead.
+    fn unit_is_corrupt(&self, pun: Pun) -> bool {
+        self.flash
+            .read(pun.page(self.upp))
+            .map(|pc| !pc.unit_intact(pun.offset(self.upp) as usize))
+            .unwrap_or(false)
+    }
+
+    /// Clears the poisoned mark of `lpn` — its loss record — once a fresh
+    /// write, remap, or deallocate supersedes the lost data.
+    fn clear_poison(&mut self, lpn: Lpn) {
+        if !self.poisoned.is_empty() {
+            self.poisoned.remove(&lpn);
+        }
+    }
+
     /// Data held by a referenced buffer slot, or `None` when the mapping
     /// points at an empty slot (an internal inconsistency the caller
     /// reports as [`FtlError::Inconsistent`] rather than panicking over).
@@ -379,15 +530,28 @@ impl Ftl {
                     merge_payload(&old.payload, &w.payload)
                 }
                 Some(Location::Flash(pun)) => {
+                    // A partial write merging with a corrupt old copy
+                    // would launder rot into a freshly-checksummed unit:
+                    // fail the write instead.
+                    if !self.quarantined.is_empty() && self.quarantined.contains(&pun) {
+                        return Err(FtlError::Integrity(IntegrityError::CorruptUnit(w.lpn)));
+                    }
                     self.counters.incr("ftl.rmw_reads");
                     let win = self.read_with_retry(pun.page(self.upp), at)?;
                     done = done.max(win.finish);
-                    let old = self
-                        .flash
-                        .read(pun.page(self.upp))
-                        .and_then(|pc| pc.units[pun.offset(self.upp) as usize].clone())
-                        .unwrap_or_default();
-                    merge_payload(&old, &w.payload)
+                    // One borrow of the page serves both the checksum
+                    // check and the old-payload fetch.
+                    let offset = pun.offset(self.upp) as usize;
+                    let verify = self.config.verify_checksums;
+                    let (corrupt, old) = match self.flash.read(pun.page(self.upp)) {
+                        Some(pc) if verify && !pc.unit_intact(offset) => (true, None),
+                        Some(pc) => (false, pc.units.get(offset).and_then(|u| u.clone())),
+                        None => (false, None),
+                    };
+                    if corrupt {
+                        return Err(self.quarantine_and_report(w.lpn, pun));
+                    }
+                    merge_payload(&old.unwrap_or_default(), &w.payload)
                 }
             }
         };
@@ -395,6 +559,7 @@ impl Ftl {
         let slot = self.new_slot(payload, w.lpn, kind);
         let prev = self.table.map(w.lpn, Location::Buffer(slot));
         self.note_unlink(prev);
+        self.clear_poison(w.lpn);
 
         self.pending.push_back(slot);
         done = done.max(self.drain_to_watermark(at)?);
@@ -406,10 +571,16 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// [`FtlError::Unmapped`] when the unit has never been written.
+    /// [`FtlError::Unmapped`] when the unit has never been written;
+    /// [`FtlError::Integrity`] when its flash copy fails checksum
+    /// verification (quarantined) or was destroyed while corrupt
+    /// (poisoned).
     pub fn read(&mut self, lpn: Lpn, at: SimTime) -> Result<(UnitPayload, SimTime), FtlError> {
         self.counters.incr("ftl.host_unit_reads");
         match self.table.lookup(lpn) {
+            None if !self.poisoned.is_empty() && self.poisoned.contains(&lpn) => {
+                Err(FtlError::Integrity(IntegrityError::Poisoned(lpn)))
+            }
             None => Err(FtlError::Unmapped(lpn)),
             Some(Location::Buffer(slot)) => {
                 let data = self
@@ -418,12 +589,23 @@ impl Ftl {
                 Ok((data.payload.clone(), at))
             }
             Some(Location::Flash(pun)) => {
+                if !self.quarantined.is_empty() && self.quarantined.contains(&pun) {
+                    return Err(FtlError::Integrity(IntegrityError::CorruptUnit(lpn)));
+                }
                 let win = self.read_with_retry(pun.page(self.upp), at)?;
-                let payload = self
-                    .flash
-                    .read(pun.page(self.upp))
-                    .and_then(|pc| pc.units.get(pun.offset(self.upp) as usize))
-                    .and_then(|unit| unit.clone());
+                // One borrow of the page serves both the checksum check
+                // and the payload fetch — this is the foreground path.
+                let offset = pun.offset(self.upp) as usize;
+                let verify = self.config.verify_checksums;
+                let (corrupt, payload) = match self.flash.read(pun.page(self.upp)) {
+                    Some(pc) if verify && !pc.unit_intact(offset) => (true, None),
+                    Some(pc) => (false, pc.units.get(offset).and_then(|u| u.clone())),
+                    None => (false, None),
+                };
+                if corrupt {
+                    let _ = self.note_corrupt(pun);
+                    return Err(FtlError::Integrity(IntegrityError::CorruptUnit(lpn)));
+                }
                 debug_assert!(
                     payload.is_some(),
                     "mapped unit {lpn} -> {pun} has no flash content (erased while referenced?)"
@@ -440,7 +622,8 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// [`FtlError::Unmapped`] when the unit has never been written.
+    /// [`FtlError::Unmapped`] when the unit has never been written;
+    /// [`FtlError::Integrity`] for quarantined or poisoned units.
     pub fn read_fragments_into(
         &mut self,
         lpn: Lpn,
@@ -450,6 +633,9 @@ impl Ftl {
     ) -> Result<SimTime, FtlError> {
         self.counters.incr("ftl.host_unit_reads");
         match self.table.lookup(lpn) {
+            None if !self.poisoned.is_empty() && self.poisoned.contains(&lpn) => {
+                Err(FtlError::Integrity(IntegrityError::Poisoned(lpn)))
+            }
             None => Err(FtlError::Unmapped(lpn)),
             Some(Location::Buffer(slot)) => {
                 let data = self
@@ -459,19 +645,31 @@ impl Ftl {
                 Ok(at)
             }
             Some(Location::Flash(pun)) => {
+                if !self.quarantined.is_empty() && self.quarantined.contains(&pun) {
+                    return Err(FtlError::Integrity(IntegrityError::CorruptUnit(lpn)));
+                }
                 let win = self.read_with_retry(pun.page(self.upp), at)?;
-                let unit = self
-                    .flash
-                    .read(pun.page(self.upp))
-                    .and_then(|pc| pc.units.get(pun.offset(self.upp) as usize))
-                    .and_then(|unit| unit.as_ref());
+                // Single page borrow: verify and copy fragments out in
+                // one pass — this is the allocation-free read hot loop.
+                let offset = pun.offset(self.upp) as usize;
+                let verify = self.config.verify_checksums;
+                let mut corrupt = false;
+                let mut found = false;
+                if let Some(pc) = self.flash.read(pun.page(self.upp)) {
+                    if verify && !pc.unit_intact(offset) {
+                        corrupt = true;
+                    } else if let Some(payload) = pc.units.get(offset).and_then(|u| u.as_ref()) {
+                        found = true;
+                        push_matching(payload, key, out);
+                    }
+                }
+                if corrupt {
+                    return Err(self.quarantine_and_report(lpn, pun));
+                }
                 debug_assert!(
-                    unit.is_some(),
+                    found,
                     "mapped unit {lpn} -> {pun} has no flash content (erased while referenced?)"
                 );
-                if let Some(payload) = unit {
-                    push_matching(payload, key, out);
-                }
                 Ok(win.finish)
             }
         }
@@ -498,6 +696,7 @@ impl Ftl {
         self.flash.logical_tick()?;
         let prev = self.table.alias(dst, src).map_err(FtlError::Unmapped)?;
         self.note_unlink(prev);
+        self.clear_poison(dst);
         self.counters.incr("ftl.remap_ops");
         Ok(())
     }
@@ -524,6 +723,9 @@ impl Ftl {
             self.persist_mapping_log();
         }
         self.note_unlink(u);
+        // Trimming a poisoned lpn acknowledges the loss: the caller no
+        // longer wants the data, so the loss record clears too.
+        self.clear_poison(lpn);
         if existed {
             self.counters.incr("ftl.deallocations");
         }
@@ -826,17 +1028,28 @@ impl Ftl {
         at: SimTime,
     ) -> Result<SimTime, FtlError> {
         let g = *self.flash.geometry();
+        let verify = self.config.verify_checksums;
         let mut done = at;
+        let mut corrupt: Vec<Pun> = Vec::new();
         for page in 0..g.pages_per_block {
             let ppn = g.ppn_in_block(victim, page);
             // Collect valid units of this page first (borrow rules). The
             // scratch buffer is reused across pages and GC rounds.
             let mut valid = std::mem::take(&mut self.scratch_valid);
             valid.clear();
+            corrupt.clear();
             for offset in 0..self.upp {
                 let pun = Pun::compose(ppn, offset, self.upp);
                 let refs = self.table.referrers(Location::Flash(pun));
                 if let Some(&primary) = refs.first() {
+                    // Verify before salvaging: relocating a unit re-seals
+                    // its checksum, which would launder rot into a copy
+                    // that verifies. A corrupt referenced unit is about
+                    // to lose its only copy — poison it instead.
+                    if verify && self.unit_is_corrupt(pun) {
+                        corrupt.push(pun);
+                        continue;
+                    }
                     let payload = self
                         .flash
                         .read(ppn)
@@ -844,6 +1057,9 @@ impl Ftl {
                         .unwrap_or_default();
                     valid.push((offset, payload, primary));
                 }
+            }
+            for &pun in &corrupt {
+                self.poison_destroyed_unit(pun, at);
             }
             if valid.is_empty() {
                 self.scratch_valid = valid;
@@ -889,6 +1105,7 @@ impl Ftl {
             Ok(win) => {
                 self.block_kind[victim.0 as usize] = BlockKind::Free;
                 self.free_blocks.push_back(victim);
+                self.clear_block_quarantine(victim);
                 Ok(win.finish)
             }
             Err(FlashError::PowerLoss) => Err(FlashError::PowerLoss.into()),
@@ -898,75 +1115,102 @@ impl Ftl {
                 // retiring it is pure capacity loss, not data loss.
                 self.block_kind[victim.0 as usize] = BlockKind::Retired;
                 self.counters.incr("ftl.blocks_retired");
+                self.clear_block_quarantine(victim);
                 Ok(done)
             }
         }
     }
 
     /// Schedules a read, retrying transient media failures with
-    /// exponential backoff up to `media_retry_limit` total attempts.
+    /// exponential backoff up to the read-class attempt budget
+    /// ([`FtlConfig::retry_read`]).
     fn read_with_retry(&mut self, ppn: Ppn, at: SimTime) -> Result<Window, FlashError> {
-        let limit = self.config.media_retry_limit;
+        let policy = self.config.retry_read;
         let mut t = at;
         let mut attempt = 0u32;
         loop {
             match self.flash.schedule_read(ppn, t) {
                 Ok(w) => return Ok(w),
-                Err(e) if e.classification() == ErrorClass::Transient && attempt + 1 < limit => {
+                Err(e) if e.classification() == ErrorClass::Transient => {
+                    if attempt + 1 >= policy.limit {
+                        self.counters.incr("ftl.retry_exhausted_read");
+                        return Err(e);
+                    }
                     attempt += 1;
                     self.counters.incr("ftl.media_retries");
-                    t += self.flash.timing().t_read * (1u64 << attempt.min(16));
+                    t += self.flash.timing().t_read
+                        * (1u64 << attempt.min(policy.backoff_shift_cap));
                 }
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Programs a page with the same bounded-backoff policy. The content
-    /// is cloned per attempt only while a retry is still possible, and the
-    /// whole wrapper collapses to a plain program when fault injection is
-    /// off, so the hot path stays allocation-free.
+    /// Programs a page with the program-class bounded-backoff policy
+    /// ([`FtlConfig::retry_program`]). The content is cloned per attempt
+    /// only while a retry is still possible, and the whole wrapper
+    /// collapses to a plain program when fault injection is off, so the
+    /// hot path stays allocation-free.
     fn program_with_retry(
         &mut self,
         ppn: Ppn,
         content: PageContent,
         at: SimTime,
     ) -> Result<Window, FlashError> {
-        let limit = self.config.media_retry_limit;
-        if limit <= 1 || !self.flash.faults_armed() {
-            return self.flash.program(ppn, content, at);
+        let policy = self.config.retry_program;
+        if policy.limit <= 1 || !self.flash.faults_armed() {
+            return match self.flash.program(ppn, content, at) {
+                Err(e) if e.classification() == ErrorClass::Transient => {
+                    self.counters.incr("ftl.retry_exhausted_program");
+                    Err(e)
+                }
+                other => other,
+            };
         }
         let mut t = at;
         let mut attempt = 0u32;
         loop {
-            if attempt + 1 >= limit {
+            if attempt + 1 >= policy.limit {
                 // Final attempt: the buffer moves instead of cloning.
-                return self.flash.program(ppn, content, t);
+                return match self.flash.program(ppn, content, t) {
+                    Err(e) if e.classification() == ErrorClass::Transient => {
+                        self.counters.incr("ftl.retry_exhausted_program");
+                        Err(e)
+                    }
+                    other => other,
+                };
             }
             match self.flash.program(ppn, content.clone(), t) {
                 Ok(w) => return Ok(w),
                 Err(e) if e.classification() == ErrorClass::Transient => {
                     attempt += 1;
                     self.counters.incr("ftl.media_retries");
-                    t += self.flash.timing().t_program * (1u64 << attempt.min(16));
+                    t += self.flash.timing().t_program
+                        * (1u64 << attempt.min(policy.backoff_shift_cap));
                 }
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Erases a block with the same bounded-backoff policy.
+    /// Erases a block with the erase-class bounded-backoff policy
+    /// ([`FtlConfig::retry_erase`]).
     fn erase_with_retry(&mut self, block: BlockId, at: SimTime) -> Result<Window, FlashError> {
-        let limit = self.config.media_retry_limit;
+        let policy = self.config.retry_erase;
         let mut t = at;
         let mut attempt = 0u32;
         loop {
             match self.flash.erase(block, t) {
                 Ok(w) => return Ok(w),
-                Err(e) if e.classification() == ErrorClass::Transient && attempt + 1 < limit => {
+                Err(e) if e.classification() == ErrorClass::Transient => {
+                    if attempt + 1 >= policy.limit {
+                        self.counters.incr("ftl.retry_exhausted_erase");
+                        return Err(e);
+                    }
                     attempt += 1;
                     self.counters.incr("ftl.media_retries");
-                    t += self.flash.timing().t_erase * (1u64 << attempt.min(16));
+                    t += self.flash.timing().t_erase
+                        * (1u64 << attempt.min(policy.backoff_shift_cap));
                 }
                 Err(e) => return Err(e),
             }
@@ -979,14 +1223,23 @@ impl Ftl {
     /// block is marked retired and counted in `ftl.blocks_retired`.
     fn retire_block(&mut self, block: BlockId) {
         let g = *self.flash.geometry();
+        let verify = self.config.verify_checksums;
+        let mut corrupt: Vec<Pun> = Vec::new();
         for page in 0..self.flash.write_cursor(block) {
             let ppn = g.ppn_in_block(block, page);
             let mut valid = std::mem::take(&mut self.scratch_valid);
             valid.clear();
+            corrupt.clear();
             for offset in 0..self.upp {
                 let pun = Pun::compose(ppn, offset, self.upp);
                 let refs = self.table.referrers(Location::Flash(pun));
                 if let Some(&primary) = refs.first() {
+                    // Same rule as GC: never salvage (and re-seal) a copy
+                    // that no longer verifies.
+                    if verify && self.unit_is_corrupt(pun) {
+                        corrupt.push(pun);
+                        continue;
+                    }
                     let payload = self
                         .flash
                         .read(ppn)
@@ -994,6 +1247,9 @@ impl Ftl {
                         .unwrap_or_default();
                     valid.push((offset, payload, primary));
                 }
+            }
+            for &pun in &corrupt {
+                self.poison_destroyed_unit(pun, SimTime::ZERO);
             }
             for (offset, payload, primary) in valid.drain(..) {
                 let pun = Pun::compose(ppn, offset, self.upp);
@@ -1010,6 +1266,112 @@ impl Ftl {
         debug_assert_eq!(self.valid_units[block.0 as usize], 0);
         self.block_kind[block.0 as usize] = BlockKind::Retired;
         self.counters.incr("ftl.blocks_retired");
+        self.clear_block_quarantine(block);
+    }
+
+    /// One background-scrub round: verifies the data-unit checksums of up
+    /// to `max_pages` programmed pages, resuming from where the previous
+    /// round stopped (the cursor wraps). Corrupt units are marked exactly
+    /// like a failed foreground read — referenced copies quarantine (the
+    /// next read fails fast with a typed error instead of serving rot),
+    /// stale copies are merely fenced off from GC — but scrubbing never
+    /// retires blocks itself; that decision stays on the foreground path.
+    ///
+    /// Runs entirely under [`OpPhase::Scrub`], so its flash reads are
+    /// phase-tagged (`flash.read.scrub`) and never pollute the run/GC
+    /// accounting. A no-op (and no flash traffic) when checksum
+    /// verification is disabled.
+    ///
+    /// OOB records are *not* scrubbed here: rotted OOB metadata is only
+    /// ever consumed by the SPOR scan, which re-verifies and rejects it
+    /// at read time ([`Ftl::rebuild_after_power_loss`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures of the scrub reads themselves (retry
+    /// budget exhausted, power loss). Scrubbing is recovery-adjacent
+    /// code: it must never panic (rule A1).
+    pub fn scrub_round(&mut self, at: SimTime, max_pages: u32) -> Result<ScrubReport, FtlError> {
+        let mut report = ScrubReport::default();
+        if !self.config.verify_checksums || max_pages == 0 {
+            return Ok(report);
+        }
+        let total = self.flash.geometry().total_pages();
+        if total == 0 {
+            return Ok(report);
+        }
+        let prev = self.flash.set_op_phase(OpPhase::Scrub);
+        let out = self.scrub_pages(at, max_pages, total, &mut report);
+        self.flash.set_op_phase(prev);
+        self.counters.incr("ftl.scrub_rounds");
+        self.tracer.emit(|| {
+            TraceEvent::new(at, TraceLayer::Ftl, "scrub_round")
+                .with("pages", report.pages_scanned)
+                .with("detected", report.detected)
+        });
+        out.map(|()| report)
+    }
+
+    /// The scan loop of [`Ftl::scrub_round`]: walks the wrapping cursor,
+    /// pays a timed (phase-tagged) read per programmed page, and verifies
+    /// every occupied data unit.
+    fn scrub_pages(
+        &mut self,
+        at: SimTime,
+        max_pages: u32,
+        total: u64,
+        report: &mut ScrubReport,
+    ) -> Result<(), FtlError> {
+        let mut t = at;
+        let mut visited = 0u64;
+        let budget = u64::from(max_pages).min(total);
+        while report.pages_scanned < budget && visited < total {
+            let ppn = Ppn(self.scrub_cursor % total);
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            visited += 1;
+            if !self.flash.is_programmed(ppn) {
+                continue;
+            }
+            let win = self.read_with_retry(ppn, t)?;
+            t = win.finish;
+            report.pages_scanned += 1;
+            self.counters.incr("ftl.scrub_pages");
+            // Verify the whole page under one borrow, collecting corrupt
+            // offsets into a bitmask; quarantine (which needs `&mut self`)
+            // happens after the borrow ends. Chunked so any units-per-page
+            // value is covered, not just the first 128.
+            let mut base = 0u32;
+            while base < self.upp {
+                let width = (self.upp - base).min(128);
+                let mut corrupt_mask = 0u128;
+                if let Some(pc) = self.flash.read(ppn) {
+                    for bit in 0..width {
+                        if !pc.unit_intact((base + bit) as usize) {
+                            corrupt_mask |= 1u128 << bit;
+                        }
+                    }
+                }
+                for bit in 0..width {
+                    if (corrupt_mask >> bit) & 1 == 0 {
+                        continue;
+                    }
+                    let pun = Pun::compose(ppn, base + bit, self.upp);
+                    match self.note_corrupt(pun) {
+                        Some(true) => {
+                            report.detected += 1;
+                            report.quarantined += 1;
+                        }
+                        Some(false) => {
+                            report.detected += 1;
+                            report.corrected += 1;
+                        }
+                        None => {}
+                    }
+                }
+                base += width;
+            }
+        }
+        Ok(())
     }
 
     /// Persists the mapping log — the firmware action behind the periodic
@@ -1107,12 +1469,22 @@ impl Ftl {
         // resolve after the slot drains.
         let mut pre_snap: BTreeMap<u64, Pun> = BTreeMap::new();
         let mut max_seq = snap_seq;
+        let verify = self.config.verify_checksums;
         for raw in 0..g.total_pages() {
             let ppn = Ppn(raw);
             let Some(content) = self.flash.read(ppn) else {
                 continue;
             };
             for (offset, oob) in content.oob.iter().enumerate() {
+                // A record only enters recovery when its OOB metadata AND
+                // the data unit it describes both verify: a torn tail or
+                // rotted record must neither replay (it would resurrect
+                // corrupt data) nor advance `max_seq` (a flipped sequence
+                // bit could falsely win newest-wins over good records).
+                if verify && !(content.oob_intact(offset) && content.unit_intact(offset)) {
+                    stats.oob_records_rejected += 1;
+                    continue;
+                }
                 let pun = Pun::compose(ppn, offset as u32, upp);
                 max_seq = max_seq.max(oob.sequence);
                 if oob.sequence > snap_seq {
@@ -1128,11 +1500,14 @@ impl Ftl {
         if let Some(snap) = &snap {
             for &(lpn, loc) in &snap.entries {
                 let resolved = match loc {
+                    // A snapshot entry whose flash copy no longer
+                    // verifies is dropped, not resolved: recovery must
+                    // never re-link a mapping onto corrupt data.
                     SnapLoc::Flash(pun) => self
                         .flash
                         .read(pun.page(upp))
-                        .is_some()
-                        .then_some(Location::Flash(pun)),
+                        .filter(|pc| !verify || pc.unit_intact(pun.offset(upp) as usize))
+                        .map(|_| Location::Flash(pun)),
                     SnapLoc::Buffered { oob_seq } => slot_by_seq
                         .get(&oob_seq)
                         .map(|&s| Location::Buffer(s))
@@ -1833,6 +2208,7 @@ mod wear_leveling_tests {
 #[cfg(test)]
 mod fault_tests {
     use super::*;
+    use crate::config::MediaRetryPolicy;
     use checkin_flash::{FaultConfig, FaultPlan, FlashArray, FlashGeometry, FlashTiming};
     use std::collections::HashMap as Shadow;
 
@@ -1857,7 +2233,9 @@ mod fault_tests {
                 gc_soft_threshold_blocks: 4,
                 write_buffer_units: 4,
                 wear_leveling_threshold: None,
-                media_retry_limit: retry_limit,
+                retry_read: MediaRetryPolicy::with_limit(retry_limit),
+                retry_program: MediaRetryPolicy::with_limit(retry_limit),
+                retry_erase: MediaRetryPolicy::with_limit(retry_limit),
                 ..FtlConfig::default()
             },
         )
@@ -2024,6 +2402,346 @@ mod fault_tests {
             "persisted trim must not be resurrected by OOB replay"
         );
         assert!(f.is_mapped(Lpn(1)));
+        f.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod integrity_tests {
+    use super::*;
+    use crate::config::MediaRetryPolicy;
+    use checkin_flash::{FaultConfig, FaultPlan, FlashArray, FlashGeometry, FlashTiming};
+
+    /// Small single-die device, 4 KiB mapping unit (one unit per page),
+    /// no fault injection: corruption is placed deterministically with
+    /// the sabotage hooks.
+    fn integrity_ftl() -> Ftl {
+        let flash = FlashArray::new(
+            FlashGeometry {
+                channels: 1,
+                dies_per_channel: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 16,
+                pages_per_block: 8,
+                page_bytes: 4096,
+            },
+            FlashTiming::mlc(),
+        );
+        Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 4096,
+                write_points: 1,
+                gc_threshold_blocks: 2,
+                gc_soft_threshold_blocks: 4,
+                write_buffer_units: 4,
+                wear_leveling_threshold: None,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn put(f: &mut Ftl, lpn: u64, version: u64) -> Result<SimTime, FtlError> {
+        f.write(
+            UnitWrite {
+                lpn: Lpn(lpn),
+                payload: UnitPayload::single(lpn, version, 4096),
+                whole_unit: true,
+            },
+            OobKind::Data,
+            SimTime::ZERO,
+        )
+    }
+
+    /// The flash location `lpn` maps to (must be drained to flash).
+    fn flash_pun(f: &Ftl, lpn: u64) -> Pun {
+        match f.location_of(Lpn(lpn)) {
+            Some(Location::Flash(pun)) => pun,
+            other => panic!("lpn {lpn} not on flash: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_unit_read_fails_typed_and_stays_quarantined() {
+        let mut f = integrity_ftl();
+        for lpn in 0..4 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        let pun = flash_pun(&f, 2);
+        assert!(f.flash_mut().sabotage_corrupt_unit(pun.page(1), 0, 1 << 17));
+
+        let err = f.read(Lpn(2), SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            FtlError::Integrity(IntegrityError::CorruptUnit(Lpn(2))),
+            "corrupt data must fail typed, never be served"
+        );
+        assert!(err.is_integrity());
+        assert_eq!(f.counters().get("ftl.integrity_detected"), 1);
+        assert_eq!(f.counters().get("ftl.integrity_quarantined"), 1);
+
+        // Repeated reads keep failing fast without re-detecting.
+        let again = f.read(Lpn(2), SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            again,
+            FtlError::Integrity(IntegrityError::CorruptUnit(Lpn(2)))
+        );
+        assert_eq!(f.counters().get("ftl.integrity_detected"), 1);
+
+        // The allocation-free path agrees.
+        let mut out = Vec::new();
+        let err = f
+            .read_fragments_into(Lpn(2), SimTime::ZERO, None, &mut out)
+            .unwrap_err();
+        assert!(err.is_integrity());
+        assert!(out.is_empty());
+
+        // Healthy neighbours are unaffected.
+        assert_eq!(
+            f.read(Lpn(1), SimTime::ZERO).unwrap().0.fragments[0].version,
+            1
+        );
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn disabling_verification_serves_rot_silently() {
+        // The sabotage mode corruptmatrix relies on: with verification
+        // off the device trusts whatever the cells hold.
+        let mut f = {
+            let flash = FlashArray::new(
+                FlashGeometry {
+                    channels: 1,
+                    dies_per_channel: 1,
+                    planes_per_die: 1,
+                    blocks_per_plane: 16,
+                    pages_per_block: 8,
+                    page_bytes: 4096,
+                },
+                FlashTiming::mlc(),
+            );
+            Ftl::new(
+                flash,
+                FtlConfig {
+                    unit_bytes: 4096,
+                    write_points: 1,
+                    gc_threshold_blocks: 2,
+                    gc_soft_threshold_blocks: 4,
+                    write_buffer_units: 4,
+                    wear_leveling_threshold: None,
+                    verify_checksums: false,
+                    ..FtlConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        put(&mut f, 0, 1).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        let pun = flash_pun(&f, 0);
+        f.flash_mut().sabotage_corrupt_unit(pun.page(1), 0, 1 << 3);
+        let (payload, _) = f.read(Lpn(0), SimTime::ZERO).unwrap();
+        assert_ne!(
+            payload.fragments[0].version, 1,
+            "with verification off the flipped version is served as-is"
+        );
+        assert_eq!(f.counters().get("ftl.integrity_detected"), 0);
+    }
+
+    #[test]
+    fn scrub_finds_referenced_and_stale_rot() {
+        let mut f = integrity_ftl();
+        for lpn in 0..4 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        let stale = flash_pun(&f, 1);
+        // Overwriting lpn 1 leaves its old copy stale on flash.
+        put(&mut f, 1, 2).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        let live = flash_pun(&f, 3);
+        assert_ne!(stale, live);
+        assert!(f
+            .flash_mut()
+            .sabotage_corrupt_unit(stale.page(1), 0, 1 << 9));
+        assert!(f.flash_mut().sabotage_corrupt_unit(live.page(1), 0, 1 << 9));
+
+        let report = f.scrub_round(SimTime::ZERO, 1_000).unwrap();
+        assert!(report.pages_scanned > 0);
+        assert_eq!(report.detected, 2);
+        assert_eq!(report.quarantined, 1, "live copy of lpn 3");
+        assert_eq!(report.corrected, 1, "stale copy of lpn 1");
+        assert_eq!(f.counters().get("ftl.integrity_detected"), 2);
+        assert_eq!(f.counters().get("ftl.scrub_rounds"), 1);
+        assert!(f.counters().get("ftl.scrub_pages") > 0);
+        // Scrub reads are phase-tagged, not charged to the run phase.
+        assert!(f.flash().counters().get("flash.read.scrub") > 0);
+
+        // The scrubbed-out unit now fails fast on the foreground path...
+        assert!(f.read(Lpn(3), SimTime::ZERO).unwrap_err().is_integrity());
+        // ...while the overwritten lpn still reads its fresh copy.
+        assert_eq!(
+            f.read(Lpn(1), SimTime::ZERO).unwrap().0.fragments[0].version,
+            2
+        );
+
+        // A second sweep re-reads but detects nothing new.
+        let report = f.scrub_round(SimTime::ZERO, 1_000).unwrap();
+        assert_eq!(report.detected, 0);
+        assert_eq!(f.counters().get("ftl.integrity_detected"), 2);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrub_respects_budget_and_toggle() {
+        let mut f = integrity_ftl();
+        for lpn in 0..4 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        let reads_before = f.flash().counters().get("flash.read");
+        let report = f.scrub_round(SimTime::ZERO, 0).unwrap();
+        assert_eq!(report, ScrubReport::default());
+        assert_eq!(f.flash().counters().get("flash.read"), reads_before);
+
+        let report = f.scrub_round(SimTime::ZERO, 1).unwrap();
+        assert_eq!(report.pages_scanned, 1, "budget of one page is honoured");
+
+        // Verification off: the scrubber is a guaranteed no-op.
+        let mut off = f;
+        off.config.verify_checksums = false;
+        let reads_before = off.flash().counters().get("flash.read");
+        let report = off.scrub_round(SimTime::ZERO, 1_000).unwrap();
+        assert_eq!(report, ScrubReport::default());
+        assert_eq!(off.flash().counters().get("flash.read"), reads_before);
+    }
+
+    #[test]
+    fn gc_poisons_destroyed_corrupt_units_and_write_heals() {
+        let mut f = integrity_ftl();
+        for lpn in 0..8 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        let victim_pun = flash_pun(&f, 0);
+        // Invalidate every other unit sharing lpn 0's block so GC picks it.
+        for lpn in 1..8 {
+            put(&mut f, lpn, 2).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        assert!(f
+            .flash_mut()
+            .sabotage_corrupt_unit(victim_pun.page(1), 0, 1 << 5));
+
+        let done = f
+            .run_gc_round(SimTime::ZERO, GcTrigger::Background)
+            .unwrap();
+        assert!(done.is_some(), "a victim block must have been collected");
+        assert_eq!(f.counters().get("ftl.integrity_unrecoverable"), 1);
+        assert_eq!(f.counters().get("ftl.integrity_detected"), 1);
+        f.check_invariants().unwrap();
+
+        // The loss is reported as such — not as "never written".
+        let err = f.read(Lpn(0), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, FtlError::Integrity(IntegrityError::Poisoned(Lpn(0))));
+
+        // A fresh write supersedes the loss.
+        put(&mut f, 0, 9).unwrap();
+        assert_eq!(
+            f.read(Lpn(0), SimTime::ZERO).unwrap().0.fragments[0].version,
+            9
+        );
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retry_exhaustion_is_counted_per_class() {
+        let mut f = integrity_ftl();
+        f.config.retry_read = MediaRetryPolicy::with_limit(3);
+        put(&mut f, 0, 1).unwrap();
+        f.flush(SimTime::ZERO).unwrap();
+        f.flash_mut().arm_faults(FaultPlan::new(FaultConfig {
+            seed: 11,
+            transient_read: 1.0,
+            ..FaultConfig::default()
+        }));
+        let err = f.read(Lpn(0), SimTime::ZERO).unwrap_err();
+        assert!(!err.is_integrity(), "media failure, not corruption: {err}");
+        assert_eq!(f.counters().get("ftl.retry_exhausted_read"), 1);
+        assert_eq!(f.counters().get("ftl.media_retries"), 2);
+        assert_eq!(f.counters().get("ftl.retry_exhausted_program"), 0);
+
+        let mut f = integrity_ftl();
+        f.config.retry_program = MediaRetryPolicy::with_limit(2);
+        f.flash_mut().arm_faults(FaultPlan::new(FaultConfig {
+            seed: 11,
+            transient_program: 1.0,
+            ..FaultConfig::default()
+        }));
+        for lpn in 0..4 {
+            let _ = put(&mut f, lpn, 1);
+        }
+        let err = f.flush(SimTime::ZERO).unwrap_err();
+        assert!(!err.is_integrity());
+        assert!(f.counters().get("ftl.retry_exhausted_program") >= 1);
+        assert_eq!(f.counters().get("ftl.retry_exhausted_erase"), 0);
+    }
+
+    #[test]
+    fn spor_scan_rejects_corrupt_oob_records() {
+        let mut f = integrity_ftl();
+        f.flash_mut()
+            .arm_faults(FaultPlan::new(FaultConfig::power_cut(3, 1_000_000)));
+        for lpn in 0..4 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        let pun = flash_pun(&f, 2);
+        assert!(f.flash_mut().sabotage_corrupt_oob(pun.page(1), 0, 1 << 21));
+
+        f.flash_mut().cut_power();
+        f.flash_mut().power_on();
+        let stats = f.rebuild_after_power_loss().unwrap();
+        assert_eq!(stats.oob_records_rejected, 1);
+
+        // The corrupt record neither replays wrong data nor resurrects
+        // the mapping: the loss is visible, not silent.
+        assert!(f.read(Lpn(2), SimTime::ZERO).is_err());
+        for lpn in [0u64, 1, 3] {
+            assert_eq!(
+                f.read(Lpn(lpn), SimTime::ZERO).unwrap().0.fragments[0].version,
+                1,
+                "intact records must still recover"
+            );
+        }
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rebuild_drops_snapshot_entries_onto_corrupt_data() {
+        let mut f = integrity_ftl();
+        f.flash_mut()
+            .arm_faults(FaultPlan::new(FaultConfig::power_cut(3, 1_000_000)));
+        for lpn in 0..4 {
+            put(&mut f, lpn, 1).unwrap();
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        f.persist_mapping_log();
+        let pun = flash_pun(&f, 2);
+        // Data rots after the snapshot was persisted; the OOB record is
+        // pre-snapshot so replay will not re-add it either.
+        assert!(f.flash_mut().sabotage_corrupt_unit(pun.page(1), 0, 1 << 13));
+
+        f.flash_mut().cut_power();
+        f.flash_mut().power_on();
+        let stats = f.rebuild_after_power_loss().unwrap();
+        assert!(stats.snapshot_entries_dropped >= 1);
+        assert!(f.read(Lpn(2), SimTime::ZERO).is_err());
+        assert_eq!(
+            f.read(Lpn(1), SimTime::ZERO).unwrap().0.fragments[0].version,
+            1
+        );
         f.check_invariants().unwrap();
     }
 }

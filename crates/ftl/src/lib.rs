@@ -55,9 +55,9 @@ mod location;
 mod map_cache;
 mod mapping;
 
-pub use config::FtlConfig;
-pub use error::{FtlError, RecoveryError};
-pub use ftl::{Ftl, GcTrigger, RebuildStats, UnitWrite};
+pub use config::{FtlConfig, MediaRetryPolicy};
+pub use error::{FtlError, IntegrityError, RecoveryError};
+pub use ftl::{Ftl, GcTrigger, RebuildStats, ScrubReport, UnitWrite};
 pub use location::{BufSlot, Location, Lpn, Pun};
 pub use map_cache::MapCacheModel;
 pub use mapping::{MappingTable, Unlink};

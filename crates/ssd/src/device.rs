@@ -1,7 +1,7 @@
 //! The SSD device: host interface, firmware timing, ISCE execution.
 
 use checkin_flash::{FaultPhase, Fragment, OobKind, OpPhase, UnitPayload};
-use checkin_ftl::{Ftl, FtlError, GcTrigger, Lpn, RebuildStats, UnitWrite};
+use checkin_ftl::{Ftl, FtlError, GcTrigger, Lpn, RebuildStats, ScrubReport, UnitWrite};
 use checkin_sim::{CounterSet, Resource, SimDuration, SimTime, TraceEvent, TraceLayer, Tracer};
 
 use crate::command::{
@@ -736,6 +736,31 @@ impl Ssd {
         Ok((rounds, done))
     }
 
+    /// Deallocator: run one background integrity-scrub round at `at` if
+    /// the device is idle, verifying up to `max_pages` pages'
+    /// checksums. Scheduled from the same idle windows as background GC
+    /// but *after* it — space reclamation has priority over latent-rot
+    /// patrol. Returns the scrub outcome and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures of the scrub reads themselves.
+    pub fn background_scrub(
+        &mut self,
+        at: SimTime,
+        max_pages: u32,
+    ) -> Result<(ScrubReport, SimTime), SsdError> {
+        if max_pages == 0 || self.idle_at() > at {
+            return Ok((ScrubReport::default(), at));
+        }
+        let report = self.ftl.scrub_round(at, max_pages)?;
+        let done = at + self.ftl.flash().timing().t_read * report.pages_scanned;
+        if report.pages_scanned > 0 {
+            self.counters.incr("ssd.background_scrub_rounds");
+        }
+        Ok((report, done))
+    }
+
     /// True while the simulated device is frozen by an injected power cut.
     pub fn powered_off(&self) -> bool {
         self.ftl.flash().powered_off()
@@ -1082,6 +1107,57 @@ mod tests {
         let mut s = ssd(512);
         let (rounds, _) = s.background_gc(SimTime::ZERO, 4).unwrap();
         assert_eq!(rounds, 0, "fresh device: no GC");
+    }
+
+    #[test]
+    fn background_scrub_patrols_idle_windows_and_surfaces_rot() {
+        let mut s = ssd(512);
+        let mut t = SimTime::ZERO;
+        for i in 0..32u64 {
+            t = s.write(&record(i, 1, i, 1), OobKind::Data, t).unwrap();
+        }
+        t = s.flush(t).unwrap();
+
+        // Busy device: the scrubber yields.
+        let (report, _) = s.background_scrub(SimTime::ZERO, 64).unwrap();
+        assert_eq!(report.pages_scanned, 0, "no scrubbing while busy");
+
+        // Corrupt one mapped unit, then scrub in a real idle window.
+        let idle = t + SimDuration::from_millis(50);
+        let upp = s.ftl().units_per_page();
+        let pun = match s.ftl().location_of(Lpn(3)) {
+            Some(checkin_ftl::Location::Flash(p)) => p,
+            other => panic!("lpn 3 not on flash: {other:?}"),
+        };
+        let (page, offset) = (pun.page(upp), pun.offset(upp));
+        assert!(s
+            .ftl_mut()
+            .flash_mut()
+            .sabotage_corrupt_unit(page, offset, 1 << 7));
+        let (report, done) = s.background_scrub(idle, 1_000).unwrap();
+        assert!(report.pages_scanned > 0);
+        assert_eq!(report.detected, 1);
+        assert_eq!(report.quarantined, 1);
+        assert!(done > idle, "scrub reads take simulated time");
+        assert_eq!(s.counters().get("ssd.background_scrub_rounds"), 1);
+
+        // The quarantined unit now fails the host read path typed.
+        let err = s
+            .read(
+                &ReadRequest {
+                    lba: 3,
+                    sectors: 1,
+                    key: None,
+                },
+                done,
+            )
+            .unwrap_err();
+        assert!(err.is_integrity(), "quarantined read: {err}");
+
+        // max_pages == 0 disables scrubbing entirely.
+        let (report, t2) = s.background_scrub(done, 0).unwrap();
+        assert_eq!(report, checkin_ftl::ScrubReport::default());
+        assert_eq!(t2, done);
     }
 
     #[test]

@@ -15,6 +15,16 @@ pub enum SsdError {
     Recovery(checkin_ftl::RecoveryError),
 }
 
+impl SsdError {
+    /// True when this is a data-integrity failure (quarantined or
+    /// poisoned unit): the device *detected* corruption and refused to
+    /// serve it, as opposed to a transport or resource error. Harness
+    /// verifiers accept these where data was deliberately destroyed.
+    pub fn is_integrity(&self) -> bool {
+        matches!(self, SsdError::Ftl(e) if e.is_integrity())
+    }
+}
+
 impl fmt::Display for SsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -26,6 +26,7 @@ use checkin_flash::{OobKind, Ppn};
 pub struct OobSnapshot {
     entries: BTreeMap<u64, OobRecord>,
     pages_scanned: u64,
+    records_rejected: u64,
 }
 
 /// One reconstructed mapping record.
@@ -60,6 +61,12 @@ impl OobSnapshot {
         self.pages_scanned
     }
 
+    /// OOB records the scan rejected because their checksum (or their
+    /// data unit's) no longer verified — torn tails, retention rot.
+    pub fn records_rejected(&self) -> u64 {
+        self.records_rejected
+    }
+
     /// Iterates `(lpn, record)` pairs in deterministic ascending-lpn
     /// order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &OobRecord)> + '_ {
@@ -77,6 +84,7 @@ impl crate::Ssd {
     pub fn scan_oob(&self) -> OobSnapshot {
         let mut snapshot = OobSnapshot::default();
         let flash = self.ftl().flash();
+        let verify = self.ftl().config().verify_checksums;
         let total = flash.geometry().total_pages();
         for raw in 0..total {
             let ppn = Ppn(raw);
@@ -84,7 +92,15 @@ impl crate::Ssd {
                 continue;
             };
             snapshot.pages_scanned += 1;
-            for oob in &content.oob {
+            for (offset, oob) in content.oob.iter().enumerate() {
+                // Same acceptance rule as the FTL rebuild: a record only
+                // counts when both its OOB metadata and the data unit it
+                // describes still verify — a corrupt record must never
+                // win newest-wins over an intact older one.
+                if verify && !(content.oob_intact(offset) && content.unit_intact(offset)) {
+                    snapshot.records_rejected += 1;
+                    continue;
+                }
                 let newer = snapshot
                     .entries
                     .get(&oob.lpn)
@@ -210,6 +226,37 @@ mod tests {
         let rec = snap.lookup(7).unwrap();
         // Two OOB records exist for lpn 7; the scan keeps the newer one.
         assert!(rec.sequence >= 2);
+    }
+
+    #[test]
+    fn scan_rejects_records_that_fail_verification() {
+        let mut s = ssd();
+        let mut t = SimTime::ZERO;
+        for i in 0..16u64 {
+            t = s.write(&record(100 + i, i, 1), OobKind::Data, t).unwrap();
+        }
+        s.flush(t).unwrap();
+        let clean = s.scan_oob();
+        assert_eq!(clean.records_rejected(), 0);
+        assert!(clean.lookup(103).is_some());
+
+        let upp = s.ftl().units_per_page();
+        let pun = match s.ftl().location_of(checkin_ftl::Lpn(103)) {
+            Some(checkin_ftl::Location::Flash(p)) => p,
+            other => panic!("lpn 103 not on flash: {other:?}"),
+        };
+        assert!(s.ftl_mut().flash_mut().sabotage_corrupt_oob(
+            pun.page(upp),
+            pun.offset(upp),
+            1 << 30
+        ));
+        let snap = s.scan_oob();
+        assert_eq!(snap.records_rejected(), 1);
+        assert!(
+            snap.lookup(103).is_none(),
+            "a rotted record must not enter the snapshot"
+        );
+        assert!(snap.lookup(104).is_some(), "neighbours are unaffected");
     }
 
     #[test]

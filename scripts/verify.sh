@@ -20,6 +20,13 @@ echo "== crashmatrix --quick"
 # self-test. Exits non-zero on any acked-write loss or resurrection.
 cargo run --release -p checkin-bench --bin crashmatrix -- --quick
 
+echo "== corruptmatrix --quick"
+# Data-integrity sweep (DESIGN.md §13): torn writes, retention bit-rot
+# in data and OOB, misdirected programs; shadow-model verification that
+# no read is ever silently wrong, scrub/heal coverage, sabotage
+# self-test with verification disabled. Exits non-zero on any escape.
+cargo run --release -p checkin-bench --bin corruptmatrix -- --quick
+
 echo "== checkin trace smoke run"
 # Cross-layer tracing (DESIGN.md §10): a tiny checkpointing run must
 # emit JSON-lines events from all six layers.
