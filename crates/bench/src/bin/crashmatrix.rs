@@ -22,7 +22,10 @@
 //! batched-admission tier repeats the sweep with ops admitted in groups
 //! of 16 and acked only at batch completion — cuts that land mid-batch
 //! must leave every unacked op in either its old or new state, with no
-//! acked write dropped or double-applied. A media-noise tier re-runs
+//! acked write dropped or double-applied. A victim-policy tier repeats
+//! the sweep under cost-benefit and windowed-greedy GC victim selection
+//! with every cut placed inside a GC migration, since those policies
+//! relocate blocks the greedy sweep never touches mid-flight. A media-noise tier re-runs
 //! the workload under transient read/program/erase failures plus grown
 //! bad blocks and requires a byte-perfect final state. Finally a sabotage self-test deliberately breaks
 //! recovery (dropping the capacitor-backed write buffer) and requires
@@ -35,7 +38,7 @@ use checkin_core::{EngineError, KvEngine, Layout, Strategy};
 use checkin_flash::{
     FaultConfig, FaultOp, FaultPhase, FaultPlan, FlashArray, FlashGeometry, FlashTiming,
 };
-use checkin_ftl::{Ftl, FtlConfig};
+use checkin_ftl::{Ftl, FtlConfig, VictimPolicy};
 use checkin_sim::SimTime;
 use checkin_ssd::{Ssd, SsdError, SsdTiming};
 use checkin_testkit::TestRng;
@@ -76,7 +79,7 @@ fn layout_for(strategy: Strategy) -> Layout {
     )
 }
 
-fn build_ssd(strategy: Strategy) -> Ssd {
+fn build_ssd(strategy: Strategy, policy: VictimPolicy) -> Ssd {
     let flash = FlashArray::new(geometry(), FlashTiming::mlc());
     let ftl = Ftl::new(
         flash,
@@ -86,6 +89,7 @@ fn build_ssd(strategy: Strategy) -> Ssd {
             gc_threshold_blocks: 3,
             gc_soft_threshold_blocks: 6,
             write_buffer_units: 16,
+            victim_policy: policy,
             ..FtlConfig::default()
         },
     )
@@ -170,8 +174,14 @@ fn checkpoint_and_gc(
 /// identical for every batch size; only ack timing differs. A cut
 /// mid-batch rolls the staged shadow entries back to their pre-batch
 /// versions and reports the whole pending group as in flight.
-fn drive(strategy: Strategy, seed: u64, plan: Option<FaultPlan>, batch: u32) -> Driven {
-    let mut ssd = build_ssd(strategy);
+fn drive(
+    strategy: Strategy,
+    policy: VictimPolicy,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    batch: u32,
+) -> Driven {
+    let mut ssd = build_ssd(strategy, policy);
     let layout = layout_for(strategy);
     let mut engine = KvEngine::new(strategy, layout, COMPRESSION);
     let mut rng = TestRng::seed_from(seed);
@@ -380,12 +390,17 @@ fn verify(
 
 /// Profiling pass: same seed and batch, no faults injected, full
 /// per-tick trace (tick indices only match a drive with the same batch).
-fn profile(strategy: Strategy, seed: u64, batch: u32) -> Vec<(FaultOp, FaultPhase)> {
+fn profile(
+    strategy: Strategy,
+    policy: VictimPolicy,
+    seed: u64,
+    batch: u32,
+) -> Vec<(FaultOp, FaultPhase)> {
     let plan = FaultPlan::new(FaultConfig {
         record_trace: true,
         ..FaultConfig::default()
     });
-    let d = drive(strategy, seed, Some(plan), batch);
+    let d = drive(strategy, policy, seed, Some(plan), batch);
     d.ssd
         .ftl()
         .flash()
@@ -453,13 +468,14 @@ fn choose_mid_batch_cuts(trace: &[(FaultOp, FaultPhase)], total: usize) -> Vec<u
 /// the harness detects broken recovery.
 fn run_cut(
     strategy: Strategy,
+    policy: VictimPolicy,
     seed: u64,
     cut_tick: u64,
     sabotage: bool,
     batch: u32,
 ) -> (Verdict, usize) {
     let plan = FaultPlan::new(FaultConfig::power_cut(seed ^ cut_tick, cut_tick));
-    let mut d = drive(strategy, seed, Some(plan), batch);
+    let mut d = drive(strategy, policy, seed, Some(plan), batch);
     if !d.ssd.powered_off() {
         // The schedule outlived the workload: cut at the end so the
         // recovery path always runs. Nothing was in flight.
@@ -522,7 +538,7 @@ fn run_noise(strategy: Strategy, seed: u64) -> (Verdict, MediaStats) {
         grown_bad_block: 0.0008,
         ..FaultConfig::default()
     });
-    let mut d = drive(strategy, seed, Some(plan), 1);
+    let mut d = drive(strategy, VictimPolicy::Greedy, seed, Some(plan), 1);
     assert!(!d.cut, "noise tier has no power cut");
     let mut engine = d.engine;
     let verdict = verify(&mut engine, &mut d.ssd, &d.shadow, &[], d.t, true);
@@ -544,12 +560,15 @@ fn run_noise(strategy: Strategy, seed: u64) -> (Verdict, MediaStats) {
 fn sabotage_self_test(combos: &mut u64) -> bool {
     let strategy = Strategy::CheckIn;
     let seed = MATRIX_SEED ^ 0x5AB0_7A6E;
-    let trace_len = profile(strategy, seed, 1).len() as u64;
+    let trace_len = profile(strategy, VictimPolicy::Greedy, seed, 1).len() as u64;
     let mut rng = TestRng::seed_from(seed);
     for _ in 0..8 {
         let tick = rng.range_u64(trace_len / 4, trace_len.max(2) - 1);
         *combos += 1;
-        if !run_cut(strategy, seed, tick, true, 1).0.clean() {
+        if !run_cut(strategy, VictimPolicy::Greedy, seed, tick, true, 1)
+            .0
+            .clean()
+        {
             return true;
         }
     }
@@ -603,7 +622,7 @@ fn main() {
             let seed = MATRIX_SEED.wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 ^ (strategy.default_unit_bytes() as u64)
                 ^ (strategy.label().len() as u64) << 32;
-            let trace = profile(strategy, seed, 1);
+            let trace = profile(strategy, VictimPolicy::Greedy, seed, 1);
             let mut rng = TestRng::seed_from(seed ^ 0xC07);
             let cuts = choose_cuts(&trace, &mut rng, cuts_per_workload);
             let mut phases = Vec::new();
@@ -619,7 +638,7 @@ fn main() {
                     FaultPhase::Normal => phase_cuts[3] += 1,
                 }
                 combos += 1;
-                let (v, _) = run_cut(strategy, seed, tick, false, 1);
+                let (v, _) = run_cut(strategy, VictimPolicy::Greedy, seed, tick, false, 1);
                 if !v.clean() {
                     eprintln!(
                         "  ^ combo: {} seed {s} cut tick {tick} ({})",
@@ -652,12 +671,13 @@ fn main() {
             let seed = MATRIX_SEED.wrapping_add(s.wrapping_mul(0xD1B5_4A32_D192_ED03))
                 ^ (strategy.default_unit_bytes() as u64) << 8
                 ^ 0xBA7C_4ED0;
-            let trace = profile(strategy, seed, batch);
+            let trace = profile(strategy, VictimPolicy::Greedy, seed, batch);
             let cuts = choose_mid_batch_cuts(&trace, cuts_per_workload);
             let mut unacked = Vec::new();
             for &tick in &cuts {
                 combos += 1;
-                let (v, pending) = run_cut(strategy, seed, tick, false, batch);
+                let (v, pending) =
+                    run_cut(strategy, VictimPolicy::Greedy, seed, tick, false, batch);
                 unacked.push(pending);
                 if pending > 1 {
                     mid_batch_cuts += 1;
@@ -678,6 +698,47 @@ fn main() {
                 unacked
             );
         }
+    }
+
+    // The non-default victim policies relocate different blocks at
+    // different times, so a cut landing mid-migration exercises recovery
+    // over GC states the greedy sweep never produces. Every policy must
+    // get at least one genuine mid-GC cut, in quick mode too.
+    section("victim-policy power-cut sweep (cuts inside GC migration)");
+    let policies = [VictimPolicy::CostBenefit, VictimPolicy::WINDOWED_DEFAULT];
+    let cuts_per_policy: usize = if quick { 2 } else { 4 };
+    let mut policy_gc_cuts = [0u64; 2];
+    for (pi, &policy) in policies.iter().enumerate() {
+        let strategy = Strategy::CheckIn;
+        let seed = MATRIX_SEED ^ 0x6C1A_B000 ^ ((pi as u64 + 1) << 24);
+        let trace = profile(strategy, policy, seed, 1);
+        let gc_ticks: Vec<u64> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.1 == FaultPhase::Gc)
+            .map(|(i, _)| i as u64 + 1)
+            .collect();
+        // First, middle, and evenly spaced mid-GC ticks up to the budget.
+        let mut cuts: Vec<u64> = (0..cuts_per_policy)
+            .filter_map(|i| gc_ticks.get(i * gc_ticks.len() / cuts_per_policy).copied())
+            .collect();
+        cuts.dedup();
+        for &tick in &cuts {
+            combos += 1;
+            policy_gc_cuts[pi] += 1;
+            phase_cuts[1] += 1;
+            let (v, _) = run_cut(strategy, policy, seed, tick, false, 1);
+            if !v.clean() {
+                eprintln!("  ^ combo: {policy} cut tick {tick} (mid-GC)");
+            }
+            total.absorb(v);
+        }
+        println!(
+            "  {:<18} {} GC ticks traced, cuts at {:?}",
+            policy.label(),
+            gc_ticks.len(),
+            cuts
+        );
     }
 
     section("media-noise tier (transients + grown bad blocks, no cut)");
@@ -742,6 +803,13 @@ fn main() {
     }
     if mid_batch_cuts == 0 {
         eprintln!("FAIL: no cut landed mid-batch — the batched tier exercised nothing new");
+        failed = true;
+    }
+    if policy_gc_cuts.contains(&0) {
+        eprintln!(
+            "FAIL: a victim policy got no mid-GC cut (cost-benefit {}, windowed-greedy {})",
+            policy_gc_cuts[0], policy_gc_cuts[1]
+        );
         failed = true;
     }
     if !detected {

@@ -166,6 +166,30 @@ pub fn compare(name: &str, baseline: &BenchResult, candidate: &BenchResult) -> C
     }
 }
 
+/// A measured scalar that is not a wall-clock timing — one cell of a
+/// metric matrix (WAF, lifetime score, tail latency, ...). The values
+/// come from the deterministic simulation, so unlike `benches` entries
+/// they are reproducible bit-for-bit on any host.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Stable key in `BENCH_perf.json` (e.g. `gclab/zipfian/greedy/waf`).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label (`"x"`, `"us"`, `"score"`, ...).
+    pub unit: String,
+}
+
+/// Builds a [`Metric`] and prints a one-line summary.
+pub fn metric(name: &str, value: f64, unit: &str) -> Metric {
+    println!("  {name:<52} {value:>14.3} {unit}");
+    Metric {
+        name: name.to_string(),
+        value,
+        unit: unit.to_string(),
+    }
+}
+
 fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -191,12 +215,24 @@ fn push_json_f64(out: &mut String, v: f64) {
 }
 
 /// Serializes a full suite run to the `BENCH_perf.json` format documented
-/// in README.md.
+/// in README.md (no metric matrix — see [`render_json_with`]).
 pub fn render_json(
     suite: &str,
     mode: &str,
     results: &[BenchResult],
     comparisons: &[Comparison],
+) -> String {
+    render_json_with(suite, mode, results, comparisons, &[])
+}
+
+/// Serializes a full suite run, including a `metrics` section with the
+/// simulation-derived scalar matrix.
+pub fn render_json_with(
+    suite: &str,
+    mode: &str,
+    results: &[BenchResult],
+    comparisons: &[Comparison],
+    metrics: &[Metric],
 ) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\n  \"suite\": ");
@@ -239,6 +275,20 @@ pub fn render_json(
         }
         out.push('\n');
     }
+    out.push_str("  ],\n  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str("    {\"name\": ");
+        push_json_str(&mut out, &m.name);
+        out.push_str(", \"value\": ");
+        push_json_f64(&mut out, m.value);
+        out.push_str(", \"unit\": ");
+        push_json_str(&mut out, &m.unit);
+        out.push('}');
+        if i + 1 < metrics.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -251,7 +301,22 @@ pub fn write_json(
     results: &[BenchResult],
     comparisons: &[Comparison],
 ) -> io::Result<()> {
-    std::fs::write(path, render_json(suite, mode, results, comparisons))
+    write_json_with(path, suite, mode, results, comparisons, &[])
+}
+
+/// Writes the suite report plus its metric matrix to `path` as JSON.
+pub fn write_json_with(
+    path: &Path,
+    suite: &str,
+    mode: &str,
+    results: &[BenchResult],
+    comparisons: &[Comparison],
+    metrics: &[Metric],
+) -> io::Result<()> {
+    std::fs::write(
+        path,
+        render_json_with(suite, mode, results, comparisons, metrics),
+    )
 }
 
 #[cfg(test)]
@@ -290,10 +355,26 @@ mod tests {
             candidate: "new".into(),
             speedup: 2.5,
         };
-        let s = render_json("perfsuite", "quick", &[r], &[c]);
+        let s = render_json(
+            "perfsuite",
+            "quick",
+            std::slice::from_ref(&r),
+            std::slice::from_ref(&c),
+        );
         assert!(s.contains("\"suite\": \"perfsuite\""));
         assert!(s.contains("a\\\"b"));
         assert!(s.contains("\"speedup\": 2.500"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+
+        let m = Metric {
+            name: "gclab/zipfian/greedy/waf".into(),
+            value: 1.875,
+            unit: "x".into(),
+        };
+        let s = render_json_with("gclab", "full", &[r], &[c], &[m]);
+        assert!(s.contains("\"name\": \"gclab/zipfian/greedy/waf\""));
+        assert!(s.contains("\"value\": 1.875"));
+        assert!(s.contains("\"unit\": \"x\""));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 

@@ -2,7 +2,7 @@
 //! machine model.
 
 use checkin_flash::{FlashGeometry, FlashTiming};
-use checkin_ftl::{FtlConfig, MediaRetryPolicy};
+use checkin_ftl::{FtlConfig, MediaRetryPolicy, VictimPolicy};
 use checkin_sim::SimDuration;
 use checkin_ssd::{CheckpointMode, SsdTiming};
 use checkin_workload::WorkloadSpec;
@@ -138,6 +138,18 @@ pub struct SystemConfig {
     pub gc_threshold_blocks: u32,
     /// Soft (background) GC threshold.
     pub gc_soft_threshold_blocks: u32,
+    /// GC victim-selection policy. The default (windowed-greedy over the
+    /// 8 oldest closed blocks) is the winner of the `gclab` policy sweep
+    /// (see EXPERIMENTS.md): best or tied-best WAF in every swept
+    /// workload and the lowest p99.9. Perfsuite gates the switch against
+    /// a greedy-forced run of the same full-run workload.
+    pub gc_policy: VictimPolicy,
+    /// Route journal / data / metadata+GC write streams to distinct
+    /// write points (hot/cold separation on the ISCE's page classes).
+    pub stream_separation: bool,
+    /// Blocks withheld from usable headroom as software
+    /// over-provisioning (0 = thresholds only).
+    pub overprovision_blocks: u32,
     /// Max background-GC rounds after each checkpoint.
     pub background_gc_rounds: u32,
     /// Device write-buffer capacity in mapping units (power-protected
@@ -181,6 +193,9 @@ impl SystemConfig {
             ssd_timing: SsdTiming::paper_default(),
             gc_threshold_blocks: 8,
             gc_soft_threshold_blocks: 48,
+            gc_policy: VictimPolicy::WINDOWED_DEFAULT,
+            stream_separation: false,
+            overprovision_blocks: 0,
             background_gc_rounds: 16,
             write_buffer_units: 128,
             ablate_partial_merging: false,
@@ -202,6 +217,9 @@ impl SystemConfig {
             unit_bytes: self.effective_unit_bytes(),
             gc_threshold_blocks: self.gc_threshold_blocks,
             gc_soft_threshold_blocks: self.gc_soft_threshold_blocks,
+            victim_policy: self.gc_policy,
+            stream_separation: self.stream_separation,
+            overprovision_blocks: self.overprovision_blocks,
             write_points: self.geometry.total_dies() as u32,
             map_cache_entries: self.map_cache_entries,
             write_buffer_units: self.write_buffer_units,

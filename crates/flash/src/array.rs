@@ -669,9 +669,23 @@ impl FlashArray {
         self.max_erase
     }
 
-    /// Mean erase count across blocks.
+    /// Mean erase count across **in-service** blocks. Grown-bad (retired)
+    /// blocks stop accumulating erases the moment they leave service, so
+    /// counting them in the denominator would understate the wear of the
+    /// blocks still doing the work. Zero when every block is bad.
     pub fn mean_erase_count(&self) -> f64 {
-        self.total_erases as f64 / self.blocks.len() as f64
+        let mut erases = 0u64;
+        let mut in_service = 0u64;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if !self.bad_blocks[i] {
+                erases += b.erase_count;
+                in_service += 1;
+            }
+        }
+        if in_service == 0 {
+            return 0.0;
+        }
+        erases as f64 / in_service as f64
     }
 
     /// Operation counters (`flash.read`, `flash.program`, `flash.erase`).
@@ -823,6 +837,37 @@ mod tests {
             FlashError::WornOut(BlockId(0))
         );
         assert_eq!(f.max_erase_count(), 2);
+    }
+
+    /// A retired (grown-bad) block stops wearing; the mean must describe
+    /// the blocks still in service, not dilute itself over dead ones.
+    #[test]
+    fn mean_erase_count_excludes_retired_blocks() {
+        let mut f = array();
+        let total = f.geometry().total_blocks();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(0), SimTime::ZERO).unwrap();
+        f.erase(BlockId(1), SimTime::ZERO).unwrap();
+        f.erase(BlockId(1), SimTime::ZERO).unwrap();
+        let healthy = f.mean_erase_count();
+        assert!((healthy - 4.0 / total as f64).abs() < 1e-12);
+
+        // Block 0 develops a grown defect: its two erases and its slot in
+        // the denominator both leave the mean.
+        f.bad_blocks[0] = true;
+        let after = f.mean_erase_count();
+        assert!(
+            (after - 2.0 / (total - 1) as f64).abs() < 1e-12,
+            "mean {after} must cover only the {} in-service blocks",
+            total - 1
+        );
+        assert!(after > 0.0 && after < healthy * 2.0);
+
+        // Every block bad: no in-service wear to report, not NaN.
+        for i in 0..total as usize {
+            f.bad_blocks[i] = true;
+        }
+        assert_eq!(f.mean_erase_count(), 0.0);
     }
 
     #[test]

@@ -26,6 +26,11 @@ use crate::error::{FtlError, IntegrityError, RecoveryError};
 use crate::location::{BufSlot, Location, Lpn, Pun};
 use crate::map_cache::MapCacheModel;
 use crate::mapping::{MappingTable, Unlink};
+use crate::policy::VictimCandidate;
+
+/// Number of write streams hot/cold separation distinguishes: journal
+/// (hot, short-lived), data, and metadata/GC relocation (cold).
+const STREAMS: usize = 3;
 
 /// Why a garbage-collection round was started. Each invocation is
 /// counted under a per-trigger key and recorded in the trace, which is
@@ -195,9 +200,21 @@ pub struct Ftl {
     /// writes (complete journal units, cold data) — those page out first.
     pending: VecDeque<BufSlot>,
     next_wp: usize,
+    /// Per-stream round-robin cursors over each stream's write-point
+    /// lanes (only advanced when stream separation is on).
+    stream_rr: [usize; STREAMS],
+    /// Scratch for the same-stream batch scan (indices into `pending`).
+    scratch_indices: Vec<usize>,
     free_blocks: VecDeque<BlockId>,
     block_kind: Vec<BlockKind>,
     valid_units: Vec<u32>,
+    /// Write-sequence value when each block last received a unit — the
+    /// deterministic age base for cost-benefit victim selection.
+    block_write_seq: Vec<u64>,
+    /// Monotone close rank per block (lower closed earlier); feeds
+    /// windowed-greedy victim selection.
+    block_close_seq: Vec<u64>,
+    close_counter: u64,
     counters: CounterSet,
     map_cache: MapCacheModel,
     seq: u64,
@@ -250,9 +267,14 @@ impl Ftl {
             actives: vec![None; config.write_points as usize],
             pending: VecDeque::new(),
             next_wp: 0,
+            stream_rr: [0; STREAMS],
+            scratch_indices: Vec::new(),
             free_blocks: (0..total_blocks).map(BlockId).collect(),
             block_kind: vec![BlockKind::Free; total_blocks as usize],
             valid_units: vec![0; total_blocks as usize],
+            block_write_seq: vec![0; total_blocks as usize],
+            block_close_seq: vec![0; total_blocks as usize],
+            close_counter: 0,
             counters: CounterSet::new(),
             seq: 0,
             in_gc: false,
@@ -311,9 +333,10 @@ impl Ftl {
     }
 
     /// True if the free pool is at or below the soft (background) GC
-    /// threshold.
+    /// threshold (raised by any configured over-provisioning).
     pub fn wants_background_gc(&self) -> bool {
-        self.free_blocks.len() <= self.config.gc_soft_threshold_blocks as usize
+        self.free_blocks.len()
+            <= (self.config.gc_soft_threshold_blocks + self.config.overprovision_blocks) as usize
     }
 
     /// Write-amplification factor: flash bytes programmed over host bytes
@@ -756,19 +779,86 @@ impl Ftl {
         Ok(done)
     }
 
+    /// Write stream of an OOB page class: journal traffic is the hottest
+    /// (short-lived, trimmed at checkpoint), data is warm, and FTL
+    /// metadata plus GC-relocated (survivor) units are the coldest.
+    fn stream_of(kind: OobKind) -> usize {
+        match kind {
+            OobKind::Journal => 0,
+            OobKind::Data => 1,
+            OobKind::Meta | OobKind::GcCopy => 2,
+        }
+    }
+
+    /// Stream of a pending buffer slot.
+    fn slot_stream(&self, slot: BufSlot) -> Result<usize, FtlError> {
+        self.slot_data(slot)
+            .map(|d| Self::stream_of(d.oob.kind))
+            .ok_or(FtlError::Inconsistent(
+                "pending queue references empty slot",
+            ))
+    }
+
+    /// Write point for a stream: with at least [`STREAMS`] write points
+    /// each stream round-robins over its own lane set `{s, s+3, ...}` so
+    /// hot and cold pages never share an active block; with fewer, the
+    /// streams fold onto what exists.
+    fn stream_write_point(&mut self, s: usize) -> usize {
+        let wpn = self.actives.len();
+        if wpn < STREAMS {
+            return s % wpn;
+        }
+        let lanes = (wpn - s).div_ceil(STREAMS);
+        let k = self.stream_rr[s] % lanes;
+        self.stream_rr[s] = (k + 1) % lanes;
+        s + STREAMS * k
+    }
+
     fn drain_one_page(&mut self, at: SimTime) -> Result<SimTime, FtlError> {
         // Take the batch BEFORE allocating: block allocation may trigger
         // GC, which enqueues freshly migrated units. Those stay buffered
         // for later pages.
-        let take_n = self.pending.len().min(self.upp as usize);
-        if take_n == 0 {
+        if self.pending.is_empty() {
             return Ok(at);
         }
         let mut taken = self.scratch_batches.pop().unwrap_or_default();
         taken.clear();
-        taken.extend(self.pending.drain(..take_n));
-        let wp = self.next_wp;
-        self.next_wp = (self.next_wp + 1) % self.actives.len();
+        let wp = if self.config.stream_separation {
+            // The head slot picks the stream; the batch is the first
+            // page-worth of same-stream slots, in arrival order. Streams
+            // drain to disjoint write points, so journal churn never
+            // punches holes into blocks holding cold survivors.
+            let head = *self
+                .pending
+                .front()
+                .ok_or(FtlError::Inconsistent("pending queue emptied unexpectedly"))?;
+            let stream = self.slot_stream(head)?;
+            let mut indices = std::mem::take(&mut self.scratch_indices);
+            indices.clear();
+            for i in 0..self.pending.len() {
+                if indices.len() >= self.upp as usize {
+                    break;
+                }
+                if self.slot_stream(self.pending[i])? == stream {
+                    indices.push(i);
+                }
+            }
+            for (removed, &i) in indices.iter().enumerate() {
+                // Indices are ascending; each earlier removal shifts the
+                // remainder left by one.
+                if let Some(slot) = self.pending.remove(i - removed) {
+                    taken.push(slot);
+                }
+            }
+            self.scratch_indices = indices;
+            self.stream_write_point(stream)
+        } else {
+            let take_n = self.pending.len().min(self.upp as usize);
+            taken.extend(self.pending.drain(..take_n));
+            let wp = self.next_wp;
+            self.next_wp = (self.next_wp + 1) % self.actives.len();
+            wp
+        };
         let (block, page) = match self.alloc_page_slot(wp, at) {
             Ok(v) => v,
             Err(e) => {
@@ -835,6 +925,9 @@ impl Ftl {
             }
         };
         self.counters.incr("ftl.pages_programmed");
+        // The block absorbed fresh units "now" on the write-sequence
+        // clock: its age (for cost-benefit victim selection) restarts.
+        self.block_write_seq[block.0 as usize] = self.seq;
         let units = placements.len() as u64;
         self.tracer.emit(|| {
             TraceEvent::new(at, TraceLayer::Ftl, "page_out")
@@ -862,6 +955,14 @@ impl Ftl {
         Ok(win.finish)
     }
 
+    /// Marks a fully programmed block closed and stamps its close rank
+    /// (the FIFO order windowed-greedy victim selection scans by).
+    fn close_block(&mut self, block: BlockId) {
+        self.block_kind[block.0 as usize] = BlockKind::Closed;
+        self.close_counter += 1;
+        self.block_close_seq[block.0 as usize] = self.close_counter;
+    }
+
     fn alloc_page_slot(&mut self, wp: usize, at: SimTime) -> Result<(BlockId, u32), FtlError> {
         let ppb = self.flash.geometry().pages_per_block;
         if let Some((block, page)) = self.actives[wp] {
@@ -869,7 +970,7 @@ impl Ftl {
                 self.actives[wp] = if page + 1 < ppb {
                     Some((block, page + 1))
                 } else {
-                    self.block_kind[block.0 as usize] = BlockKind::Closed;
+                    self.close_block(block);
                     None
                 };
                 return Ok((block, page));
@@ -879,14 +980,20 @@ impl Ftl {
         self.actives[wp] = if ppb > 1 {
             Some((block, 1))
         } else {
-            self.block_kind[block.0 as usize] = BlockKind::Closed;
+            self.close_block(block);
             None
         };
         Ok((block, 0))
     }
 
+    /// Free-pool size at or below which foreground GC must run: the hard
+    /// threshold plus any blocks withheld as over-provisioning.
+    fn gc_trigger_threshold(&self) -> usize {
+        (self.config.gc_threshold_blocks + self.config.overprovision_blocks) as usize
+    }
+
     fn alloc_block(&mut self, at: SimTime) -> Result<BlockId, FtlError> {
-        if !self.in_gc && self.free_blocks.len() <= self.config.gc_threshold_blocks as usize {
+        if !self.in_gc && self.free_blocks.len() <= self.gc_trigger_threshold() {
             self.collect_until_headroom(at)?;
         }
         let block = self.free_blocks.pop_front().ok_or(FtlError::OutOfSpace)?;
@@ -895,7 +1002,7 @@ impl Ftl {
     }
 
     fn collect_until_headroom(&mut self, at: SimTime) -> Result<(), FtlError> {
-        while self.free_blocks.len() <= self.config.gc_threshold_blocks as usize {
+        while self.free_blocks.len() <= self.gc_trigger_threshold() {
             if self.run_gc_round(at, GcTrigger::Foreground)?.is_none() {
                 // No reclaimable victim. Not fatal yet: the caller may
                 // still have free blocks to use.
@@ -905,34 +1012,56 @@ impl Ftl {
         Ok(())
     }
 
-    /// Selects the greedy GC victim: the closed block with the fewest
-    /// valid units (ties broken by lower erase count for wear levelling).
-    /// Returns `None` when no block would yield free space.
+    /// Selects the GC victim under the configured
+    /// [`VictimPolicy`](crate::VictimPolicy): every closed block that
+    /// would yield free space is offered as a candidate with its valid
+    /// count, wear, write-sequence age, and close rank. Returns `None`
+    /// when no block would yield free space.
     fn select_victim(&self) -> Option<BlockId> {
         let capacity = self.upp * self.flash.geometry().pages_per_block;
-        self.block_kind
+        let now = self.seq;
+        let candidates = self
+            .block_kind
             .iter()
             .enumerate()
             .filter(|&(_, &k)| k == BlockKind::Closed)
             .map(|(i, _)| BlockId(i as u64))
             .filter(|b| self.valid_units[b.0 as usize] < capacity)
-            .min_by_key(|b| (self.valid_units[b.0 as usize], self.flash.erase_count(*b)))
+            .map(|b| VictimCandidate {
+                block: b,
+                valid_units: self.valid_units[b.0 as usize],
+                capacity,
+                erase_count: self.flash.erase_count(b),
+                age: now.saturating_sub(self.block_write_seq[b.0 as usize]),
+                closed_rank: self.block_close_seq[b.0 as usize],
+            });
+        self.config.victim_policy.select(candidates)
     }
 
-    /// Spread between the most-erased block and the coldest block still
-    /// holding data (free blocks recirculate on their own, so only closed
-    /// blocks can pin cold data to barely-worn cells).
+    /// Spread between the most-erased **in-service** block and the coldest
+    /// block still holding data (free blocks recirculate on their own, so
+    /// only closed blocks can pin cold data to barely-worn cells). Retired
+    /// blocks are out of both sides of the comparison: a retired block
+    /// will never be erased again, so its (often high) erase count says
+    /// nothing about skew that wear leveling could still fix — using the
+    /// flash array's cached global maximum here used to pin the delta
+    /// above the threshold forever once a hot block retired.
     pub fn wear_delta(&self) -> u64 {
-        let min = self
-            .block_kind
-            .iter()
-            .enumerate()
-            .filter(|&(_, &k)| k == BlockKind::Closed)
-            .map(|(b, _)| self.flash.erase_count(BlockId(b as u64)))
-            .min();
-        match min {
-            Some(min) => self.flash.max_erase_count().saturating_sub(min),
-            None => 0,
+        let mut max: Option<u64> = None;
+        let mut min_closed: Option<u64> = None;
+        for (b, &kind) in self.block_kind.iter().enumerate() {
+            if kind == BlockKind::Retired {
+                continue;
+            }
+            let erases = self.flash.erase_count(BlockId(b as u64));
+            max = Some(max.map_or(erases, |m| m.max(erases)));
+            if kind == BlockKind::Closed {
+                min_closed = Some(min_closed.map_or(erases, |m| m.min(erases)));
+            }
+        }
+        match (max, min_closed) {
+            (Some(max), Some(min)) => max.saturating_sub(min),
+            _ => 0,
         }
     }
 
@@ -1542,6 +1671,14 @@ impl Ftl {
         // state): geometry is the single source of their length.
         self.free_blocks.clear();
         let mut block_kind = Vec::with_capacity(g.total_blocks() as usize);
+        // Age and close order do not survive a cut (they are runtime GC
+        // heuristics, not durable state): every surviving closed block
+        // restarts at age zero with its close rank assigned in block-id
+        // order. Deterministic, and only victim *preference* — never
+        // correctness — depends on it.
+        self.block_write_seq = vec![0; g.total_blocks() as usize];
+        self.block_close_seq = vec![0; g.total_blocks() as usize];
+        self.close_counter = 0;
         for b in 0..g.total_blocks() {
             let id = BlockId(b);
             let kind = if self.flash.is_bad_block(id) {
@@ -1554,6 +1691,11 @@ impl Ftl {
             block_kind.push(kind);
             if kind == BlockKind::Free {
                 self.free_blocks.push_back(id);
+            } else if kind == BlockKind::Closed {
+                self.close_counter += 1;
+                if let Some(rank) = self.block_close_seq.get_mut(b as usize) {
+                    *rank = self.close_counter;
+                }
             }
         }
         self.block_kind = block_kind;
@@ -1581,6 +1723,7 @@ impl Ftl {
             *a = None;
         }
         self.next_wp = 0;
+        self.stream_rr = [0; STREAMS];
         self.in_gc = false;
         self.pending.clear();
         let mut live: Vec<(u64, u64)> = self
@@ -2105,6 +2248,151 @@ mod buffer_overwrite_tests {
 }
 
 #[cfg(test)]
+mod stream_separation_tests {
+    use super::*;
+    use checkin_flash::{FlashGeometry, FlashTiming};
+
+    fn stream_ftl(separation: bool) -> Ftl {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 512,
+                write_points: 6,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                write_buffer_units: 16,
+                stream_separation: separation,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn wk(f: &mut Ftl, lpn: u64, kind: OobKind) {
+        f.write(
+            UnitWrite {
+                lpn: Lpn(lpn),
+                payload: UnitPayload::single(lpn, 1, 512),
+                whole_unit: true,
+            },
+            kind,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    }
+
+    /// With separation on, every programmed page holds units of exactly
+    /// one stream even when journal and data writes arrive interleaved.
+    #[test]
+    fn pages_hold_a_single_stream() {
+        let mut f = stream_ftl(true);
+        for i in 0..64u64 {
+            let kind = if i % 2 == 0 {
+                OobKind::Journal
+            } else {
+                OobKind::Data
+            };
+            wk(&mut f, i, kind);
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        let total = f.flash().geometry().total_pages();
+        let mut mixed = 0;
+        let mut programmed = 0;
+        for raw in 0..total {
+            let Some(pc) = f.flash().read(Ppn(raw)) else {
+                continue;
+            };
+            programmed += 1;
+            let mut streams: Vec<usize> = pc.oob.iter().map(|o| Ftl::stream_of(o.kind)).collect();
+            streams.dedup();
+            if streams.len() > 1 {
+                mixed += 1;
+            }
+        }
+        assert!(programmed >= 8, "should have programmed several pages");
+        assert_eq!(mixed, 0, "{mixed} of {programmed} pages mix streams");
+        // All data still readable.
+        for i in 0..64u64 {
+            let (p, _) = f.read(Lpn(i), SimTime::ZERO).unwrap();
+            assert_eq!(p.fragments[0].key, i);
+        }
+        f.check_invariants().unwrap();
+    }
+
+    /// Separation must not lose or reorder logical contents relative to
+    /// the shared-write-point default.
+    #[test]
+    fn separation_preserves_logical_contents() {
+        for separation in [false, true] {
+            let mut f = stream_ftl(separation);
+            for round in 0..30u64 {
+                for i in 0..48u64 {
+                    let kind = match i % 3 {
+                        0 => OobKind::Journal,
+                        1 => OobKind::Data,
+                        _ => OobKind::Meta,
+                    };
+                    f.write(
+                        UnitWrite {
+                            lpn: Lpn(i),
+                            payload: UnitPayload::single(i, round + 1, 512),
+                            whole_unit: true,
+                        },
+                        kind,
+                        SimTime::ZERO,
+                    )
+                    .unwrap();
+                }
+            }
+            f.flush(SimTime::ZERO).unwrap();
+            for i in 0..48u64 {
+                let (p, _) = f.read(Lpn(i), SimTime::ZERO).unwrap();
+                assert_eq!(
+                    p.fragments[0].version, 30,
+                    "separation={separation} lpn {i}"
+                );
+            }
+            f.check_invariants().unwrap();
+        }
+    }
+
+    /// Fewer write points than streams: separation folds streams onto
+    /// the available lanes without panicking or losing data.
+    #[test]
+    fn separation_with_two_write_points() {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
+        let mut f = Ftl::new(
+            flash,
+            FtlConfig {
+                unit_bytes: 512,
+                write_points: 2,
+                gc_threshold_blocks: 4,
+                gc_soft_threshold_blocks: 8,
+                write_buffer_units: 16,
+                stream_separation: true,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..32u64 {
+            let kind = if i % 2 == 0 {
+                OobKind::Journal
+            } else {
+                OobKind::Meta
+            };
+            wk(&mut f, i, kind);
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        for i in 0..32u64 {
+            let (p, _) = f.read(Lpn(i), SimTime::ZERO).unwrap();
+            assert_eq!(p.fragments[0].key, i);
+        }
+        f.check_invariants().unwrap();
+    }
+}
+
+#[cfg(test)]
 mod wear_leveling_tests {
     use super::*;
     use checkin_flash::{FlashArray, FlashGeometry, FlashTiming};
@@ -2178,6 +2466,45 @@ mod wear_leveling_tests {
             let (p, _) = f.read(Lpn(lpn), SimTime::ZERO).unwrap();
             assert_eq!(p.fragments[0].version, 1, "lpn {lpn}");
         }
+        f.check_invariants().unwrap();
+    }
+
+    /// Regression: a retired block that was the wear ceiling used to pin
+    /// `wear_delta` above the threshold forever (the flash array's cached
+    /// global max includes retired blocks), so every call to
+    /// `run_wear_leveling_round` migrated a cold block without ever
+    /// converging. Retired blocks can never be erased again — they must
+    /// not count toward levelable skew.
+    #[test]
+    fn retired_hot_block_does_not_pin_wear_delta() {
+        let mut f = wl_ftl(Some(4));
+        // A little cold data so closed blocks exist.
+        for lpn in 0..8u64 {
+            write_unit(&mut f, lpn, 1);
+        }
+        f.flush(SimTime::ZERO).unwrap();
+        // Take one free block, wear it hot (erasing an erased free block
+        // only bumps its counters), and retire it.
+        let hot = *f.free_blocks.back().expect("free pool non-empty");
+        for _ in 0..50 {
+            f.flash_mut().erase(hot, SimTime::ZERO).unwrap();
+        }
+        f.free_blocks.retain(|&b| b != hot);
+        f.block_kind[hot.0 as usize] = BlockKind::Retired;
+
+        // In-service skew is zero-ish: nothing else was erased. The old
+        // implementation reported 50 here and levelled on every call.
+        assert!(
+            f.wear_delta() <= 4,
+            "retired block inflates wear_delta to {}",
+            f.wear_delta()
+        );
+        assert_eq!(
+            f.run_wear_leveling_round(SimTime::ZERO).unwrap(),
+            None,
+            "no wear-leveling round should run on a level device"
+        );
+        assert_eq!(f.counters().get("ftl.wear_level_rounds"), 0);
         f.check_invariants().unwrap();
     }
 

@@ -54,6 +54,7 @@ mod ftl;
 mod location;
 mod map_cache;
 mod mapping;
+mod policy;
 
 pub use config::{FtlConfig, MediaRetryPolicy};
 pub use error::{FtlError, IntegrityError, RecoveryError};
@@ -61,3 +62,4 @@ pub use ftl::{Ftl, GcTrigger, RebuildStats, ScrubReport, UnitWrite};
 pub use location::{BufSlot, Location, Lpn, Pun};
 pub use map_cache::MapCacheModel;
 pub use mapping::{MappingTable, Unlink};
+pub use policy::{VictimCandidate, VictimPolicy};

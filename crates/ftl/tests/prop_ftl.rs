@@ -2,10 +2,10 @@
 //! mirrored against a shadow model. Randomized via `checkin-testkit`
 //! (deterministic seeds, offline-safe — no external crates).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use checkin_flash::{FlashArray, FlashGeometry, FlashTiming, OobKind, UnitPayload};
-use checkin_ftl::{Ftl, FtlConfig, FtlError, GcTrigger, Lpn, UnitWrite};
+use checkin_ftl::{Ftl, FtlConfig, FtlError, GcTrigger, Lpn, UnitWrite, VictimPolicy};
 use checkin_sim::SimTime;
 use checkin_testkit::{check, soup, TestRng};
 
@@ -41,7 +41,7 @@ fn op(rng: &mut TestRng) -> Op {
     }
 }
 
-fn build() -> Ftl {
+fn build(victim_policy: VictimPolicy, stream_separation: bool) -> Ftl {
     let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::mlc());
     Ftl::new(
         flash,
@@ -52,6 +52,8 @@ fn build() -> Ftl {
             gc_soft_threshold_blocks: 8,
             write_buffer_units: 16,
             wear_leveling_threshold: Some(8),
+            victim_policy,
+            stream_separation,
             ..FtlConfig::default()
         },
     )
@@ -60,7 +62,18 @@ fn build() -> Ftl {
 
 /// Shadow: lpn -> (key, version) of the expected current copy.
 fn run_ops(ops: &[Op]) {
-    let mut ftl = build();
+    run_ops_with(ops, VictimPolicy::default(), false);
+}
+
+/// Runs the soup under the given victim policy and placement, verifying
+/// against the shadow throughout, and returns the final logical contents
+/// read back from the device.
+fn run_ops_with(
+    ops: &[Op],
+    victim_policy: VictimPolicy,
+    stream_separation: bool,
+) -> BTreeMap<u64, (u64, u64)> {
+    let mut ftl = build(victim_policy, stream_separation);
     let mut shadow: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut next_version = 1u64;
     let t = SimTime::ZERO;
@@ -116,6 +129,9 @@ fn run_ops(ops: &[Op]) {
     }
 
     // Final sweep: every shadow entry readable with the right content.
+    // The read-back map (not the shadow) is returned, so cross-policy
+    // comparisons check what the device actually serves.
+    let mut contents = BTreeMap::new();
     for (&lpn, &(key, version)) in &shadow {
         let (payload, _) = ftl.read(Lpn(lpn), t).unwrap();
         let f = payload
@@ -124,6 +140,7 @@ fn run_ops(ops: &[Op]) {
             .find(|f| f.key == key)
             .unwrap_or_else(|| panic!("lpn {lpn}: key {key} missing"));
         assert_eq!(f.version, version, "lpn {lpn}");
+        contents.insert(lpn, (f.key, f.version));
     }
     // And nothing else is mapped.
     for lpn in 0..LPNS {
@@ -134,6 +151,8 @@ fn run_ops(ops: &[Op]) {
         );
     }
     assert!(ftl.check_invariants().is_ok());
+
+    contents
 }
 
 #[test]
@@ -152,6 +171,33 @@ fn ftl_matches_shadow_under_long_churn() {
         let len = rng.range_usize(2_000, 2_999);
         let ops = soup(rng, len, op);
         run_ops(&ops);
+    });
+}
+
+/// Victim selection and data placement are performance knobs, never
+/// semantics: the same seeded soup must leave logically identical KV
+/// contents under every policy, with stream separation on or off. Each
+/// run is also independently verified against the shadow model.
+#[test]
+fn victim_policies_are_logically_invariant() {
+    const VARIANTS: [(VictimPolicy, bool); 5] = [
+        (VictimPolicy::Greedy, false),
+        (VictimPolicy::CostBenefit, false),
+        (VictimPolicy::WindowedGreedy { window: 4 }, false),
+        (VictimPolicy::Greedy, true),
+        (VictimPolicy::CostBenefit, true),
+    ];
+    check("victim_policies_are_logically_invariant", 12, |rng| {
+        let len = rng.range_usize(500, 1_499);
+        let ops = soup(rng, len, op);
+        let baseline = run_ops_with(&ops, VARIANTS[0].0, VARIANTS[0].1);
+        for (policy, separation) in &VARIANTS[1..] {
+            let contents = run_ops_with(&ops, *policy, *separation);
+            assert_eq!(
+                baseline, contents,
+                "{policy} (separation {separation}) diverged from greedy"
+            );
+        }
     });
 }
 
