@@ -10,19 +10,60 @@
 
 use std::collections::BTreeMap;
 
-/// One allowlist entry: suppresses findings of `rule` in `file` (at
-/// `line`, when given). Every entry must carry a `reason`; undocumented
-/// exceptions defeat the point of the checker.
+/// One allowlist entry: suppresses findings of `rule` in `file` whose
+/// flagged source line contains `snippet`. Every entry must carry a
+/// `reason`; undocumented exceptions defeat the point of the checker.
+///
+/// The `snippet` is the anchor: it survives unrelated edits that shift
+/// line numbers, and it goes stale loudly when the flagged code itself
+/// changes. `line` is a human-readability hint only — it is reported
+/// but never used for matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
     /// Rule id, e.g. `"A1"` (case-insensitive).
     pub rule: String,
     /// Workspace-relative file path the exception applies to.
     pub file: String,
-    /// 1-based line, or `None` to allow the whole file.
+    /// Required substring of the flagged source line.
+    pub snippet: String,
+    /// 1-based line hint for readers; not used for matching.
     pub line: Option<u32>,
     /// Why this exception is sound. Required.
     pub reason: String,
+}
+
+/// One conservation equation from `[a7] families`: `lhs = rhs1 + rhs2`.
+/// Dotted members match string-keyed counter bumps (`incr("a.b")`);
+/// bare members match `ident += …` compound assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterFamily {
+    /// The family total.
+    pub lhs: String,
+    /// The members partitioning the total.
+    pub rhs: Vec<String>,
+}
+
+impl CounterFamily {
+    /// Parses `"lhs = a + b"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when either side is empty or the `=` is missing.
+    pub fn parse(s: &str) -> Result<CounterFamily, String> {
+        let (lhs, rhs) = s
+            .split_once('=')
+            .ok_or_else(|| format!("family `{s}` needs the form `lhs = rhs1 + rhs2`"))?;
+        let lhs = lhs.trim().to_string();
+        let rhs: Vec<String> = rhs
+            .split('+')
+            .map(|m| m.trim().to_string())
+            .filter(|m| !m.is_empty())
+            .collect();
+        if lhs.is_empty() || rhs.is_empty() {
+            return Err(format!("family `{s}` needs the form `lhs = rhs1 + rhs2`"));
+        }
+        Ok(CounterFamily { lhs, rhs })
+    }
 }
 
 /// Parsed configuration for one analysis run.
@@ -50,6 +91,12 @@ pub struct AnalyzeConfig {
     pub a5_files: Vec<String>,
     /// A5: declared lock acquisition order (receiver identifiers).
     pub a5_lock_order: Vec<String>,
+    /// A7: crates whose counter families must stay conserved.
+    pub a7_crates: Vec<String>,
+    /// A7: conservation equations (`lhs = rhs1 + rhs2`).
+    pub a7_families: Vec<CounterFamily>,
+    /// A8: crates that must stay `Send`-clean for the shard fleet.
+    pub a8_fleet_bound: Vec<String>,
     /// Documented exceptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -68,6 +115,9 @@ impl Default for AnalyzeConfig {
             a4_self_files: Vec::new(),
             a5_files: Vec::new(),
             a5_lock_order: Vec::new(),
+            a7_crates: Vec::new(),
+            a7_families: Vec::new(),
+            a8_fleet_bound: Vec::new(),
             allows: Vec::new(),
         }
     }
@@ -182,6 +232,16 @@ impl AnalyzeConfig {
     }
 
     fn apply(&mut self, section: &str, key: &str, value: &Value) -> Result<(), String> {
+        if (section, key) == ("a7", "families") {
+            let Value::StrArray(items) = value else {
+                return Err("expected an array of strings".to_string());
+            };
+            self.a7_families = items
+                .iter()
+                .map(|s| CounterFamily::parse(s))
+                .collect::<Result<_, _>>()?;
+            return Ok(());
+        }
         let slot: &mut Vec<String> = match (section, key) {
             ("a1", "files") => &mut self.a1_files,
             ("a1", "entry_functions") => &mut self.a1_entry_functions,
@@ -192,6 +252,8 @@ impl AnalyzeConfig {
             ("a4", "self_files") => &mut self.a4_self_files,
             ("a5", "files") => &mut self.a5_files,
             ("a5", "lock_order") => &mut self.a5_lock_order,
+            ("a7", "crates") => &mut self.a7_crates,
+            ("a8", "fleet_bound") => &mut self.a8_fleet_bound,
             _ => return Err("unknown section/key".to_string()),
         };
         match value {
@@ -218,13 +280,17 @@ fn build_allow(table: &BTreeMap<String, Value>) -> Result<AllowEntry, String> {
         Some(_) => return Err("`line` must be a positive integer".to_string()),
     };
     for key in table.keys() {
-        if !matches!(key.as_str(), "rule" | "file" | "line" | "reason") {
+        if !matches!(
+            key.as_str(),
+            "rule" | "file" | "snippet" | "line" | "reason"
+        ) {
             return Err(format!("unknown allow key `{key}`"));
         }
     }
     Ok(AllowEntry {
         rule: get_str("rule")?.to_ascii_uppercase(),
         file: get_str("file")?,
+        snippet: get_str("snippet")?,
         line,
         reason: get_str("reason")?,
     })
@@ -350,24 +416,39 @@ entry_functions = ["rebuild_after_power_loss"]
 [a2]
 crates = ["sim", "ftl"]
 
+[a7]
+crates = ["ftl"]
+families = ["detected = quarantined + corrected"]
+
+[a8]
+fleet_bound = ["core", "ssd"]
+
 [[allow]]
 rule = "a4"
 file = "crates/ftl/src/location.rs"
+snippet = "unit % units_per_page"
 line = 31
 reason = "modulo bounds the value"
 
 [[allow]]
 rule = "A1"
 file = "crates/ftl/src/mapping.rs"
-reason = "whole-file exception"
+snippet = "&mut vec[idx]"
+reason = "resize two lines above bounds idx"
 "#,
         )
         .unwrap();
         assert_eq!(cfg.a1_files, vec!["crates/ssd/src/spor.rs"]);
         assert_eq!(cfg.a2_crates, vec!["sim", "ftl"]);
+        assert_eq!(cfg.a7_crates, vec!["ftl"]);
+        assert_eq!(cfg.a7_families.len(), 1);
+        assert_eq!(cfg.a7_families[0].lhs, "detected");
+        assert_eq!(cfg.a7_families[0].rhs, vec!["quarantined", "corrected"]);
+        assert_eq!(cfg.a8_fleet_bound, vec!["core", "ssd"]);
         assert_eq!(cfg.allows.len(), 2);
         assert_eq!(cfg.allows[0].rule, "A4");
         assert_eq!(cfg.allows[0].line, Some(31));
+        assert_eq!(cfg.allows[0].snippet, "unit % units_per_page");
         assert_eq!(cfg.allows[1].line, None);
     }
 
@@ -382,8 +463,25 @@ reason = "whole-file exception"
 
     #[test]
     fn allow_without_reason_is_rejected() {
-        let err = AnalyzeConfig::parse("[[allow]]\nrule = \"A1\"\nfile = \"x.rs\"\n").unwrap_err();
+        let err =
+            AnalyzeConfig::parse("[[allow]]\nrule = \"A1\"\nfile = \"x.rs\"\nsnippet = \"x[0]\"\n")
+                .unwrap_err();
         assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn allow_without_snippet_is_rejected() {
+        let err =
+            AnalyzeConfig::parse("[[allow]]\nrule = \"A1\"\nfile = \"x.rs\"\nreason = \"why\"\n")
+                .unwrap_err();
+        assert!(err.contains("snippet"), "{err}");
+    }
+
+    #[test]
+    fn malformed_family_is_rejected() {
+        let err =
+            AnalyzeConfig::parse("[a7]\nfamilies = [\"detected quarantined\"]\n").unwrap_err();
+        assert!(err.contains("lhs = rhs1 + rhs2"), "{err}");
     }
 
     #[test]
@@ -395,7 +493,7 @@ reason = "whole-file exception"
     #[test]
     fn comment_inside_string_survives() {
         let cfg = AnalyzeConfig::parse(
-            "[[allow]]\nrule = \"A2\"\nfile = \"a.rs\"\nreason = \"see issue #5\"\n",
+            "[[allow]]\nrule = \"A2\"\nfile = \"a.rs\"\nsnippet = \"y\"\nreason = \"see issue #5\"\n",
         )
         .unwrap();
         assert_eq!(cfg.allows[0].reason, "see issue #5");

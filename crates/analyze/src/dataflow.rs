@@ -1,0 +1,454 @@
+//! Intraprocedural, token-level dataflow facts for one function body.
+//!
+//! This is deliberately *not* an AST: the lexer gives a flat token
+//! stream, and this module recovers just enough expression structure for
+//! the rules — local type bindings (`let t: MappingTable`,
+//! `let t = MappingTable::with_capacity(..)`), every call site with a
+//! parsed receiver chain (`self.ftl.rebuild(..)` →
+//! base `self.ftl`, final method `rebuild`), and `let _ = …;` discard
+//! statements. The call graph ([`crate::graph`]) combines these facts
+//! with the workspace symbol table to resolve calls by receiver type;
+//! A6 uses the discard ranges and statement-level calls to find dropped
+//! `Result`s.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::scan::{match_bracket, match_bracket_back, SourceFile};
+
+/// The leftmost element of a receiver chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainBase {
+    /// `self.…` — resolve from the enclosing impl type.
+    SelfKw,
+    /// A local variable or parameter (resolved via `let` type hints).
+    Local(String),
+    /// An explicit path: `Type::method(…)` or `Self::method(…)`.
+    Path(String),
+}
+
+/// One element of a receiver chain between the base and the final call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainSeg {
+    /// Plain field access (`.ftl`): resolve via struct field types.
+    Field(String),
+    /// Intermediate method call (`.flash()`): resolve via return types.
+    Call(String),
+}
+
+/// Parsed receiver of a method call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Leftmost element.
+    pub base: ChainBase,
+    /// Segments between the base and the final method name.
+    pub segs: Vec<ChainSeg>,
+}
+
+/// Receiver classification of a call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// Bare call `foo(…)` with no receiver.
+    Bare,
+    /// Method or associated call with a parseable receiver chain.
+    Chain(Chain),
+    /// A receiver exists but could not be parsed (computed expression,
+    /// indexing, `?` in the chain, …) — never resolved, by design.
+    Opaque,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the called name.
+    pub name_idx: usize,
+    /// Token index of the matching `)` closing the argument list.
+    pub args_close: usize,
+    /// Receiver classification.
+    pub recv: Recv,
+    /// Token index where the whole receiver chain starts (equals
+    /// `name_idx` for bare calls).
+    pub chain_start: usize,
+}
+
+impl CallSite {
+    /// The called name's text.
+    pub fn name<'a>(&self, f: &'a SourceFile) -> &'a str {
+        &f.tokens[self.name_idx].text
+    }
+}
+
+/// A `let _ = …;` statement: the token range of the discarded expression.
+#[derive(Debug, Clone)]
+pub struct Discard {
+    /// Token index of the `let` keyword.
+    pub let_tok: usize,
+    /// Expression token range `[start, end)` (up to the closing `;`).
+    pub expr: (usize, usize),
+}
+
+/// All facts extracted from one function body.
+#[derive(Debug, Default)]
+pub struct BodyFacts {
+    /// `local name -> nominal type name` from `let x: T = …` bindings.
+    pub local_types: BTreeMap<String, String>,
+    /// `local name -> (type path, constructor)` from
+    /// `let x = Type::ctor(…)` bindings; resolved via the constructor's
+    /// return type by the call graph.
+    pub local_ctors: BTreeMap<String, (String, String)>,
+    /// Every call site, in token order.
+    pub calls: Vec<CallSite>,
+    /// Every `let _ = …;` discard.
+    pub discards: Vec<Discard>,
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "Some", "Ok", "Err", "None", "let",
+    "else", "move", "in", "as", "box", "await",
+];
+
+/// Extracts [`BodyFacts`] from the body token range of one function.
+pub fn body_facts(f: &SourceFile, body: (usize, usize)) -> BodyFacts {
+    let toks = &f.tokens;
+    let mut facts = BodyFacts::default();
+    let (start, end) = (body.0, body.1.min(toks.len().saturating_sub(1)));
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        // `let` bindings: type hints and `_` discards.
+        if t.is_ident("let") && i < end {
+            if let Some(adv) = scan_let(f, i, end, &mut facts) {
+                i = adv;
+                continue;
+            }
+        }
+        // Call sites: identifier directly followed by `(`.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !NOT_CALLS.contains(&t.text.as_str())
+            && !is_definition_name(toks, i)
+            && !is_macro_like(toks, i)
+        {
+            if let Some(close) = match_bracket(toks, i + 1, '(', ')') {
+                let (recv, chain_start) = parse_receiver(f, i);
+                facts.calls.push(CallSite {
+                    name_idx: i,
+                    args_close: close,
+                    recv,
+                    chain_start,
+                });
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// True when the ident at `idx` is a definition, not a call: preceded by
+/// `fn` (nested function/closure-in-trait definitions).
+fn is_definition_name(toks: &[crate::lexer::Token], idx: usize) -> bool {
+    idx > 0 && toks[idx - 1].is_ident("fn")
+}
+
+/// True when the ident at `idx` is a macro invocation name (`name!(…)`).
+/// The `(` check in the caller already failed for these (the `!` sits
+/// between), so this guards the reverse: `name` preceded by nothing
+/// relevant but *followed* by `!` is not a call — defensive only.
+fn is_macro_like(toks: &[crate::lexer::Token], idx: usize) -> bool {
+    toks.get(idx + 1).is_some_and(|t| t.is_punct('!'))
+}
+
+/// Handles one `let` statement starting at `let_tok`; returns the token
+/// index to resume scanning from (just after the `=`, so the RHS is
+/// still scanned for call sites), or `None` when it isn't a binding the
+/// pass understands.
+fn scan_let(f: &SourceFile, let_tok: usize, end: usize, facts: &mut BodyFacts) -> Option<usize> {
+    let toks = &f.tokens;
+    let mut j = let_tok + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = j;
+    if toks.get(j).map(|t| t.kind) != Some(TokKind::Ident) {
+        return None; // destructuring patterns — no single binding
+    }
+    let name = toks[j].text.clone();
+    j += 1;
+    // Optional `: Type` annotation.
+    if toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && !toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        if let Some(ty) = crate::scan::parse_type_name(toks, j + 1) {
+            if name != "_" {
+                facts.local_types.insert(name.clone(), ty);
+            }
+        }
+        // Skip ahead to the `=` (or statement end), tracking angle depth
+        // so `let x: BTreeMap<u64, V> = …` does not stop early.
+        let mut angle = 0i64;
+        while j < end {
+            let t = &toks[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle <= 0 && (t.is_punct('=') || t.is_punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('=')) {
+        return None; // `let x;` or something unexpected
+    }
+    // Reject `==` / `=>` (not bindings) — `=` must stand alone.
+    if toks
+        .get(j + 1)
+        .is_some_and(|t| t.is_punct('=') || t.is_punct('>'))
+    {
+        return None;
+    }
+    let rhs_start = j + 1;
+    if name == "_" {
+        // Find the terminating `;` at expression nesting depth zero.
+        let mut depth = 0i64;
+        let mut k = rhs_start;
+        while k <= end {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        facts.discards.push(Discard {
+            let_tok,
+            expr: (rhs_start, k),
+        });
+    } else if name_tok == let_tok + 1 || toks[let_tok + 1].is_ident("mut") {
+        // `let x = Type::ctor(…)`: record the constructor hint.
+        if let Some((ty, ctor)) = parse_ctor_hint(toks, rhs_start) {
+            facts.local_ctors.insert(name, (ty, ctor));
+        }
+    }
+    Some(rhs_start)
+}
+
+/// Matches `Type::ctor(` (optionally `a::b::Type::ctor(`) at `start`,
+/// returning `(Type, ctor)`.
+fn parse_ctor_hint(toks: &[crate::lexer::Token], start: usize) -> Option<(String, String)> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = start;
+    loop {
+        if toks.get(j).map(|t| t.kind) != Some(TokKind::Ident) {
+            return None;
+        }
+        segs.push(toks[j].text.clone());
+        j += 1;
+        if toks.get(j).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            j += 2;
+            continue;
+        }
+        break;
+    }
+    if segs.len() < 2 || !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let ctor = segs.pop()?;
+    let ty = segs.pop()?;
+    Some((ty, ctor))
+}
+
+/// Parses the receiver chain of the call whose name sits at `name_idx`.
+/// Returns the receiver classification and the token index where the
+/// chain starts (for statement-boundary checks).
+fn parse_receiver(f: &SourceFile, name_idx: usize) -> (Recv, usize) {
+    let toks = &f.tokens;
+    if name_idx == 0 {
+        return (Recv::Bare, name_idx);
+    }
+    // `Type::name(…)` / `Self::name(…)` path calls.
+    if toks[name_idx - 1].is_punct(':') && name_idx >= 2 && toks[name_idx - 2].is_punct(':') {
+        if name_idx >= 3 && toks[name_idx - 3].kind == TokKind::Ident {
+            let ty = toks[name_idx - 3].text.clone();
+            // Walk further `a::b::Type` segments left only to find the
+            // chain start; the type name is the segment next to the call.
+            let mut s = name_idx - 3;
+            while s >= 2
+                && toks[s - 1].is_punct(':')
+                && toks[s - 2].is_punct(':')
+                && s >= 3
+                && toks[s - 3].kind == TokKind::Ident
+            {
+                s -= 3;
+            }
+            return (
+                Recv::Chain(Chain {
+                    base: ChainBase::Path(ty),
+                    segs: Vec::new(),
+                }),
+                s,
+            );
+        }
+        return (Recv::Opaque, name_idx);
+    }
+    if !toks[name_idx - 1].is_punct('.') {
+        return (Recv::Bare, name_idx);
+    }
+    // Walk backward across `.seg` and `.seg(…)` elements.
+    let mut segs: Vec<ChainSeg> = Vec::new();
+    let mut k = name_idx - 2; // token before the `.`
+    loop {
+        let t = &f.tokens[k];
+        if t.is_punct(')') {
+            // `….seg(…).name(` — a method-call segment.
+            let Some(open) = match_bracket_back(toks, k, '(', ')') else {
+                return (Recv::Opaque, name_idx);
+            };
+            if open == 0 || toks[open - 1].kind != TokKind::Ident {
+                return (Recv::Opaque, name_idx); // parenthesized expression
+            }
+            segs.push(ChainSeg::Call(toks[open - 1].text.clone()));
+            if open >= 2 && toks[open - 2].is_punct('.') {
+                if open < 3 {
+                    return (Recv::Opaque, name_idx);
+                }
+                k = open - 3; // continue left of the `.`
+                continue;
+            }
+            // The chain starts at this call: a bare or path call base.
+            let name = &toks[open - 1];
+            segs.pop();
+            let seg_name = name.text.clone();
+            if open >= 3 && toks[open - 2].is_punct(':') && toks[open - 3].is_punct(':') {
+                // `Type::ctor(…).name(…)`
+                if open >= 4 && toks[open - 4].kind == TokKind::Ident {
+                    let ty = toks[open - 4].text.clone();
+                    let mut chain_segs = vec![ChainSeg::Call(seg_name)];
+                    chain_segs.extend(segs.into_iter().rev());
+                    return (
+                        Recv::Chain(Chain {
+                            base: ChainBase::Path(ty),
+                            segs: chain_segs,
+                        }),
+                        open - 4,
+                    );
+                }
+                return (Recv::Opaque, name_idx);
+            }
+            return (Recv::Opaque, name_idx); // bare-call base: f().m() — skip
+        }
+        if t.kind == TokKind::Ident {
+            if k > 0 && toks[k - 1].is_punct('.') {
+                // A field (or `self`) segment with more chain to the left.
+                if k >= 2 {
+                    segs.push(ChainSeg::Field(t.text.clone()));
+                    k -= 2;
+                    continue;
+                }
+                return (Recv::Opaque, name_idx);
+            }
+            // Chain start.
+            segs.reverse();
+            let base = if t.text == "self" {
+                ChainBase::SelfKw
+            } else {
+                ChainBase::Local(t.text.clone())
+            };
+            return (Recv::Chain(Chain { base, segs }), k);
+        }
+        return (Recv::Opaque, name_idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn facts(src: &str) -> (SourceFile, BodyFacts) {
+        let f = SourceFile::new("crates/x/src/lib.rs".into(), src);
+        let body = f.fns[0].body;
+        let facts = body_facts(&f, body);
+        (f, facts)
+    }
+
+    #[test]
+    fn chains_are_parsed() {
+        let (f, facts) = facts(
+            "fn a(&self) { self.ftl.rebuild(); self.flash().read(p); t.map(l, x); \
+             MappingTable::with_capacity(4); }",
+        );
+        let by_name = |n: &str| facts.calls.iter().find(|c| c.name(&f) == n).unwrap();
+        assert_eq!(
+            by_name("rebuild").recv,
+            Recv::Chain(Chain {
+                base: ChainBase::SelfKw,
+                segs: vec![ChainSeg::Field("ftl".into())],
+            })
+        );
+        assert_eq!(
+            by_name("read").recv,
+            Recv::Chain(Chain {
+                base: ChainBase::SelfKw,
+                segs: vec![ChainSeg::Call("flash".into())],
+            })
+        );
+        assert_eq!(
+            by_name("map").recv,
+            Recv::Chain(Chain {
+                base: ChainBase::Local("t".into()),
+                segs: vec![],
+            })
+        );
+        assert_eq!(
+            by_name("with_capacity").recv,
+            Recv::Chain(Chain {
+                base: ChainBase::Path("MappingTable".into()),
+                segs: vec![],
+            })
+        );
+    }
+
+    #[test]
+    fn let_hints_and_discards() {
+        let (f, facts) = facts(
+            "fn a() { let mut t = MappingTable::with_capacity(8); let x: Ftl = make(); \
+             let _ = t.map(1, 2); let y = t.lookup(k); }",
+        );
+        assert_eq!(
+            facts.local_ctors.get("t"),
+            Some(&("MappingTable".into(), "with_capacity".into()))
+        );
+        assert_eq!(facts.local_types.get("x"), Some(&"Ftl".into()));
+        assert_eq!(facts.discards.len(), 1);
+        let d = &facts.discards[0];
+        // The discarded expression covers the `t.map(1, 2)` call.
+        let map_call = facts.calls.iter().find(|c| c.name(&f) == "map").unwrap();
+        assert!(d.expr.0 <= map_call.name_idx && map_call.name_idx < d.expr.1);
+        assert!(facts.calls.iter().any(|c| c.name(&f) == "lookup"));
+    }
+
+    #[test]
+    fn opaque_receivers_stay_opaque() {
+        let (f, facts) = facts("fn a() { (x + y).norm(); arr[0].go(); }");
+        for c in &facts.calls {
+            if c.name(&f) == "norm" || c.name(&f) == "go" {
+                assert_eq!(c.recv, Recv::Opaque, "{}", c.name(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let (f, facts) = facts("fn a() { vec![1]; println!(\"x\"); real(); }");
+        assert_eq!(facts.calls.len(), 1);
+        assert_eq!(facts.calls[0].name(&f), "real");
+    }
+}

@@ -1,0 +1,393 @@
+//! Workspace-wide symbol table and lexical call graph.
+//!
+//! [`Workspace`] indexes every function and method definition across all
+//! crates (by bare name, by `(impl type, name)`, and per crate), plus
+//! every struct's field types, and resolves the call sites extracted by
+//! [`crate::dataflow`] to definitions. Resolution is typed where the
+//! receiver chain allows it — `self.ftl.flash_mut().power_on()` folds
+//! `Ssd → Ftl → FlashArray` through field and return types, crossing
+//! crate boundaries — and falls back to conservative unique-name lookup
+//! (first within the caller's crate, then workspace-wide) exactly like
+//! the v1 analyzer, so typed resolution only ever *adds* edges.
+//!
+//! Ambiguity never guesses: two methods with the same `(type, name)`
+//! key, or two same-named structs disagreeing on a field's type, resolve
+//! to nothing. The panic-free cone stays sound because every unresolved
+//! call is also a call the rules treat as out of scope *by choice*, with
+//! the whole-file scopes covering the rest.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::dataflow::{body_facts, BodyFacts, CallSite, Chain, ChainBase, ChainSeg, Recv};
+use crate::scan::{FnSpan, SourceFile};
+
+/// Identifies one function: `(file index, fn index within the file)`.
+pub type FnId = (usize, usize);
+
+/// One function reached by [`Workspace::reachable`].
+#[derive(Debug, Clone)]
+pub struct Reached {
+    /// The reached function.
+    pub id: FnId,
+    /// Name of the entry function whose cone contains it.
+    pub entry: String,
+    /// Immediate caller on the BFS path (`None` for entries themselves).
+    pub pred: Option<FnId>,
+}
+
+/// The workspace symbol table and per-function dataflow facts.
+pub struct Workspace<'a> {
+    /// The scanned files, in the order the indexes refer to them.
+    pub files: &'a [SourceFile],
+    /// Per-file, per-fn dataflow facts (parallel to `files[fi].fns`).
+    facts: Vec<Vec<BodyFacts>>,
+    /// Non-test definitions by bare name, workspace-wide.
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// Non-test definitions by `(crate, name)`.
+    by_crate: BTreeMap<(String, String), Vec<FnId>>,
+    /// Non-test methods/associated fns by `(impl type, name)`.
+    methods: BTreeMap<(String, String), Vec<FnId>>,
+    /// Struct field types by `(struct, field)`; `None` when two structs
+    /// with the same name disagree.
+    fields: BTreeMap<(String, String), Option<String>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Indexes the scanned files.
+    pub fn build(files: &'a [SourceFile]) -> Workspace<'a> {
+        let mut ws = Workspace {
+            files,
+            facts: Vec::with_capacity(files.len()),
+            by_name: BTreeMap::new(),
+            by_crate: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            fields: BTreeMap::new(),
+        };
+        for (fi, f) in files.iter().enumerate() {
+            let mut per_fn = Vec::with_capacity(f.fns.len());
+            for (si, span) in f.fns.iter().enumerate() {
+                per_fn.push(body_facts(f, span.body));
+                if f.in_test(span.decl_tok) {
+                    continue;
+                }
+                let id = (fi, si);
+                ws.by_name.entry(span.name.clone()).or_default().push(id);
+                ws.by_crate
+                    .entry((f.crate_name.clone(), span.name.clone()))
+                    .or_default()
+                    .push(id);
+                if let Some(ty) = &span.impl_type {
+                    ws.methods
+                        .entry((ty.clone(), span.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+            ws.facts.push(per_fn);
+            for s in &f.structs {
+                for (field, ty) in &s.fields {
+                    ws.fields
+                        .entry((s.name.clone(), field.clone()))
+                        .and_modify(|e| {
+                            if e.as_deref() != Some(ty.as_str()) {
+                                *e = None;
+                            }
+                        })
+                        .or_insert_with(|| Some(ty.clone()));
+                }
+            }
+        }
+        ws
+    }
+
+    /// The [`FnSpan`] for `id`.
+    pub fn fn_span(&self, id: FnId) -> &FnSpan {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// The dataflow facts for `id`'s body.
+    pub fn facts(&self, id: FnId) -> &BodyFacts {
+        &self.facts[id.0][id.1]
+    }
+
+    fn unique(ids: Option<&Vec<FnId>>) -> Option<FnId> {
+        match ids {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// The unique method/associated fn `name` on `ty`, if unambiguous.
+    pub fn method(&self, ty: &str, name: &str) -> Option<FnId> {
+        Self::unique(self.methods.get(&(ty.to_string(), name.to_string())))
+    }
+
+    /// The declared type of `field` on struct `ty`, if unambiguous.
+    pub fn field_type(&self, ty: &str, field: &str) -> Option<&str> {
+        self.fields
+            .get(&(ty.to_string(), field.to_string()))
+            .and_then(|t| t.as_deref())
+    }
+
+    /// All non-test definitions named `name`, workspace-wide.
+    pub fn defs_named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// v1-compatible fallback: the unique definition of `name` in the
+    /// caller's crate. Deliberately *not* workspace-wide for method
+    /// calls — `map.insert(…)` must not resolve to the one `fn insert`
+    /// that happens to exist in some other crate; that false edge would
+    /// both poison the reachability cone and mislabel std return types.
+    fn resolve_by_name(&self, caller: FnId, name: &str) -> Option<FnId> {
+        let crate_name = &self.files[caller.0].crate_name;
+        Self::unique(self.by_crate.get(&(crate_name.clone(), name.to_string())))
+    }
+
+    /// Workspace-wide fallback for *bare* calls only: a call with no
+    /// receiver cannot be a std method, so a workspace-unique free
+    /// function of that name is a safe target (cross-crate helpers
+    /// imported with `use`).
+    fn resolve_bare(&self, caller: FnId, name: &str) -> Option<FnId> {
+        self.resolve_by_name(caller, name).or_else(|| {
+            let frees: Vec<FnId> = self
+                .defs_named(name)
+                .iter()
+                .copied()
+                .filter(|&id| self.fn_span(id).impl_type.is_none())
+                .collect();
+            Self::unique(Some(&frees))
+        })
+    }
+
+    /// The nominal type of local `name` in `caller`: an explicit `let
+    /// x: T` annotation, or the return type of a `let x = Type::ctor(…)`
+    /// constructor.
+    fn local_type(&self, caller: FnId, name: &str) -> Option<String> {
+        let facts = self.facts(caller);
+        if let Some(t) = facts.local_types.get(name) {
+            return Some(t.clone());
+        }
+        let (ty, ctor) = facts.local_ctors.get(name)?;
+        self.fn_span(self.method(ty, ctor)?).ret_type.clone()
+    }
+
+    /// Folds a receiver chain to the type the final method is called on,
+    /// then looks the method up on it.
+    fn resolve_chain(&self, caller: FnId, chain: &Chain, method: &str) -> Option<FnId> {
+        let mut ty: String = match &chain.base {
+            ChainBase::SelfKw => self.fn_span(caller).impl_type.clone()?,
+            ChainBase::Local(n) => self.local_type(caller, n)?,
+            ChainBase::Path(p) if p == "Self" => self.fn_span(caller).impl_type.clone()?,
+            ChainBase::Path(p) => p.clone(),
+        };
+        for seg in &chain.segs {
+            ty = match seg {
+                ChainSeg::Field(field) => self.field_type(&ty, field)?.to_string(),
+                ChainSeg::Call(m) => self.fn_span(self.method(&ty, m)?).ret_type.clone()?,
+            };
+        }
+        self.method(&ty, method)
+    }
+
+    /// Resolves one call site in `caller` to a definition, or `None`
+    /// when the target is ambiguous or outside the workspace.
+    pub fn resolve(&self, caller: FnId, call: &CallSite) -> Option<FnId> {
+        let name = call.name(&self.files[caller.0]);
+        match &call.recv {
+            Recv::Chain(chain) => self
+                .resolve_chain(caller, chain, name)
+                .or_else(|| self.resolve_by_name(caller, name)),
+            Recv::Bare => self.resolve_bare(caller, name),
+            Recv::Opaque => self.resolve_by_name(caller, name),
+        }
+    }
+
+    /// Like [`Workspace::resolve`], but without the unique-name fallback
+    /// for method calls: a `Chain` receiver resolves only through its
+    /// types. Rules that act on the callee's *signature* (A6's
+    /// `Result`-discard check) use this — a name-matched guess about a
+    /// method's return type is worse than no answer.
+    pub fn resolve_strict(&self, caller: FnId, call: &CallSite) -> Option<FnId> {
+        let name = call.name(&self.files[caller.0]);
+        match &call.recv {
+            Recv::Chain(chain) => self.resolve_chain(caller, chain, name),
+            Recv::Bare => self.resolve_bare(caller, name),
+            Recv::Opaque => None,
+        }
+    }
+
+    /// BFS over the call graph from every non-test definition of the
+    /// named entry functions. Returns each reached function once, with
+    /// its entry and BFS predecessor (for path reconstruction).
+    pub fn reachable(&self, entries: &[String]) -> Vec<Reached> {
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        let mut queue: VecDeque<Reached> = VecDeque::new();
+        for entry in entries {
+            for &id in self.defs_named(entry) {
+                if seen.insert(id) {
+                    queue.push_back(Reached {
+                        id,
+                        entry: entry.clone(),
+                        pred: None,
+                    });
+                }
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(node) = queue.pop_front() {
+            for call in &self.facts(node.id).calls {
+                if let Some(callee) = self.resolve(node.id, call) {
+                    if seen.insert(callee) {
+                        queue.push_back(Reached {
+                            id: callee,
+                            entry: node.entry.clone(),
+                            pred: Some(node.id),
+                        });
+                    }
+                }
+            }
+            out.push(node);
+        }
+        out
+    }
+
+    /// Reconstructs the entry → … → `id` call path as function names,
+    /// given the output of [`Workspace::reachable`].
+    pub fn path_to(&self, reached: &[Reached], id: FnId) -> Vec<String> {
+        let by_id: BTreeMap<FnId, &Reached> = reached.iter().map(|r| (r.id, r)).collect();
+        let mut names = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            names.push(self.fn_span(c).name.clone());
+            cur = by_id.get(&c).and_then(|r| r.pred);
+        }
+        names.reverse();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn ws_files() -> Vec<SourceFile> {
+        vec![
+            SourceFile::new(
+                "crates/ssd/src/device.rs".into(),
+                r#"
+pub struct Ssd { ftl: Ftl, cache: ReadCache }
+impl Ssd {
+    pub fn recover_power_loss(&mut self) -> Result<(), SsdError> {
+        self.ftl.flash_mut().power_on();
+        self.ftl.rebuild_after_power_loss()?;
+        Ok(())
+    }
+}
+"#,
+            ),
+            SourceFile::new(
+                "crates/ftl/src/ftl.rs".into(),
+                r#"
+pub struct Ftl { flash: FlashArray }
+impl Ftl {
+    pub fn flash_mut(&mut self) -> &mut FlashArray { &mut self.flash }
+    pub fn rebuild_after_power_loss(&mut self) -> Result<(), RecoveryError> {
+        let stats = self.flash.scan();
+        helper(stats);
+        Ok(())
+    }
+}
+fn helper(stats: u64) {}
+"#,
+            ),
+            SourceFile::new(
+                "crates/flash/src/array.rs".into(),
+                r#"
+pub struct FlashArray { planes: u32 }
+impl FlashArray {
+    pub fn power_on(&mut self) { self.planes = boot_planes(); }
+    pub fn scan(&self) -> u64 { 0 }
+}
+fn boot_planes() -> u32 { 4 }
+"#,
+            ),
+        ]
+    }
+
+    #[test]
+    fn cross_crate_cone_reaches_flash() {
+        let files = ws_files();
+        let ws = Workspace::build(&files);
+        let reached = ws.reachable(&["recover_power_loss".to_string()]);
+        let names: Vec<&str> = reached
+            .iter()
+            .map(|r| ws.fn_span(r.id).name.as_str())
+            .collect();
+        // ssd entry → ftl (field hint) → flash (return-type hint),
+        // three crates in one cone.
+        for expect in [
+            "recover_power_loss",
+            "flash_mut",
+            "rebuild_after_power_loss",
+            "power_on",
+            "scan",
+            "helper",
+            "boot_planes",
+        ] {
+            assert!(names.contains(&expect), "missing {expect} in {names:?}");
+        }
+        // Path reconstruction: power_on is reached through the ssd entry.
+        let power_on = reached
+            .iter()
+            .find(|r| ws.fn_span(r.id).name == "power_on")
+            .unwrap();
+        let path = ws.path_to(&reached, power_on.id);
+        assert_eq!(path.first().map(String::as_str), Some("recover_power_loss"));
+    }
+
+    #[test]
+    fn ambiguous_methods_are_not_resolved() {
+        let files = vec![SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            r#"
+struct A; struct B;
+impl A { fn go(&self) { helper(); } }
+impl B { fn go(&self) {} }
+fn entry(a: A) { a.go(); }
+fn helper() {}
+"#,
+        )];
+        let ws = Workspace::build(&files);
+        // `a.go()` has no type hint for `a` (no let binding), and `go`
+        // is ambiguous by name — nothing past `entry` is reached.
+        let reached = ws.reachable(&["entry".to_string()]);
+        assert_eq!(reached.len(), 1);
+    }
+
+    #[test]
+    fn local_ctor_hints_resolve() {
+        let files = vec![SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            r#"
+pub struct Table { n: u64 }
+impl Table {
+    pub fn with_capacity(n: u64) -> Table { Table { n } }
+    pub fn map_one(&mut self) { reached(); }
+}
+fn entry() { let mut t = Table::with_capacity(8); t.map_one(); }
+fn reached() {}
+"#,
+        )];
+        let ws = Workspace::build(&files);
+        let reached = ws.reachable(&["entry".to_string()]);
+        let names: Vec<&str> = reached
+            .iter()
+            .map(|r| ws.fn_span(r.id).name.as_str())
+            .collect();
+        assert!(names.contains(&"with_capacity"));
+        assert!(names.contains(&"map_one"));
+        assert!(names.contains(&"reached"));
+    }
+}

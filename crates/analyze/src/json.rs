@@ -1,0 +1,183 @@
+//! Machine-readable report output (`--format json`).
+//!
+//! The repository is offline-only and the analyzer is zero-dependency,
+//! so the JSON is hand-rolled: a fixed schema, string escaping per RFC
+//! 8259, nothing dynamic. `scripts/verify.sh` consumes this output as
+//! its gating signal, so the schema is part of the CI contract:
+//!
+//! ```json
+//! {
+//!   "ok": true,
+//!   "files_scanned": 57,
+//!   "findings": [ {"rule": "A1", "file": "…", "line": 1, "col": 2,
+//!                  "message": "…", "help": "…", "snippet": "…"} ],
+//!   "stale_allows": [ {"rule": "A4", "file": "…", "snippet": "…",
+//!                      "reason": "…", "snippet_mismatch": false} ],
+//!   "rule_timings_us": [ {"rule": "graph", "us": 1234} ]
+//! }
+//! ```
+
+use crate::Report;
+
+/// Renders a [`Report`] as a JSON object (no trailing newline).
+pub fn render(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"ok\": {},\n", report.is_clean()));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+
+    out.push_str("  \"findings\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        push_field(&mut out, "rule", d.rule, false);
+        push_field(&mut out, "file", &d.file, false);
+        out.push_str(&format!("\"line\": {}, \"col\": {}, ", d.line, d.col));
+        push_field(&mut out, "message", &d.message, false);
+        push_field(&mut out, "help", &d.help, false);
+        push_field(&mut out, "snippet", d.snippet.trim(), true);
+        out.push('}');
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"stale_allows\": [");
+    for (i, s) in report.unused_allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        push_field(&mut out, "rule", &s.entry.rule, false);
+        push_field(&mut out, "file", &s.entry.file, false);
+        push_field(&mut out, "snippet", &s.entry.snippet, false);
+        push_field(&mut out, "reason", &s.entry.reason, false);
+        out.push_str(&format!("\"snippet_mismatch\": {}", s.snippet_mismatch));
+        out.push('}');
+    }
+    if !report.unused_allows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"rule_timings_us\": [");
+    for (i, t) in report.timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"us\": {}}}",
+            quote(t.rule),
+            t.micros
+        ));
+    }
+    if !report.timings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+fn push_field(out: &mut String, key: &str, value: &str, last: bool) {
+    out.push_str(&format!("{}: {}", quote(key), quote(value)));
+    if !last {
+        out.push_str(", ");
+    }
+}
+
+/// Quotes and escapes one JSON string.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllowEntry;
+    use crate::diag::Diagnostic;
+    use crate::rules::RuleTiming;
+    use crate::StaleAllow;
+
+    #[test]
+    fn renders_escaped_and_well_formed() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "A1",
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                col: 7,
+                message: "`.unwrap()` in \"recovery\"".into(),
+                help: "propagate".into(),
+                snippet: "x.unwrap()\t// tab".into(),
+            }],
+            files_scanned: 2,
+            unused_allows: vec![StaleAllow {
+                entry: AllowEntry {
+                    rule: "A4".into(),
+                    file: "b.rs".into(),
+                    snippet: "y as u32".into(),
+                    line: None,
+                    reason: "bounded".into(),
+                },
+                snippet_mismatch: true,
+            }],
+            timings: vec![RuleTiming {
+                rule: "A1",
+                micros: 42,
+            }],
+        };
+        let s = render(&report);
+        assert!(s.contains("\"ok\": false"));
+        assert!(s.contains("\\\"recovery\\\""));
+        assert!(s.contains("\\t// tab"));
+        assert!(s.contains("\"snippet_mismatch\": true"));
+        assert!(s.contains("{\"rule\": \"A1\", \"us\": 42}"));
+        // Balanced braces/brackets (cheap well-formedness proxy that
+        // ignores the escaped quotes inside strings).
+        let unescaped: String = s.replace("\\\"", "");
+        let mut in_str = false;
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        for c in unescaped.chars() {
+            match c {
+                '"' => in_str = !in_str,
+                '{' if !in_str => braces += 1,
+                '}' if !in_str => braces -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn empty_report_is_ok() {
+        let report = Report {
+            diagnostics: vec![],
+            files_scanned: 0,
+            unused_allows: vec![],
+            timings: vec![],
+        };
+        let s = render(&report);
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"findings\": []"));
+    }
+}

@@ -186,6 +186,32 @@ impl Lexer {
                 hashes += 1;
                 self.bump();
             }
+            // `r#ident` is a raw *identifier*, not a raw string: exactly
+            // one hash followed by an identifier start. Mislexing it as a
+            // string would swallow source until the next stray `"#` and
+            // desynchronize every later token position.
+            if self.peek(0) != Some('"') {
+                if hashes == 1 && self.peek(0).is_some_and(|c| c.is_alphabetic() || c == '_') {
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, text, line, col);
+                } else {
+                    // Not a raw string or raw identifier (`r#1`, stray
+                    // hashes): emit what was consumed as punctuation so
+                    // positions stay in sync.
+                    for _ in 0..hashes {
+                        self.push(TokKind::Punct, "#".to_string(), line, col);
+                    }
+                }
+                return;
+            }
             self.bump(); // opening quote
             let mut text = String::new();
             'outer: while let Some(c) = self.bump() {
@@ -356,6 +382,59 @@ mod tests {
         let toks = lex("a\n  b");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_swallow_source() {
+        // `r#match` is a raw identifier; before the fix it opened a raw
+        // string that consumed the rest of the file, so the `.unwrap()`
+        // after it vanished from the token stream.
+        let toks = lex("let r#match = 1;\nx.unwrap();");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "match"));
+        let unwrap = toks
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .expect("unwrap survives the raw identifier");
+        assert_eq!((unwrap.line, unwrap.col), (2, 3));
+    }
+
+    #[test]
+    fn raw_string_fences_keep_positions_in_sync() {
+        // Multi-hash fences with embedded `"#` near-terminators: the
+        // token *after* the string must land on the right line/column.
+        let src = "let s = r##\"a \"# b\n\"# c\"##;\nafter";
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string token");
+        assert_eq!(s.text, "a \"# b\n\"# c");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!((after.line, after.col), (3, 1));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_positions_in_sync() {
+        let src = "/* outer /* inner\n/* deeper */ still\n*/ tail */ after";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 1, "everything but `after` is comment");
+        assert_eq!(
+            (toks[0].text.as_str(), toks[0].line, toks[0].col),
+            ("after", 3, 12)
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_prefixed_raw_strings_lex() {
+        let toks = lex(r###"let a = b"bytes"; let b = br#"raw "quote""#;"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "raw \"quote\""]);
     }
 
     #[test]

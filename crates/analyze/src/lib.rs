@@ -1,32 +1,42 @@
 //! `checkin-analyze` — workspace-wide static invariant checker.
 //!
 //! The simulator's correctness claims (recoverability after power loss,
-//! bit-for-bit deterministic replay, phase-attributed flash accounting)
-//! rest on invariants the type system cannot express. This crate checks
-//! them offline, with zero dependencies, over the raw source of every
-//! crate in the workspace:
+//! bit-for-bit deterministic replay, phase-attributed flash accounting,
+//! a conserved integrity ledger) rest on invariants the type system
+//! cannot express. This crate checks them offline, with zero
+//! dependencies, over the raw source of every crate in the workspace:
 //!
 //! * **A1-no-panic-in-recovery** — recovery paths must propagate typed
-//!   errors, never panic ([`rules::a1`]);
+//!   errors, never panic; reachability is cross-crate over the
+//!   workspace call graph ([`rules::a1`], [`graph`]);
 //! * **A2-deterministic-sim** — no wall clock, ambient randomness, or
 //!   hash-ordered containers in result-affecting crates ([`rules::a2`]);
 //! * **A3-phase-tagged-counters** — flash op counters carry an `OpPhase`
 //!   tag at the increment site ([`rules::a3`]);
 //! * **A4-lpn-arithmetic** — no bare truncating casts on address
 //!   arithmetic ([`rules::a4`]);
-//! * **A5-lock-order** — locks acquired in the declared global order
-//!   ([`rules::a5`]).
+//! * **A5-lock-order** — locks acquired in the declared order
+//!   ([`rules::a5`]);
+//! * **A6-no-discarded-Result** — recovery scopes never drop a
+//!   `Result` ([`rules::a6`], [`dataflow`]);
+//! * **A7-counter-conservation** — declared counter families stay
+//!   balanced at every bump site ([`rules::a7`]);
+//! * **A8-concurrency-readiness** — fleet-bound crates stay
+//!   `Send`-clean and lock order holds across call edges ([`rules::a8`]).
 //!
 //! Scopes and documented exceptions live in `analyze.toml` at the
 //! workspace root ([`config`]). The checker is a gating tier in
-//! `scripts/verify.sh`; run it directly with
+//! `scripts/verify.sh` (via `--format json`); run it directly with
 //! `cargo run -p checkin-analyze`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod diag;
+pub mod graph;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
@@ -35,7 +45,19 @@ use std::path::Path;
 
 use config::{AllowEntry, AnalyzeConfig};
 use diag::Diagnostic;
+use rules::RuleTiming;
 use scan::SourceFile;
+
+/// An allowlist entry that suppressed nothing, and why that is.
+#[derive(Debug, Clone)]
+pub struct StaleAllow {
+    /// The entry itself.
+    pub entry: AllowEntry,
+    /// `true` when a finding of the same rule existed in the same file
+    /// but its source line no longer contains the entry's snippet — the
+    /// flagged code changed under the entry.
+    pub snippet_mismatch: bool,
+}
 
 /// Result of one analysis run.
 #[derive(Debug)]
@@ -44,24 +66,41 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files scanned.
     pub files_scanned: usize,
-    /// Allowlist entries that matched no finding (likely stale).
-    pub unused_allows: Vec<AllowEntry>,
+    /// Allowlist entries that matched no finding (stale).
+    pub unused_allows: Vec<StaleAllow>,
+    /// Per-rule wall-clock timings.
+    pub timings: Vec<RuleTiming>,
+}
+
+impl Report {
+    /// True when the run gates green: no findings, no stale allows.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.unused_allows.is_empty()
+    }
 }
 
 /// Analyzes already-scanned sources under a config. This is the pure
 /// core: `analyze_workspace` wraps it with filesystem discovery, and
 /// tests feed it fixture sources directly.
 pub fn analyze_sources(files: &[SourceFile], cfg: &AnalyzeConfig) -> Report {
-    let mut raw = rules::run_all(files, cfg);
+    let (mut raw, timings) = rules::run_all(files, cfg);
     raw.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     raw.dedup();
 
+    // An allow matches on rule + file + snippet-substring of the flagged
+    // line. The `line` field is a reader hint only: unrelated edits that
+    // shift line numbers must not stale an entry or un-suppress a
+    // finding.
+    let rule_file_pairs: Vec<(String, String)> = raw
+        .iter()
+        .map(|d| (d.rule.to_string(), d.file.clone()))
+        .collect();
     let mut used = vec![false; cfg.allows.len()];
     let diagnostics: Vec<Diagnostic> = raw
         .into_iter()
         .filter(|d| {
             let hit = cfg.allows.iter().position(|a| {
-                a.rule == d.rule && a.file == d.file && a.line.is_none_or(|l| l == d.line)
+                a.rule == d.rule && a.file == d.file && d.snippet.contains(&a.snippet)
             });
             match hit {
                 Some(i) => {
@@ -77,13 +116,19 @@ pub fn analyze_sources(files: &[SourceFile], cfg: &AnalyzeConfig) -> Report {
         .iter()
         .zip(&used)
         .filter(|(_, u)| !**u)
-        .map(|(a, _)| a.clone())
+        .map(|(a, _)| StaleAllow {
+            entry: a.clone(),
+            snippet_mismatch: rule_file_pairs
+                .iter()
+                .any(|(r, f)| *r == a.rule && *f == a.file),
+        })
         .collect();
 
     Report {
         diagnostics,
         files_scanned: files.len(),
         unused_allows,
+        timings,
     }
 }
 

@@ -8,21 +8,25 @@
 //! bounds-checked indexing — in two scopes:
 //!
 //! 1. every non-test token of the files listed in `[a1] files`, and
-//! 2. every function lexically reachable (same-crate) from the entry
-//!    points listed in `[a1] entry_functions`.
+//! 2. every function reachable over the workspace call graph
+//!    ([`crate::graph`]) from the entry points in `[a1] entry_functions`
+//!    — *across crates*: the cone from `recover_power_loss` follows
+//!    `self.ftl` into the FTL and `flash_mut()`'s return type into the
+//!    flash array.
 //!
-//! Reachability is resolved conservatively: a call `foo(...)` is
-//! followed only when exactly one non-test `fn foo` exists in the crate.
-//! Ambiguous names (`new`, `get`, ...) are skipped rather than guessed —
-//! the direct file scope plus typed error signatures cover the rest.
+//! Call edges are resolved by receiver-type hints where possible and by
+//! conservative unique-name lookup otherwise; ambiguous names (`new`,
+//! `get`, ...) are skipped rather than guessed — the direct file scope
+//! plus typed error signatures cover the rest.
 //!
 //! `debug_assert!` is deliberately permitted: it documents invariants,
 //! costs nothing in release builds, and cannot panic in production.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
 use crate::config::AnalyzeConfig;
 use crate::diag::Diagnostic;
+use crate::graph::{FnId, Reached, Workspace};
 use crate::lexer::TokKind;
 use crate::rules::at;
 use crate::scan::SourceFile;
@@ -37,86 +41,108 @@ const PANIC_MACROS: &[&str] = &[
     "assert_ne",
 ];
 
-/// Runs A1 over the workspace.
-pub fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+/// The code A1 governs: whole files plus the reachable cone. A6 borrows
+/// the same scope — a `Result` dropped on a recovery path is corruption
+/// undetected, so the two rules must agree on what "recovery code" is.
+pub(crate) struct A1Scope {
+    /// File indices whose every non-test token is in scope.
+    pub whole_files: BTreeSet<usize>,
+    /// Functions reached from the entry points (includes functions in
+    /// `whole_files`; callers dedup as needed).
+    pub reached: Vec<Reached>,
+}
 
-    // Scope 1: whole files.
-    let mut whole: BTreeSet<usize> = BTreeSet::new();
-    for (fi, f) in files.iter().enumerate() {
-        if cfg.a1_files.iter().any(|p| p == &f.rel) {
-            whole.insert(fi);
-            if !f.tokens.is_empty() {
-                check_range(
-                    f,
-                    0,
-                    f.tokens.len() - 1,
-                    "in recovery-critical file",
-                    &mut out,
-                );
+/// Computes the A1 scope from the config.
+pub(crate) fn scope(ws: &Workspace<'_>, cfg: &AnalyzeConfig) -> A1Scope {
+    let whole_files = ws
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| cfg.a1_files.iter().any(|p| p == &f.rel))
+        .map(|(fi, _)| fi)
+        .collect();
+    let reached = ws.reachable(&cfg.a1_entry_functions);
+    A1Scope {
+        whole_files,
+        reached,
+    }
+}
+
+/// Every distinct non-test function in the A1 scope, with a context
+/// string describing why it is in scope.
+pub(crate) fn scope_fns(ws: &Workspace<'_>, sc: &A1Scope) -> Vec<(FnId, String)> {
+    let mut seen: BTreeSet<FnId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &fi in &sc.whole_files {
+        let f = &ws.files[fi];
+        for (si, span) in f.fns.iter().enumerate() {
+            if !f.in_test(span.decl_tok) && seen.insert((fi, si)) {
+                out.push(((fi, si), "in recovery-critical file".to_string()));
             }
         }
     }
-
-    // Scope 2: functions reachable from the entry points, same crate.
-    for (fi, fn_idx, via) in reachable_fns(files, cfg) {
-        if whole.contains(&fi) {
-            continue; // already checked wholesale
+    for r in &sc.reached {
+        if seen.insert(r.id) {
+            let name = &ws.fn_span(r.id).name;
+            out.push((
+                r.id,
+                format!("in `{name}` (recovery-reachable via `{}`)", r.entry),
+            ));
         }
-        let f = &files[fi];
-        let span = &f.fns[fn_idx];
-        let ctx = format!("in `{}` (recovery-reachable via `{via}`)", span.name);
+    }
+    out
+}
+
+/// Runs A1 over the workspace.
+pub fn run(ws: &Workspace<'_>, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let sc = scope(ws, cfg);
+
+    // Scope 1: whole files (covers tokens outside any fn body too).
+    for &fi in &sc.whole_files {
+        let f = &ws.files[fi];
+        if !f.tokens.is_empty() {
+            check_range(
+                f,
+                0,
+                f.tokens.len() - 1,
+                "in recovery-critical file",
+                &mut out,
+            );
+        }
+    }
+
+    // Scope 2: the reachable cone, minus files already checked whole.
+    for r in &sc.reached {
+        let (fi, _) = r.id;
+        if sc.whole_files.contains(&fi) {
+            continue;
+        }
+        let f = &ws.files[fi];
+        let span = ws.fn_span(r.id);
+        let ctx = format!("in `{}` (recovery-reachable via `{}`)", span.name, r.entry);
         check_range(f, span.body.0, span.body.1, &ctx, &mut out);
     }
     out
 }
 
-/// BFS over the lexical call graph from the configured entry functions.
-/// Returns `(file_idx, fn_idx, entry_name)` for every reached function.
-fn reachable_fns(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<(usize, usize, String)> {
-    /// `fn name -> (file_idx, fn_idx)` definition sites within one crate.
-    type FnIndex<'a> = BTreeMap<&'a str, Vec<(usize, usize)>>;
-    // crate -> fn name -> sites (only non-test definitions).
-    let mut index: BTreeMap<&str, FnIndex> = BTreeMap::new();
-    for (fi, f) in files.iter().enumerate() {
-        for (si, span) in f.fns.iter().enumerate() {
-            if f.in_test(span.decl_tok) {
-                continue;
-            }
-            index
-                .entry(f.crate_name.as_str())
-                .or_default()
-                .entry(span.name.as_str())
-                .or_default()
-                .push((fi, si));
-        }
-    }
-
-    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
-    let mut queue: VecDeque<(usize, usize, String)> = VecDeque::new();
+/// Token ranges that are `debug_assert!`-family arguments: evaluated in
+/// debug builds only, so indexing/unwrapping inside them is not a
+/// release panic path (matching the rule's `debug_assert!` carve-out).
+fn debug_only_ranges(f: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &f.tokens;
     let mut out = Vec::new();
-    for entry in &cfg.a1_entry_functions {
-        for per_crate in index.values() {
-            for &(fi, si) in per_crate.get(entry.as_str()).into_iter().flatten() {
-                if seen.insert((fi, si)) {
-                    queue.push_back((fi, si, entry.clone()));
-                }
-            }
-        }
-    }
-    while let Some((fi, si, via)) = queue.pop_front() {
-        out.push((fi, si, via.clone()));
-        let f = &files[fi];
-        let span = &f.fns[si];
-        let Some(per_crate) = index.get(f.crate_name.as_str()) else {
-            continue;
-        };
-        for callee in f.calls_in(span.body.0, span.body.1) {
-            // Follow only unambiguous names: exactly one definition.
-            if let Some(sites) = per_crate.get(callee.as_str()) {
-                if sites.len() == 1 && seen.insert(sites[0]) {
-                    queue.push_back((sites[0].0, sites[0].1, via.clone()));
-                }
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && matches!(
+                toks[i].text.as_str(),
+                "debug_assert" | "debug_assert_eq" | "debug_assert_ne"
+            )
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(close) = crate::scan::match_bracket(toks, i + 2, '(', ')') {
+                out.push((i + 2, close));
             }
         }
     }
@@ -126,8 +152,12 @@ fn reachable_fns(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<(usize, usize
 /// Scans tokens `[start, end]` of `f` for panic paths, skipping test code.
 fn check_range(f: &SourceFile, start: usize, end: usize, ctx: &str, out: &mut Vec<Diagnostic>) {
     let toks = &f.tokens;
+    let debug_only = debug_only_ranges(f);
     for i in start..=end.min(toks.len() - 1) {
         if f.in_test(i) {
+            continue;
+        }
+        if debug_only.iter().any(|&(s, e)| i >= s && i <= e) {
             continue;
         }
         // `.unwrap(` / `.expect(`
@@ -158,10 +188,39 @@ fn check_range(f: &SourceFile, start: usize, end: usize, ctx: &str, out: &mut Ve
                 "return an error with context; `debug_assert!` is allowed for debug-only invariants",
             ));
         }
-        // indexing: `expr[` where expr ends in an identifier, `]`, or `)`
+        // indexing: `expr[` where expr ends in an identifier, `]`, or `)`.
+        // A keyword before `[` starts a slice pattern (`let [a, b] = …`)
+        // or an array literal (`&mut []`), not an index expression.
         if toks[i].is_punct('[') && i > start {
             let prev = &toks[i - 1];
-            if prev.kind == TokKind::Ident || prev.is_punct(']') || prev.is_punct(')') {
+            let prev_is_keyword = prev.kind == TokKind::Ident
+                && matches!(
+                    prev.text.as_str(),
+                    "let"
+                        | "mut"
+                        | "ref"
+                        | "return"
+                        | "break"
+                        | "continue"
+                        | "in"
+                        | "else"
+                        | "match"
+                        | "move"
+                        | "as"
+                        | "if"
+                        | "while"
+                        | "loop"
+                        | "for"
+                        | "where"
+                        | "dyn"
+                        | "impl"
+                        | "box"
+                        | "yield"
+                );
+            if (prev.kind == TokKind::Ident && !prev_is_keyword)
+                || prev.is_punct(']')
+                || prev.is_punct(')')
+            {
                 out.push(at(
                     "A1",
                     f,

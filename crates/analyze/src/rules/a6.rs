@@ -1,0 +1,140 @@
+//! A6-no-discarded-Result.
+//!
+//! Inside recovery code (the A1 scope: `[a1] files` plus the cross-crate
+//! cone from `[a1] entry_functions`), a dropped `Result` is corruption
+//! detection thrown away — the scrub that noticed a bad checksum, the
+//! remap that failed to persist. Three shapes are banned:
+//!
+//! * `let _ = fallible();` where the resolved callee returns `Result`
+//!   (discarding a non-`Result` like `MappingTable::map`'s `Unlink` is
+//!   fine — the symbol table supplies the return type);
+//! * bare `….ok();` as a statement — converting to `Option` and then
+//!   dropping it silences the error without observing it (chained
+//!   `.ok().map(…)` consumes the value and is allowed);
+//! * a statement-level call whose resolved callee returns `Result`,
+//!   with the value neither bound, propagated (`?`), nor returned.
+//!
+//! Calls that do not resolve to a workspace definition are skipped: the
+//! rule only fires when the return type is *known* to be `Result`, so it
+//! cannot false-positive on std or trait-object calls.
+
+use std::collections::BTreeSet;
+
+use crate::config::AnalyzeConfig;
+use crate::dataflow::CallSite;
+use crate::diag::Diagnostic;
+use crate::graph::{FnId, Workspace};
+use crate::rules::{a1, at};
+
+/// Runs A6 over the workspace.
+pub fn run(ws: &Workspace<'_>, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let sc = a1::scope(ws, cfg);
+    let mut out = Vec::new();
+    let mut seen_sites: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (id, ctx) in a1::scope_fns(ws, &sc) {
+        check_fn(ws, id, &ctx, &mut seen_sites, &mut out);
+    }
+    out
+}
+
+fn check_fn(
+    ws: &Workspace<'_>,
+    id: FnId,
+    ctx: &str,
+    seen: &mut BTreeSet<(usize, usize)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let f = &ws.files[id.0];
+    let facts = ws.facts(id);
+
+    // `let _ = …;` — flag when the top-level expression is a call whose
+    // resolved callee returns `Result`.
+    for d in &facts.discards {
+        if f.in_test(d.let_tok) {
+            continue;
+        }
+        let Some(call) = facts
+            .calls
+            .iter()
+            .find(|c| c.name_idx >= d.expr.0 && c.args_close + 1 == d.expr.1)
+        else {
+            continue;
+        };
+        if returns_result(ws, id, call) && seen.insert((id.0, call.name_idx)) {
+            out.push(at(
+                "A6",
+                f,
+                call.name_idx,
+                format!(
+                    "`let _ =` discards the `Result` from `{}` {ctx}",
+                    call.name(f)
+                ),
+                "handle the error or propagate it with `?`; a dropped `Result` on a recovery \
+                 path is corruption undetected",
+            ));
+        }
+    }
+
+    for call in &facts.calls {
+        if f.in_test(call.name_idx) {
+            continue;
+        }
+        let statement_level = is_statement_level(f, call);
+        // Bare `….ok();` as a statement.
+        if call.name(f) == "ok"
+            && statement_level
+            && f.tokens
+                .get(call.args_close + 1)
+                .is_some_and(|t| t.is_punct(';'))
+            && seen.insert((id.0, call.name_idx))
+        {
+            out.push(at(
+                "A6",
+                f,
+                call.name_idx,
+                format!("bare `.ok();` drops the error {ctx}"),
+                "remove the `.ok()` and handle the `Result`, or consume the `Option` it returns",
+            ));
+            continue;
+        }
+        // Statement-level fallible call whose value is never consumed.
+        if statement_level
+            && f.tokens
+                .get(call.args_close + 1)
+                .is_some_and(|t| t.is_punct(';'))
+            && returns_result(ws, id, call)
+            && seen.insert((id.0, call.name_idx))
+        {
+            out.push(at(
+                "A6",
+                f,
+                call.name_idx,
+                format!(
+                    "`Result` returned by `{}` is not consumed {ctx}",
+                    call.name(f)
+                ),
+                "bind, match, or propagate the value with `?`; recovery errors must reach a \
+                 typed error path",
+            ));
+        }
+    }
+}
+
+/// True when the strictly-resolved callee's declared return type is
+/// `Result`. Strict resolution only: guessing a std method's return
+/// type from an unrelated same-name definition would make `map.insert`
+/// look fallible.
+fn returns_result(ws: &Workspace<'_>, caller: FnId, call: &CallSite) -> bool {
+    ws.resolve_strict(caller, call)
+        .is_some_and(|callee| ws.fn_span(callee).returns_result())
+}
+
+/// True when the call's receiver chain starts right after a statement
+/// boundary (`;`, `{`, or `}`), i.e. the expression's value goes nowhere.
+fn is_statement_level(f: &crate::scan::SourceFile, call: &CallSite) -> bool {
+    if call.chain_start == 0 {
+        return false;
+    }
+    let prev = &f.tokens[call.chain_start - 1];
+    prev.is_punct(';') || prev.is_punct('{') || prev.is_punct('}')
+}

@@ -1,0 +1,132 @@
+//! A7-counter-conservation.
+//!
+//! PR 7's integrity ledger promises `detected == quarantined +
+//! corrected` — every corrupt unit the FTL notices is either walled off
+//! or healed, never silently dropped from the books. The invariant is
+//! only as strong as its bump sites: one new code path that increments
+//! `detected` without its counterpart breaks the ledger forever after.
+//!
+//! Counter families are declared in `analyze.toml` as
+//! `"lhs = rhs1 + rhs2"` equations. Within every non-test function of
+//! the scoped crates, conservation is checked *per function*: if any
+//! member of a family is bumped, its counterpart side must be bumped in
+//! the same function (the lhs requires at least one rhs, and any rhs
+//! requires the lhs). Branchy code like `match … { A => quarantined,
+//! B => corrected }` after a single `detected` bump satisfies this —
+//! the rule is presence-based, not count-based, exactly because the rhs
+//! members partition the lhs.
+//!
+//! Two bump shapes are recognized:
+//!
+//! * dotted members (`ftl.integrity_detected`) match string-keyed
+//!   counter calls: `incr("ftl.integrity_detected")` / `add("…", n)`;
+//! * bare members (`detected`) match compound assignment on an
+//!   identifier: `detected += …` (including field forms like
+//!   `report.detected += 1`).
+
+use crate::config::{AnalyzeConfig, CounterFamily};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::at;
+use crate::scan::SourceFile;
+
+/// Runs A7 over the workspace.
+pub fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.a7_crates.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        for span in &f.fns {
+            if f.in_test(span.decl_tok) {
+                continue;
+            }
+            for family in &cfg.a7_families {
+                check_family(f, span.body, family, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn check_family(
+    f: &SourceFile,
+    body: (usize, usize),
+    family: &CounterFamily,
+    out: &mut Vec<Diagnostic>,
+) {
+    let lhs_sites = bump_sites(f, body, &family.lhs);
+    let rhs_sites: Vec<usize> = family
+        .rhs
+        .iter()
+        .flat_map(|m| bump_sites(f, body, m))
+        .collect();
+    if !lhs_sites.is_empty() && rhs_sites.is_empty() {
+        out.push(at(
+            "A7",
+            f,
+            lhs_sites[0],
+            format!(
+                "`{}` is bumped without any of {} in the same function",
+                family.lhs,
+                family
+                    .rhs
+                    .iter()
+                    .map(|m| format!("`{m}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            "bump the counterpart in the same function so the ledger equation stays conserved, \
+             or move both bumps behind one helper",
+        ));
+    }
+    if lhs_sites.is_empty() && !rhs_sites.is_empty() {
+        let mut sites = rhs_sites;
+        sites.sort_unstable();
+        out.push(at(
+            "A7",
+            f,
+            sites[0],
+            format!(
+                "a member of the `{}` family is bumped without `{}` in the same function",
+                family.lhs, family.lhs
+            ),
+            "bump the family's total alongside its partition member, or move both bumps behind \
+             one helper",
+        ));
+    }
+}
+
+/// Token indices where `member` is bumped inside `body`.
+fn bump_sites(f: &SourceFile, body: (usize, usize), member: &str) -> Vec<usize> {
+    let toks = &f.tokens;
+    let end = body.1.min(toks.len().saturating_sub(1));
+    let mut out = Vec::new();
+    for i in body.0..=end {
+        if f.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if member.contains('.') {
+            // `incr("a.b")` / `add("a.b", n)` — the key is a Str token
+            // directly inside a counter-call argument list.
+            if t.kind == TokKind::Str
+                && t.text == member
+                && i >= 2
+                && toks[i - 1].is_punct('(')
+                && (toks[i - 2].is_ident("incr") || toks[i - 2].is_ident("add"))
+            {
+                out.push(i);
+            }
+        } else {
+            // `member += …` (identifier or field position).
+            if t.is_ident(member)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('+'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+            {
+                out.push(i);
+            }
+        }
+    }
+    out
+}

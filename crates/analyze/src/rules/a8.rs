@@ -1,0 +1,244 @@
+//! A8-concurrency-readiness.
+//!
+//! The sharded multi-device fleet (ROADMAP item 1) will put today's
+//! single-threaded core behind real threads. This rule makes that PR
+//! start from a provably `Send`-clean base, in two parts:
+//!
+//! **Shared-state bans** in the crates listed as `[a8] fleet_bound`:
+//! `Rc`, `RefCell`, and `Cell` (single-thread-only shared mutability
+//! that compiles fine until the first `std::thread::spawn`),
+//! `thread_local!` (state that silently forks per worker), and
+//! `static mut` (a data race by construction).
+//!
+//! **Multi-lock order over the acquisition graph**: A5 checks the
+//! lexical order of `.lock()` calls within one function; A8 extends the
+//! same declared order (`[a5] lock_order`) across call edges. Each
+//! function's *transitive* lock set is computed over the workspace call
+//! graph ([`crate::graph`]), and a call into a function that acquires
+//! an earlier-order lock while a later-order lock is already held is a
+//! deadlock candidate even though no single function shows both locks.
+//! Intra-function direct violations in `[a5] files` are left to A5, so
+//! the two rules never double-report.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::graph::{FnId, Workspace};
+use crate::lexer::TokKind;
+use crate::rules::at;
+
+const BANNED_TYPES: &[(&str, &str)] = &[
+    ("Rc", "use `Arc` (or pass ownership) — `Rc` is not `Send`"),
+    (
+        "RefCell",
+        "use `Mutex`/`RwLock` (or restructure to `&mut`) — `RefCell` is not `Sync`",
+    ),
+    ("Cell", "use atomics or a `Mutex` — `Cell` is not `Sync`"),
+];
+
+/// Runs A8 over the workspace.
+pub fn run(ws: &Workspace<'_>, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    ban_shared_state(ws, cfg, &mut out);
+    lock_graph(ws, cfg, &mut out);
+    out
+}
+
+/// Bans `Rc`/`RefCell`/`Cell`, `thread_local!`, and `static mut` in the
+/// fleet-bound crates.
+fn ban_shared_state(ws: &Workspace<'_>, cfg: &AnalyzeConfig, out: &mut Vec<Diagnostic>) {
+    for f in ws.files {
+        if !cfg.a8_fleet_bound.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || f.in_test(i) {
+                continue;
+            }
+            if let Some((name, help)) = BANNED_TYPES.iter().find(|(n, _)| t.text == *n) {
+                out.push(at(
+                    "A8",
+                    f,
+                    i,
+                    format!("`{name}` in fleet-bound crate `{}`", f.crate_name),
+                    help,
+                ));
+            }
+            if t.text == "thread_local" && f.tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                out.push(at(
+                    "A8",
+                    f,
+                    i,
+                    format!("`thread_local!` in fleet-bound crate `{}`", f.crate_name),
+                    "per-thread state diverges silently across fleet workers; thread the state \
+                     through explicit ownership instead",
+                ));
+            }
+            if t.text == "static" && f.tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+                out.push(at(
+                    "A8",
+                    f,
+                    i,
+                    format!("`static mut` in fleet-bound crate `{}`", f.crate_name),
+                    "a mutable static is a data race by construction; use an atomic or a lock",
+                ));
+            }
+        }
+    }
+}
+
+/// One lock-relevant event inside a function body, in token order.
+enum Event {
+    /// Direct `recv.lock()` with the receiver's position in the declared
+    /// order (`Err(name)` when the receiver is not in the order at all).
+    Direct(usize, Result<usize, String>),
+    /// Call to a resolved workspace function (checked against its
+    /// transitive lock set).
+    Call(usize, FnId),
+}
+
+fn lock_graph(ws: &Workspace<'_>, cfg: &AnalyzeConfig, out: &mut Vec<Diagnostic>) {
+    if cfg.a5_lock_order.is_empty() && cfg.a8_fleet_bound.is_empty() {
+        return;
+    }
+    // Per-function events and direct lock sets, workspace-wide: lock
+    // acquisitions outside fleet-bound crates still matter when a
+    // fleet-bound function calls into them.
+    let mut events: BTreeMap<FnId, Vec<Event>> = BTreeMap::new();
+    let mut lock_sets: BTreeMap<FnId, BTreeSet<usize>> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (si, span) in f.fns.iter().enumerate() {
+            if f.in_test(span.decl_tok) {
+                continue;
+            }
+            let id = (fi, si);
+            let mut evs = Vec::new();
+            let mut direct = BTreeSet::new();
+            for call in &ws.facts(id).calls {
+                let i = call.name_idx;
+                if f.tokens[i].is_ident("lock")
+                    && i >= 2
+                    && f.tokens[i - 1].is_punct('.')
+                    && f.tokens[i - 2].kind == TokKind::Ident
+                {
+                    let recv = f.tokens[i - 2].text.clone();
+                    match cfg.a5_lock_order.iter().position(|l| l == &recv) {
+                        Some(pos) => {
+                            direct.insert(pos);
+                            evs.push(Event::Direct(i, Ok(pos)));
+                        }
+                        None => evs.push(Event::Direct(i, Err(recv))),
+                    }
+                    continue;
+                }
+                if let Some(callee) = ws.resolve(id, call) {
+                    evs.push(Event::Call(i, callee));
+                }
+            }
+            events.insert(id, evs);
+            lock_sets.insert(id, direct);
+        }
+    }
+
+    // Transitive closure of lock sets over call edges (fixpoint; the
+    // graph is small and lock sets tiny, so this converges fast).
+    loop {
+        let mut changed = false;
+        for (id, evs) in &events {
+            let mut merged = lock_sets.get(id).cloned().unwrap_or_default();
+            let before = merged.len();
+            for ev in evs {
+                if let Event::Call(_, callee) = ev {
+                    if let Some(s) = lock_sets.get(callee) {
+                        merged.extend(s.iter().copied());
+                    }
+                }
+            }
+            if merged.len() != before {
+                lock_sets.insert(*id, merged);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Order check, per fleet-bound function, over direct + call events.
+    for (id, evs) in &events {
+        let f = &ws.files[id.0];
+        if !cfg.a8_fleet_bound.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        let in_a5_file = cfg.a5_files.iter().any(|p| p == &f.rel);
+        let mut furthest: Option<(usize, String)> = None;
+        for ev in evs {
+            match ev {
+                Event::Direct(tok, Err(recv)) => {
+                    // A5 already reports unknown receivers in its files.
+                    if !in_a5_file {
+                        out.push(at(
+                            "A8",
+                            f,
+                            *tok - 2,
+                            format!("lock receiver `{recv}` is not in the declared lock order"),
+                            "add it to `[a5] lock_order` in analyze.toml at its correct position \
+                             (or rename the binding to the mutex's canonical name)",
+                        ));
+                    }
+                }
+                Event::Direct(tok, Ok(pos)) => {
+                    if let Some((max_pos, ref max_name)) = furthest {
+                        // Direct-after-direct inversions in A5 files are
+                        // A5's findings; everything else is A8's.
+                        if *pos < max_pos && !in_a5_file {
+                            out.push(at(
+                                "A8",
+                                f,
+                                *tok - 2,
+                                format!(
+                                    "lock `{}` acquired after `{max_name}`, violating the \
+                                     declared order",
+                                    cfg.a5_lock_order[*pos]
+                                ),
+                                "acquire locks in `[a5] lock_order` order, or document an early \
+                                 guard drop with an allowlist entry",
+                            ));
+                        }
+                    }
+                    if furthest.as_ref().is_none_or(|(p, _)| *pos > *p) {
+                        furthest = Some((*pos, cfg.a5_lock_order[*pos].clone()));
+                    }
+                }
+                Event::Call(tok, callee) => {
+                    let Some(set) = lock_sets.get(callee).filter(|s| !s.is_empty()) else {
+                        continue;
+                    };
+                    let min = *set.iter().next().unwrap_or(&0);
+                    let max = *set.iter().next_back().unwrap_or(&0);
+                    if let Some((max_pos, ref max_name)) = furthest {
+                        if min < max_pos {
+                            out.push(at(
+                                "A8",
+                                f,
+                                *tok,
+                                format!(
+                                    "call to `{}` acquires lock `{}` while `{max_name}` is \
+                                     already held, violating the declared order",
+                                    ws.fn_span(*callee).name,
+                                    cfg.a5_lock_order[min]
+                                ),
+                                "hoist the earlier-order acquisition above the later one, or \
+                                 restructure so the callee does not lock",
+                            ));
+                        }
+                    }
+                    if furthest.as_ref().is_none_or(|(p, _)| max > *p) {
+                        furthest = Some((max, cfg.a5_lock_order[max].clone()));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -6,27 +6,76 @@
 //! | A2 | no wall-clock, randomness, or hash-ordered containers in deterministic crates |
 //! | A3 | flash op-counter increments carry an `OpPhase` tag at the same site |
 //! | A4 | no bare truncating casts on LPN/PPN/sector arithmetic |
-//! | A5 | locks are acquired in the declared order |
+//! | A5 | locks are acquired in the declared order (lexical, per function) |
+//! | A6 | no discarded `Result` in recovery scopes |
+//! | A7 | counter families stay conserved at every bump site |
+//! | A8 | fleet-bound crates stay `Send`-clean; lock order holds across call edges |
+//!
+//! A1, A6, and A8 run over the workspace call graph ([`crate::graph`]);
+//! the rest are per-file token scans.
 
 pub mod a1;
 pub mod a2;
 pub mod a3;
 pub mod a4;
 pub mod a5;
+pub mod a6;
+pub mod a7;
+pub mod a8;
+
+use std::time::Instant;
 
 use crate::config::AnalyzeConfig;
 use crate::diag::Diagnostic;
+use crate::graph::Workspace;
 use crate::scan::SourceFile;
 
-/// Runs every rule over the scanned files.
-pub fn run_all(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+/// Wall-clock cost of one rule pass (for the verify.sh timing report).
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    /// Rule id, or `"graph"` for the shared symbol-table build.
+    pub rule: &'static str,
+    /// Elapsed microseconds.
+    pub micros: u128,
+}
+
+/// Runs every rule over the scanned files, timing each pass.
+pub fn run_all(files: &[SourceFile], cfg: &AnalyzeConfig) -> (Vec<Diagnostic>, Vec<RuleTiming>) {
     let mut out = Vec::new();
-    out.extend(a1::run(files, cfg));
-    out.extend(a2::run(files, cfg));
-    out.extend(a3::run(files, cfg));
-    out.extend(a4::run(files, cfg));
-    out.extend(a5::run(files, cfg));
-    out
+    let mut timings = Vec::new();
+
+    let t0 = Instant::now();
+    let ws = Workspace::build(files);
+    timings.push(RuleTiming {
+        rule: "graph",
+        micros: t0.elapsed().as_micros(),
+    });
+
+    let mut timed = |rule: &'static str, diags: Vec<Diagnostic>, started: Instant| {
+        timings.push(RuleTiming {
+            rule,
+            micros: started.elapsed().as_micros(),
+        });
+        out.extend(diags);
+    };
+    let t = Instant::now();
+    timed("A1", a1::run(&ws, cfg), t);
+    let t = Instant::now();
+    timed("A2", a2::run(files, cfg), t);
+    let t = Instant::now();
+    timed("A3", a3::run(files, cfg), t);
+    let t = Instant::now();
+    timed("A4", a4::run(files, cfg), t);
+    let t = Instant::now();
+    timed("A5", a5::run(files, cfg), t);
+    let t = Instant::now();
+    timed("A6", a6::run(&ws, cfg), t);
+    let t = Instant::now();
+    timed("A7", a7::run(files, cfg), t);
+    let t = Instant::now();
+    timed("A8", a8::run(&ws, cfg), t);
+
+    (out, timings)
 }
 
 /// Builds a diagnostic anchored at token `idx` of `file`.

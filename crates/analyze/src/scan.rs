@@ -2,16 +2,19 @@
 //!
 //! [`SourceFile`] augments the raw token stream with just enough
 //! structure for the rules: which token ranges are test-only code
-//! (`#[cfg(test)]` items and `#[test]` functions), and where each
-//! function body starts and ends (for scoping and for the A1
-//! reachability walk).
+//! (`#[cfg(test)]` items and `#[test]` functions), where each function
+//! body starts and ends, which `impl` block a function lives in (its
+//! `Self` type), what each function returns, and the field types of
+//! every struct. The impl/field/return information is what lets the
+//! call graph ([`crate::graph`]) resolve method calls by receiver type
+//! across crate boundaries.
 
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, TokKind, Token};
 
-/// One function found in a file: its name and the token range of its
-/// body (inclusive of the braces).
+/// One function found in a file: its name, signature facts, and the
+/// token range of its body (inclusive of the braces).
 #[derive(Debug, Clone)]
 pub struct FnSpan {
     /// Function name (the identifier after `fn`).
@@ -20,6 +23,32 @@ pub struct FnSpan {
     pub decl_tok: usize,
     /// Token range `[start, end]` of the body braces.
     pub body: (usize, usize),
+    /// `Self` type of the enclosing `impl` block, when the function is a
+    /// method or associated function (`impl Ftl { fn … }` → `"Ftl"`).
+    pub impl_type: Option<String>,
+    /// Last path segment of the declared return type (`-> Result<…>` →
+    /// `"Result"`, `-> &Ftl` → `"Ftl"`); `None` for `()` or tuples.
+    /// `Self` is already substituted with the impl type.
+    pub ret_type: Option<String>,
+}
+
+impl FnSpan {
+    /// True when the function's declared return type is a `Result`.
+    pub fn returns_result(&self) -> bool {
+        self.ret_type.as_deref() == Some("Result")
+    }
+}
+
+/// A struct definition with named fields: `(field name, type name)`
+/// pairs, where the type name is the last angle-depth-0 path segment
+/// (`ftl: Ftl` → `("ftl", "Ftl")`, `inner: Option<Arc<…>>` →
+/// `("inner", "Option")`).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// `(field, type name)` pairs, named-field structs only.
+    pub fields: Vec<(String, String)>,
 }
 
 /// A lexed and structurally annotated source file.
@@ -37,6 +66,8 @@ pub struct SourceFile {
     pub test_ranges: Vec<(usize, usize)>,
     /// All function bodies, including test ones.
     pub fns: Vec<FnSpan>,
+    /// Struct definitions with named fields.
+    pub structs: Vec<StructDef>,
 }
 
 impl SourceFile {
@@ -50,7 +81,9 @@ impl SourceFile {
             .unwrap_or("")
             .to_string();
         let test_ranges = find_test_ranges(&tokens);
-        let fns = find_fns(&tokens);
+        let impls = find_impls(&tokens);
+        let fns = find_fns(&tokens, &impls);
+        let structs = find_structs(&tokens);
         SourceFile {
             rel,
             crate_name,
@@ -58,6 +91,7 @@ impl SourceFile {
             lines,
             test_ranges,
             fns,
+            structs,
         }
     }
 
@@ -79,7 +113,7 @@ impl SourceFile {
 
     /// Names of functions/methods called inside token range `[start, end]`:
     /// every identifier directly followed by `(`, minus control-flow
-    /// keywords and macro invocations.
+    /// keywords and tuple-struct constructors.
     pub fn calls_in(&self, start: usize, end: usize) -> Vec<String> {
         let mut out = Vec::new();
         let mut i = start;
@@ -159,21 +193,102 @@ fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     out
 }
 
-/// Finds every `fn name ... { body }`, brace-matching the body.
-fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+/// One `impl` block: the `Self` type name and the brace-matched body
+/// token range.
+#[derive(Debug, Clone)]
+struct ImplSpan {
+    self_type: String,
+    body: (usize, usize),
+}
+
+/// Finds every `impl [<…>] Type { … }` / `impl [<…>] Trait for Type { … }`
+/// and records the `Self` type name: the last identifier of the type
+/// path at angle-bracket depth zero (so generic arguments are skipped).
+fn find_impls(tokens: &[Token]) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut angle = 0i64;
+        let mut self_type = String::new();
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 {
+                if t.is_punct('{') {
+                    break;
+                }
+                if t.is_punct(';') {
+                    // e.g. `impl Trait for Type;` is not real Rust, but an
+                    // auto-trait assertion macro could look like it; bail.
+                    self_type.clear();
+                    break;
+                }
+                if t.is_ident("for") {
+                    // `impl Trait for Type`: the Self type starts over.
+                    self_type.clear();
+                } else if t.is_ident("where") {
+                    // Bounds after `where` are not part of the Self type.
+                    break;
+                } else if t.kind == TokKind::Ident
+                    && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe")
+                {
+                    self_type = t.text.clone();
+                }
+            }
+            j += 1;
+        }
+        // `j` sits at `{` (or end); the impl body is its brace group.
+        if j < tokens.len() && tokens[j].is_punct('{') {
+            let end = match_bracket(tokens, j, '{', '}').unwrap_or(tokens.len() - 1);
+            if !self_type.is_empty() {
+                out.push(ImplSpan {
+                    self_type,
+                    body: (j, end),
+                });
+            }
+            // Do not skip the body: nested impls (rare) and the fns inside
+            // are found by their own scans.
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Finds every `fn name ... { body }`, brace-matching the body, and
+/// attributes each to its innermost enclosing impl block (if any).
+fn find_fns(tokens: &[Token], impls: &[ImplSpan]) -> Vec<FnSpan> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i + 1 < tokens.len() {
         if tokens[i].is_ident("fn") && tokens[i + 1].kind == TokKind::Ident {
             let name = tokens[i + 1].text.clone();
+            let impl_type = impls
+                .iter()
+                .filter(|s| s.body.0 <= i && i <= s.body.1)
+                .min_by_key(|s| s.body.1 - s.body.0)
+                .map(|s| s.self_type.clone());
             // Walk to the body `{`, stopping at `;` (trait method decls)
-            // while skipping balanced parens/brackets/angle groups in the
-            // signature (where-clauses can contain `{`-free bounds only).
+            // while skipping balanced paren groups in the signature. The
+            // return type, if any, sits between `->` and the body.
             let mut j = i + 2;
             let mut body = None;
+            let mut ret_type = None;
             while j < tokens.len() {
                 if tokens[j].is_punct('(') {
                     j = match_bracket(tokens, j, '(', ')').map_or(tokens.len(), |e| e + 1);
+                    continue;
+                }
+                if tokens[j].is_punct('-') && tokens.get(j + 1).is_some_and(|t| t.is_punct('>')) {
+                    ret_type = parse_type_name(tokens, j + 2);
+                    j += 2;
                     continue;
                 }
                 if tokens[j].is_punct(';') {
@@ -187,10 +302,16 @@ fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
                 j += 1;
             }
             if let Some(body) = body {
+                // `-> Self` means the impl type.
+                if ret_type.as_deref() == Some("Self") {
+                    ret_type = impl_type.clone();
+                }
                 out.push(FnSpan {
                     name,
                     decl_tok: i,
                     body,
+                    impl_type,
+                    ret_type,
                 });
                 // Continue scanning *inside* the body too (nested fns);
                 // just move past the `fn name` pair.
@@ -203,6 +324,136 @@ fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
     out
 }
 
+/// Parses the *name* of the type starting at token `start`: skips
+/// references, `mut`, `dyn`, `impl`, and lifetimes, then reads one path
+/// (`a::b::C`) and returns its last segment. Tuples, slices, arrays, and
+/// fn-pointer types yield `None` — the callers only need nominal types.
+pub(crate) fn parse_type_name(tokens: &[Token], start: usize) -> Option<String> {
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('&')
+            || t.kind == TokKind::Lifetime
+            || t.is_ident("mut")
+            || t.is_ident("dyn")
+            || t.is_ident("impl")
+        {
+            j += 1;
+            continue;
+        }
+        break;
+    }
+    if tokens.get(j).map(|t| t.kind) != Some(TokKind::Ident) {
+        return None;
+    }
+    let mut name = tokens[j].text.clone();
+    j += 1;
+    // Follow `::` path segments (the last one wins), stopping at generic
+    // arguments, the function body, or anything else.
+    while j + 1 < tokens.len()
+        && tokens[j].is_punct(':')
+        && tokens[j + 1].is_punct(':')
+        && tokens.get(j + 2).map(|t| t.kind) == Some(TokKind::Ident)
+    {
+        name = tokens[j + 2].text.clone();
+        j += 3;
+    }
+    Some(name)
+}
+
+/// Finds every named-field struct and records `(field, type name)` pairs.
+fn find_structs(tokens: &[Token]) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is_ident("struct") && tokens[i + 1].kind == TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = tokens[i + 1].text.clone();
+        let mut j = i + 2;
+        // Skip generics between the name and the body.
+        let mut angle = 0i64;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 {
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_ident("where") {
+                    // `struct S<T> where …;` — no named fields to index.
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('{') {
+            // Tuple or unit struct: recorded, but with no named fields.
+            out.push(StructDef {
+                name,
+                fields: Vec::new(),
+            });
+            i += 2;
+            continue;
+        }
+        let end = match_bracket(tokens, j, '{', '}').unwrap_or(tokens.len() - 1);
+        let mut fields = Vec::new();
+        let mut k = j + 1;
+        while k < end {
+            // Skip attributes and visibility.
+            if tokens[k].is_punct('#') && tokens.get(k + 1).is_some_and(|t| t.is_punct('[')) {
+                k = match_bracket(tokens, k + 1, '[', ']').map_or(end, |e| e + 1);
+                continue;
+            }
+            if tokens[k].is_ident("pub") {
+                k += 1;
+                if tokens.get(k).is_some_and(|t| t.is_punct('(')) {
+                    k = match_bracket(tokens, k, '(', ')').map_or(end, |e| e + 1);
+                }
+                continue;
+            }
+            // `field : Type , …`
+            if tokens[k].kind == TokKind::Ident
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(ty) = parse_type_name(tokens, k + 2) {
+                    fields.push((tokens[k].text.clone(), ty));
+                }
+            }
+            // Advance to the comma ending this field, tracking nesting so
+            // commas inside generic args or tuples don't end it early.
+            let (mut a, mut p, mut b) = (0i64, 0i64, 0i64);
+            while k < end {
+                let t = &tokens[k];
+                if t.is_punct('<') {
+                    a += 1;
+                } else if t.is_punct('>') {
+                    a -= 1;
+                } else if t.is_punct('(') {
+                    p += 1;
+                } else if t.is_punct(')') {
+                    p -= 1;
+                } else if t.is_punct('[') {
+                    b += 1;
+                } else if t.is_punct(']') {
+                    b -= 1;
+                } else if t.is_punct(',') && a <= 0 && p <= 0 && b <= 0 {
+                    break;
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        out.push(StructDef { name, fields });
+        i = j;
+    }
+    out
+}
+
 /// Index of the token closing the bracket opened at `open_idx`.
 pub fn match_bracket(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0i64;
@@ -210,6 +461,29 @@ pub fn match_bracket(tokens: &[Token], open_idx: usize, open: char, close: char)
         if t.is_punct(open) {
             depth += 1;
         } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the token opening the bracket closed at `close_idx`
+/// (backward bracket matching, for receiver-chain parsing).
+pub fn match_bracket_back(
+    tokens: &[Token],
+    close_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    for i in (0..=close_idx).rev() {
+        let t = &tokens[i];
+        if t.is_punct(close) {
+            depth += 1;
+        } else if t.is_punct(open) {
             depth -= 1;
             if depth == 0 {
                 return Some(i);
@@ -301,5 +575,80 @@ mod tests {
     fn crate_name_extraction() {
         let f = SourceFile::new("crates/ftl/src/ftl.rs".into(), "");
         assert_eq!(f.crate_name, "ftl");
+    }
+
+    #[test]
+    fn impl_types_are_attributed() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            r#"
+impl Ftl {
+    fn rebuild(&mut self) -> Result<Stats, RecoveryError> { Ok(Stats) }
+    fn flash(&self) -> &FlashArray { &self.flash }
+}
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+impl<T: Clone> Holder<T> {
+    fn make() -> Self { Holder }
+}
+fn free() {}
+"#,
+        );
+        let get = |n: &str| f.fns.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(get("rebuild").impl_type.as_deref(), Some("Ftl"));
+        assert!(get("rebuild").returns_result());
+        assert_eq!(get("flash").ret_type.as_deref(), Some("FlashArray"));
+        assert_eq!(get("fmt").impl_type.as_deref(), Some("Metrics"));
+        assert_eq!(get("make").impl_type.as_deref(), Some("Holder"));
+        assert_eq!(
+            get("make").ret_type.as_deref(),
+            Some("Holder"),
+            "`-> Self` resolves to the impl type"
+        );
+        assert_eq!(get("free").impl_type, None);
+    }
+
+    #[test]
+    fn struct_fields_are_indexed() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            r#"
+pub struct Ssd {
+    ftl: Ftl,
+    pub counters: CounterSet,
+    inner: Option<Arc<Mutex<TraceRing>>>,
+    pair: (u64, u64),
+    map: BTreeMap<u64, BufSlot>,
+}
+struct Tuple(u64);
+"#,
+        );
+        assert_eq!(f.structs.len(), 2);
+        let ssd = &f.structs[0];
+        assert_eq!(ssd.name, "Ssd");
+        let field = |n: &str| {
+            ssd.fields
+                .iter()
+                .find(|(f, _)| f == n)
+                .map(|(_, t)| t.as_str())
+        };
+        assert_eq!(field("ftl"), Some("Ftl"));
+        assert_eq!(field("counters"), Some("CounterSet"));
+        assert_eq!(field("inner"), Some("Option"));
+        assert_eq!(field("map"), Some("BTreeMap"));
+        assert_eq!(field("pair"), None, "tuple types have no nominal name");
+        assert!(f.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn qualified_return_types_take_the_last_segment() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "fn f() -> std::io::Result<()> { Ok(()) }\nfn g() -> Option<u64> { None }",
+        );
+        assert!(f.fns[0].returns_result());
+        assert_eq!(f.fns[1].ret_type.as_deref(), Some("Option"));
+        assert!(!f.fns[1].returns_result());
     }
 }

@@ -4,7 +4,7 @@
 //! Fixture files are append-only — the line numbers are load-bearing.
 
 use checkin_analyze::analyze_sources;
-use checkin_analyze::config::{AllowEntry, AnalyzeConfig};
+use checkin_analyze::config::{AllowEntry, AnalyzeConfig, CounterFamily};
 use checkin_analyze::scan::SourceFile;
 
 fn fixture(rel: &str, src: &str) -> SourceFile {
@@ -189,7 +189,139 @@ fn a5_flags_order_violation_and_unknown_receiver() {
 }
 
 #[test]
-fn allowlist_suppresses_exact_lines_and_reports_stale_entries() {
+fn a6_flags_discarded_results_and_spares_consumed_ones() {
+    let files = [fixture(
+        "crates/ssd/src/a6_results.rs",
+        include_str!("fixtures/a6_results.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a1_files: vec!["crates/ssd/src/a6_results.rs".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    let a6: Vec<(&'static str, u32)> = locations(&report)
+        .into_iter()
+        .filter(|(r, _)| *r == "A6")
+        .collect();
+    assert_eq!(
+        a6,
+        vec![("A6", 32), ("A6", 34), ("A6", 36)],
+        "`let _ =`, the unconsumed field-chain call, and bare `.ok();` — \
+         bound, propagated, and non-Result discards stay clean"
+    );
+    let msgs: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "A6")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(msgs[0].contains("`let _ =` discards"), "{msgs:?}");
+    assert!(msgs[1].contains("`sync` is not consumed"), "{msgs:?}");
+    assert!(msgs[2].contains("bare `.ok();`"), "{msgs:?}");
+}
+
+#[test]
+fn a7_requires_both_sides_of_the_family_per_function() {
+    let files = [fixture(
+        "crates/ftl/src/a7_counters.rs",
+        include_str!("fixtures/a7_counters.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a7_crates: vec!["ftl".into()],
+        a7_families: vec![
+            CounterFamily::parse("detected = quarantined + corrected").expect("well-formed family"),
+            CounterFamily::parse(
+                "ftl.integrity_detected = ftl.integrity_quarantined + ftl.integrity_corrected",
+            )
+            .expect("well-formed family"),
+        ],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A7", 27), ("A7", 31), ("A7", 41)],
+        "lhs-only and rhs-only bumps fire; the branchy balanced pair, the \
+         balanced dotted pair, and plain reads stay clean"
+    );
+    assert!(report.diagnostics[0]
+        .message
+        .contains("`detected` is bumped without"));
+    assert!(report.diagnostics[1].message.contains("without `detected`"));
+    assert!(report.diagnostics[2]
+        .message
+        .contains("`ftl.integrity_detected` is bumped without"));
+}
+
+#[test]
+fn a8_bans_shared_state_and_cross_edge_lock_inversions() {
+    let files = [fixture(
+        "crates/core/src/a8_concurrency.rs",
+        include_str!("fixtures/a8_concurrency.rs"),
+    )];
+    let cfg = AnalyzeConfig {
+        a8_fleet_bound: vec!["core".into()],
+        a5_lock_order: vec!["stats".into(), "ring".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A8", 7), ("A8", 10), ("A8", 14), ("A8", 22)],
+        "RefCell, thread_local!, static mut, and the call that locks \
+         `stats` under `ring`; the in-order function stays clean"
+    );
+    assert!(report.diagnostics[0].message.contains("`RefCell`"));
+    assert!(report.diagnostics[1].message.contains("`thread_local!`"));
+    assert!(report.diagnostics[2].message.contains("`static mut`"));
+    assert!(
+        report.diagnostics[3]
+            .message
+            .contains("acquires lock `stats` while `ring` is already held"),
+        "{}",
+        report.diagnostics[3].message
+    );
+}
+
+#[test]
+fn a1_cone_crosses_crates_through_typed_field_chains() {
+    let files = [
+        fixture(
+            "crates/ssd/src/a1_xcrate_ssd.rs",
+            include_str!("fixtures/a1_xcrate_ssd.rs"),
+        ),
+        fixture(
+            "crates/ftl/src/a1_xcrate_ftl.rs",
+            include_str!("fixtures/a1_xcrate_ftl.rs"),
+        ),
+        fixture(
+            "crates/flash/src/a1_xcrate_flash.rs",
+            include_str!("fixtures/a1_xcrate_flash.rs"),
+        ),
+    ];
+    let cfg = AnalyzeConfig {
+        a1_entry_functions: vec!["rebuild_after_power_loss".into()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze_sources(&files, &cfg);
+    assert_eq!(
+        locations(&report),
+        vec![("A1", 10)],
+        "the indexing two crates below the entry fires; the uncalled \
+         panic in the same impl stays out of the cone"
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.file, "crates/flash/src/a1_xcrate_flash.rs");
+    assert!(
+        d.message
+            .contains("in `read_page` (recovery-reachable via `rebuild_after_power_loss`)"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn allowlist_matches_on_snippet_and_reports_stale_entries() {
     let files = [fixture(
         "crates/sim/src/a2_nondeterminism.rs",
         include_str!("fixtures/a2_nondeterminism.rs"),
@@ -200,14 +332,23 @@ fn allowlist_suppresses_exact_lines_and_reports_stale_entries() {
             AllowEntry {
                 rule: "A2".into(),
                 file: "crates/sim/src/a2_nondeterminism.rs".into(),
+                snippet: "use std::collections::HashMap".into(),
                 line: Some(4),
                 reason: "fixture: suppress the HashMap import".into(),
             },
             AllowEntry {
                 rule: "A2".into(),
                 file: "crates/sim/src/a2_nondeterminism.rs".into(),
-                line: Some(999),
-                reason: "fixture: stale entry that matches nothing".into(),
+                snippet: "no such code anywhere".into(),
+                line: None,
+                reason: "fixture: snippet matches nothing in a file with findings".into(),
+            },
+            AllowEntry {
+                rule: "A2".into(),
+                file: "crates/sim/src/other.rs".into(),
+                snippet: "whatever".into(),
+                line: None,
+                reason: "fixture: entry for a file with no findings at all".into(),
             },
         ],
         ..AnalyzeConfig::default()
@@ -216,14 +357,21 @@ fn allowlist_suppresses_exact_lines_and_reports_stale_entries() {
     assert_eq!(
         locations(&report),
         vec![("A2", 5), ("A2", 6), ("A2", 16), ("A2", 17)],
-        "line 4 is allowlisted away"
+        "the HashMap import is allowlisted away by its snippet"
     );
-    assert_eq!(report.unused_allows.len(), 1);
-    assert_eq!(report.unused_allows[0].line, Some(999));
+    assert_eq!(report.unused_allows.len(), 2);
+    assert!(
+        report.unused_allows[0].snippet_mismatch,
+        "same rule+file still has findings, so the snippet rotted"
+    );
+    assert!(
+        !report.unused_allows[1].snippet_mismatch,
+        "no findings in that file at all — plain stale, not a mismatch"
+    );
 }
 
 #[test]
-fn file_wide_allow_suppresses_every_line() {
+fn one_snippet_covers_every_line_that_contains_it() {
     let files = [fixture(
         "crates/sim/src/a2_nondeterminism.rs",
         include_str!("fixtures/a2_nondeterminism.rs"),
@@ -233,12 +381,17 @@ fn file_wide_allow_suppresses_every_line() {
         allows: vec![AllowEntry {
             rule: "A2".into(),
             file: "crates/sim/src/a2_nondeterminism.rs".into(),
+            snippet: "Instant".into(),
             line: None,
-            reason: "fixture: whole-file exception".into(),
+            reason: "fixture: one snippet, three Instant sites".into(),
         }],
         ..AnalyzeConfig::default()
     };
     let report = analyze_sources(&files, &cfg);
-    assert!(report.diagnostics.is_empty());
+    assert_eq!(
+        locations(&report),
+        vec![("A2", 4), ("A2", 5)],
+        "all three Instant findings share the snippet; the hash imports stay"
+    );
     assert!(report.unused_allows.is_empty());
 }

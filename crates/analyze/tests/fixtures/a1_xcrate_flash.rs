@@ -1,0 +1,16 @@
+//! Cross-crate A1 fixture, flash layer: the panic site reached from
+//! the ssd entry, plus an uncalled sibling that must stay unflagged.
+
+pub struct FlashDev {
+    pub pages: Vec<u64>,
+}
+
+impl FlashDev {
+    pub fn read_page(&mut self, idx: usize) -> u64 {
+        self.pages[idx] // line 10: indexing, reachable from the entry
+    }
+
+    pub fn unreached_panics(&self) {
+        panic!("uncalled code is out of the cone");
+    }
+}

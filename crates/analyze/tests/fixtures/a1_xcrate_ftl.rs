@@ -1,0 +1,12 @@
+//! Cross-crate A1 fixture, ftl layer: the middle hop. No panic here —
+//! this file only carries the call edge from ssd down to flash.
+
+pub struct Ftl {
+    pub flash: FlashDev,
+}
+
+impl Ftl {
+    pub fn replay_journal(&mut self) {
+        self.flash.read_page(0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Cross-crate A1 fixture, ssd layer: the recovery entry point. The
+//! panic site is two crates away and reachable only through typed
+//! field chains (`self.ftl` → `self.flash`).
+
+pub struct Ssd {
+    pub ftl: Ftl,
+}
+
+impl Ssd {
+    pub fn rebuild_after_power_loss(&mut self) {
+        self.ftl.replay_journal();
+    }
+}

@@ -1,0 +1,49 @@
+//! A6 fixture: discarded `Result`s inside recovery scope.
+//! Line numbers are asserted exactly — append only at the end.
+
+pub struct ScrubError;
+
+pub fn persist_remap() -> Result<(), ScrubError> {
+    Err(ScrubError)
+}
+
+pub fn refresh_page() -> Result<u64, ScrubError> {
+    Ok(0)
+}
+
+pub fn note_progress() -> u64 {
+    7
+}
+
+pub struct Journal;
+
+impl Journal {
+    pub fn sync(&mut self) -> Result<(), ScrubError> {
+        Err(ScrubError)
+    }
+}
+
+pub struct Scrubber {
+    pub journal: Journal,
+}
+
+impl Scrubber {
+    pub fn recover(&mut self) {
+        let _ = persist_remap(); // line 32: Result discarded
+        let _ = note_progress(); // not a Result — clean
+        self.journal.sync(); // line 34: unconsumed, resolved via field chain
+        let r = refresh_page(); // bound — clean
+        r.ok(); // line 36: bare `.ok();`
+        let consumed = refresh_page().ok(); // bound — clean
+        drop(consumed);
+        if persist_remap().is_ok() {
+            // consumed by the condition — clean
+            note_progress(); // non-Result statement call — clean
+        }
+    }
+}
+
+pub fn driver() -> Result<(), ScrubError> {
+    persist_remap()?; // propagated — clean
+    Ok(())
+}

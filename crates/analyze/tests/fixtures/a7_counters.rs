@@ -1,0 +1,46 @@
+//! A7 fixture: counter-conservation bump sites.
+//! Line numbers are asserted exactly — append only at the end.
+
+pub struct Ledger {
+    pub detected: u64,
+    pub quarantined: u64,
+    pub corrected: u64,
+}
+
+pub struct Counters;
+
+impl Counters {
+    pub fn incr(&mut self, _key: &str) {}
+}
+
+impl Ledger {
+    pub fn balanced_branchy(&mut self, heal: bool) {
+        self.detected += 1;
+        if heal {
+            self.corrected += 1;
+        } else {
+            self.quarantined += 1;
+        }
+    }
+
+    pub fn lhs_only(&mut self) {
+        self.detected += 1; // line 27: total bumped, no partition member
+    }
+
+    pub fn rhs_only(&mut self) {
+        self.corrected += 1; // line 31: member bumped, no total
+    }
+}
+
+pub fn dotted_balanced(c: &mut Counters) {
+    c.incr("ftl.integrity_detected");
+    c.incr("ftl.integrity_quarantined");
+}
+
+pub fn dotted_lhs_only(c: &mut Counters) {
+    c.incr("ftl.integrity_detected"); // line 41: dotted total, no member
+}
+
+pub fn reads_are_not_bumps(l: &Ledger) -> u64 {
+    l.detected + l.quarantined + l.corrected
+}

@@ -1,0 +1,31 @@
+//! A8 fixture: fleet-readiness bans and cross-edge lock order.
+//! Line numbers are asserted exactly — append only at the end.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub slot: std::cell::RefCell<u64>, // line 7: RefCell
+}
+
+thread_local! { // line 10: thread_local!
+    static SCRATCH: u64 = 0;
+}
+
+static mut GLOBAL_TICKS: u64 = 0; // line 14: static mut
+
+pub fn grab_stats(stats: &Mutex<u64>) -> u64 {
+    *stats.lock().unwrap()
+}
+
+pub fn inverted(ring: &Mutex<u64>, stats: &Mutex<u64>) -> u64 {
+    let held = ring.lock();
+    let v = grab_stats(stats); // line 22: callee locks `stats` under `ring`
+    drop(held);
+    v
+}
+
+pub fn in_order(stats: &Mutex<u64>, ring: &Mutex<u64>) -> u64 {
+    let a = *stats.lock().unwrap();
+    let b = *ring.lock().unwrap();
+    a + b
+}

@@ -280,23 +280,28 @@ impl FlashArray {
                 Err(FlashError::PowerLoss)
             }
             TickOutcome::Transient => {
+                // Logical ticks draw no media faults, and a media tick
+                // without its address cannot name a victim; both are
+                // impossible by construction, and the fault injector
+                // must never panic itself — degrade to a clean pass.
+                let err = match (op, ppn, block) {
+                    (FaultOp::Read, Some(p), _) => FlashError::TransientRead(p),
+                    (FaultOp::Program, Some(p), _) => FlashError::TransientProgram(p),
+                    (FaultOp::Erase, _, Some(b)) => FlashError::TransientErase(b),
+                    _ => return Ok(()),
+                };
                 self.counters.incr("flash.transient_faults");
-                Err(match op {
-                    FaultOp::Read => {
-                        FlashError::TransientRead(ppn.expect("read faults carry a ppn"))
-                    }
-                    FaultOp::Program => {
-                        FlashError::TransientProgram(ppn.expect("program faults carry a ppn"))
-                    }
-                    FaultOp::Erase => {
-                        FlashError::TransientErase(block.expect("erase faults carry a block"))
-                    }
-                    FaultOp::Logical => unreachable!("logical ticks draw no media faults"),
-                })
+                Err(err)
             }
             TickOutcome::GrownBad => {
-                let b = block.expect("grown-bad outcomes only occur for program/erase");
-                self.bad_blocks[b.0 as usize] = true;
+                // Grown-bad outcomes only occur for program/erase, which
+                // always carry a block; same degrade-to-pass policy.
+                let Some(b) = block else {
+                    return Ok(());
+                };
+                if let Some(slot) = self.bad_blocks.get_mut(b.0 as usize) {
+                    *slot = true;
+                }
                 self.counters.incr("flash.grown_bad_blocks");
                 Err(FlashError::GrownBadBlock(b))
             }
@@ -327,16 +332,22 @@ impl FlashArray {
             return; // nothing programmed yet; the draw still happened
         };
         let mask = 1u64 << self.fault_draw(48);
+        let page = |store: &[Option<PageContent>]| {
+            store
+                .get(idx)
+                .and_then(|p| p.as_ref())
+                .map(|c| (c.units.len(), c.oob.len()))
+        };
         if data {
-            let units_len = self.store[idx].as_ref().map_or(0, |c| c.units.len());
+            let units_len = page(&self.store).map_or(0, |(u, _)| u);
             if units_len == 0 {
                 return;
             }
             let start_u = self.fault_draw(units_len as u64) as usize;
-            if let Some(c) = self.store[idx].as_mut() {
+            if let Some(c) = self.store.get_mut(idx).and_then(|p| p.as_mut()) {
                 for off in 0..units_len {
                     let i = (start_u + off) % units_len;
-                    if c.units[i].is_some() {
+                    if c.units.get(i).is_some_and(|u| u.is_some()) {
                         c.flip_unit_bits(i, mask);
                         self.counters.incr("flash.bit_rot_data");
                         return;
@@ -344,12 +355,12 @@ impl FlashArray {
                 }
             }
         } else {
-            let oob_len = self.store[idx].as_ref().map_or(0, |c| c.oob.len());
+            let oob_len = page(&self.store).map_or(0, |(_, o)| o);
             if oob_len == 0 {
                 return;
             }
             let i = self.fault_draw(oob_len as u64) as usize;
-            if let Some(c) = self.store[idx].as_mut() {
+            if let Some(c) = self.store.get_mut(idx).and_then(|p| p.as_mut()) {
                 c.flip_oob_bits(i, mask);
                 self.counters.incr("flash.bit_rot_oob");
             }
@@ -390,11 +401,18 @@ impl FlashArray {
         self.check_range(ppn)?;
         self.fault_gate(FaultOp::Read, Some(ppn), None)?;
         let (die, channel) = self.die_and_channel(ppn);
-        let array = self.dies[die].schedule(at, self.timing.t_read);
-        let xfer = self.channels[channel].schedule(
-            array.finish,
-            self.timing.transfer_time(self.geometry.page_bytes as u64),
-        );
+        // check_range guarantees both indices; a geometry that disagrees
+        // with the queue vectors surfaces as a typed error, not a panic.
+        let t_read = self.timing.t_read;
+        let Some(die_queue) = self.dies.get_mut(die) else {
+            return Err(FlashError::OutOfRange(ppn));
+        };
+        let array = die_queue.schedule(at, t_read);
+        let xfer_time = self.timing.transfer_time(self.geometry.page_bytes as u64);
+        let Some(channel_queue) = self.channels.get_mut(channel) else {
+            return Err(FlashError::OutOfRange(ppn));
+        };
+        let xfer = channel_queue.schedule(array.finish, xfer_time);
         self.counters.incr("flash.read");
         self.counters.incr(self.op_phase.read_key());
         let phase = self.op_phase;

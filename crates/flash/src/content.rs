@@ -62,8 +62,8 @@ impl FragVec {
     pub fn push(&mut self, f: Fragment) {
         match &mut self.repr {
             FragRepr::Inline { len, frags } => {
-                if (*len as usize) < Self::INLINE {
-                    frags[*len as usize] = f;
+                if let Some(slot) = frags.get_mut(*len as usize) {
+                    *slot = f;
                     *len += 1;
                 } else {
                     let mut v = Vec::with_capacity(Self::INLINE * 2);
@@ -87,7 +87,9 @@ impl FragVec {
     /// The fragments as a mutable slice.
     pub fn as_mut_slice(&mut self) -> &mut [Fragment] {
         match &mut self.repr {
-            FragRepr::Inline { len, frags } => &mut frags[..*len as usize],
+            // `len <= INLINE` is an invariant of `push`; a corrupt length
+            // degrades to the empty slice rather than a panic.
+            FragRepr::Inline { len, frags } => frags.get_mut(..*len as usize).unwrap_or(&mut []),
             FragRepr::Spilled(v) => v,
         }
     }

@@ -126,8 +126,8 @@ impl TraceEvent {
             self.layer.label(),
             self.op,
         );
-        if (self.nfields as usize) < MAX_TRACE_FIELDS {
-            self.fields[self.nfields as usize] = (name, value);
+        if let Some(slot) = self.fields.get_mut(self.nfields as usize) {
+            *slot = (name, value);
             self.nfields += 1;
         }
         self

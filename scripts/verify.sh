@@ -5,7 +5,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release"
+echo "== cargo build --release (-D warnings)"
+# Warnings are denied for the whole script: one flag set means one
+# build cache, and nothing below runs against a warning-dirty tree.
+RUSTFLAGS="-D warnings"
+export RUSTFLAGS
 cargo build --release --workspace
 
 echo "== cargo test"
@@ -47,13 +51,21 @@ for layer in engine journal queue isce ftl flash; do
     }
 done
 
-echo "== checkin-analyze"
-# Static invariant checker (DESIGN.md §11): no panic paths in recovery
-# code, no nondeterminism in sim crates, phase-tagged flash counters,
-# no truncating address casts, declared lock order. Scopes and
-# documented exceptions live in analyze.toml. Exits non-zero on any
-# finding or stale allowlist entry.
-cargo run --release -q -p checkin-analyze
+echo "== checkin-analyze (--format json)"
+# Static invariant checker (DESIGN.md §11, §15): workspace call-graph
+# rules A1-A8 — no panic paths or dropped Results in the cross-crate
+# recovery cone, no nondeterminism in sim crates, phase-tagged flash
+# counters, no truncating address casts, lock order per function (A5)
+# and across call edges (A8), conserved counter families, fleet-ready
+# shared state. Scopes and snippet-anchored exceptions live in
+# analyze.toml. The JSON report is the machine contract: the gate
+# fails on any finding or stale allowlist entry, and the per-rule
+# timings land on stderr either way.
+cargo run --release -q -p checkin-analyze -- --format json > target/analyze.json
+grep -q '"ok": true' target/analyze.json || {
+    echo "verify: FAIL — checkin-analyze reported findings (see target/analyze.json)" >&2
+    exit 1
+}
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
